@@ -1,0 +1,24 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run with ``-s`` to see the
+tables inline; they are also attached to the benchmark JSON via
+``extra_info`` and written under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(benchmark, name: str, text: str, **extra) -> None:
+    """Print, persist and attach one experiment's rendered output."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    benchmark.extra_info["report"] = text
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

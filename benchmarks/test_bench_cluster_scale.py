@@ -1,0 +1,21 @@
+"""Benchmark E13 — scaling by adding MSUs (abstract / §3.3, extension)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.cluster_scale import format_cluster_scale, run_cluster_scale
+
+
+def test_bench_cluster_scale(benchmark):
+    points = benchmark.pedantic(run_cluster_scale, rounds=1)
+    publish(
+        benchmark, "cluster_scale", format_cluster_scale(points),
+        aggregate=[p.aggregate_mb_s for p in points],
+        worst_quality=[p.worst_within_50ms for p in points],
+    )
+    base, last = points[0], points[-1]
+    scale = last.n_msus / base.n_msus
+    # Aggregate bandwidth scales linearly with MSU count ...
+    assert last.aggregate_mb_s / base.aggregate_mb_s > scale * 0.9
+    # ... per-stream quality does not degrade as MSUs are added ...
+    assert all(p.worst_within_50ms > 0.98 for p in points)
+    # ... and the shared Coordinator stays far from saturation (§3.3).
+    assert all(p.coordinator_cpu < 0.05 for p in points)

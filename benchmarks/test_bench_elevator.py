@@ -1,0 +1,17 @@
+"""Benchmark E7 — regenerates the §2.3.3 elevator-scheduling aside."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.elevator import format_elevator, run_elevator
+
+
+def test_bench_elevator(benchmark):
+    result = benchmark.pedantic(run_elevator, kwargs={"duration": 60.0}, rounds=1)
+    publish(
+        benchmark, "elevator", format_elevator(result),
+        fcfs=result.fcfs, elevator=result.elevator, gain=result.elevator_gain,
+    )
+    # Paper: "an elevator scheduling algorithm improves throughput by only
+    # about 6% for our disks".
+    assert result.elevator_gain == pytest.approx(0.06, abs=0.04)

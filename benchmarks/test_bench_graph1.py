@@ -1,0 +1,24 @@
+"""Benchmark E2 — regenerates Graph 1 (constant-rate lateness CDFs)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.graph1 import format_graph1, run_graph1
+
+
+def test_bench_graph1(benchmark):
+    curves = benchmark.pedantic(
+        run_graph1, kwargs={"stream_counts": (22, 23, 24), "duration": 60.0}, rounds=1
+    )
+    text = format_graph1(curves)
+    publish(
+        benchmark, "graph1", text,
+        within_50ms_at_22=curves[22].fraction_within(50) * 100,
+        within_50ms_at_23=curves[23].fraction_within(50) * 100,
+        within_50ms_at_24=curves[24].fraction_within(50) * 100,
+        max_ms_at_22=curves[22].max_late_ms,
+    )
+    # Paper: 22 streams excellent (99.6% within 50 ms, none past 150 ms);
+    # 23 degrades gradually; 24 collapses.
+    assert curves[22].fraction_within(50) > 0.99
+    assert curves[22].max_late_ms <= 150.0
+    assert curves[23].fraction_within(50) > 0.8
+    assert curves[24].fraction_within(50) < 0.5

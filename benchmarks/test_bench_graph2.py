@@ -1,0 +1,35 @@
+"""Benchmarks E3/E4 — regenerate Graph 2 (variable-rate lateness CDFs)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.graph2 import format_graph2, run_graph2
+
+
+def test_bench_graph2(benchmark):
+    curves = benchmark.pedantic(
+        run_graph2, kwargs={"stream_counts": (15, 16, 17), "duration": 60.0}, rounds=1
+    )
+    text = format_graph2(curves)
+    publish(
+        benchmark, "graph2", text,
+        within_50ms_at_15=curves[15].fraction_within(50) * 100,
+        within_50ms_at_17=curves[17].fraction_within(50) * 100,
+    )
+    # Paper shape: worse than constant rate, degrading from 15 to 17.
+    assert curves[15].fraction_within(50) > curves[17].fraction_within(50)
+    assert curves[15].fraction_within(25) < 0.9
+
+
+def test_bench_graph2_single_file(benchmark):
+    """E4: a single synchronized file caps out at 11 streams, not 15."""
+    curves = benchmark.pedantic(
+        run_graph2,
+        kwargs={"stream_counts": (11, 15), "duration": 60.0, "single_file": True},
+        rounds=1,
+    )
+    text = format_graph2(curves, single_file=True)
+    publish(
+        benchmark, "graph2_single_file", text,
+        within_100ms_at_11=curves[11].fraction_within(100) * 100,
+        within_100ms_at_15=curves[15].fraction_within(100) * 100,
+    )
+    assert curves[11].fraction_within(100) > curves[15].fraction_within(100)

@@ -1,0 +1,16 @@
+"""Benchmark E5 — regenerates the §3.2.3 memory-path comparison."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.memorypath import format_memorypath, run_memorypath
+
+
+def test_bench_memorypath(benchmark):
+    result = benchmark.pedantic(run_memorypath, kwargs={"duration": 20.0}, rounds=1)
+    publish(
+        benchmark, "memorypath", format_memorypath(result),
+        theoretical=result.theoretical, measured=result.measured,
+    )
+    assert result.theoretical == pytest.approx(7.5, abs=0.05)
+    assert result.measured == pytest.approx(6.3, abs=0.3)

@@ -1,0 +1,21 @@
+"""Benchmark E14 — client playout quality across the capacity cliff."""
+
+from benchmarks.conftest import publish
+from repro.experiments.playout import format_playout, run_playout
+
+
+def test_bench_playout(benchmark):
+    points = benchmark.pedantic(
+        run_playout, kwargs={"stream_counts": (22, 24), "duration": 45.0}, rounds=1
+    )
+    inside, beyond = points
+    publish(
+        benchmark, "playout", format_playout(points),
+        stalls_at_22=inside.total_underflows,
+        stalls_at_24=beyond.total_underflows,
+    )
+    # §2.2.1's buffer argument holds inside capacity: zero still-frames.
+    assert inside.underflowing_streams == 0
+    # Past the Graph 1 cliff the buffer can no longer hide the server.
+    assert beyond.underflowing_streams > inside.underflowing_streams
+    assert beyond.total_underflows > 0

@@ -1,0 +1,18 @@
+"""Benchmark E15 — simultaneous recording capacity (extension)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.recording import format_recording, run_recording
+
+
+def test_bench_recording(benchmark):
+    points = benchmark.pedantic(run_recording, rounds=1)
+    publish(
+        benchmark, "recording", format_recording(points),
+        drains=[p.drain_seconds for p in points],
+    )
+    # Every packet of every recording is durably stored ...
+    assert all(p.complete for p in points)
+    # ... and the disk write backlog grows with the offered load.
+    drains = [p.drain_seconds for p in points]
+    assert drains == sorted(drains)
+    assert drains[-1] > drains[0]

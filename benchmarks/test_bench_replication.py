@@ -1,0 +1,20 @@
+"""Benchmark E11 — the §2.3.3 replication alternative (extension)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.replication import format_replication, run_replication
+
+
+def test_bench_replication(benchmark):
+    results = benchmark.pedantic(run_replication, rounds=1)
+    single, replicated = results
+    publish(
+        benchmark, "replication", format_replication(results),
+        single_admitted=single.admitted,
+        replicated_admitted=replicated.admitted,
+        copy_blocks=replicated.extra_blocks,
+    )
+    # A second copy of the hot item converts the idle disk's bandwidth
+    # into admitted streams, at a disk-space cost (§2.3.3).
+    assert replicated.admitted > single.admitted
+    assert replicated.extra_blocks > 0
+    assert replicated.queued < single.queued

@@ -1,0 +1,23 @@
+"""Benchmark E6 — regenerates the §3.3 Coordinator scalability figures."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.scalability import format_scalability, run_scalability
+
+
+def test_bench_scalability(benchmark):
+    result = benchmark.pedantic(
+        run_scalability, kwargs={"total_requests": 10_000}, rounds=1
+    )
+    publish(
+        benchmark, "scalability", format_scalability(result),
+        request_rate=result.request_rate,
+        cpu_utilization=result.cpu_utilization,
+        network_utilization=result.network_utilization,
+    )
+    # Paper: ~60 req/s -> CPU 14%, network 6%, "relatively insignificant".
+    assert result.cpu_utilization == pytest.approx(0.14, abs=0.03)
+    assert result.network_utilization == pytest.approx(0.06, abs=0.02)
+    cpu50, net50 = result.extrapolate(50.0)
+    assert cpu50 < 0.2 and net50 < 0.1

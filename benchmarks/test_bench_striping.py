@@ -1,0 +1,41 @@
+"""Benchmark E10 — regenerates the striping trade-off ablation (§2.3.3)."""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.experiments.striping import (
+    format_startup_latency,
+    format_striping,
+    run_startup_latency,
+    run_striping,
+)
+
+
+def test_bench_striping(benchmark):
+    results = benchmark.pedantic(run_striping, kwargs={"duration": 60.0}, rounds=1)
+    per_disk, striped = results
+    publish(
+        benchmark, "striping", format_striping(results),
+        per_disk_fetch_ms=per_disk.mean_fetch_ms,
+        striped_fetch_ms=striped.mean_fetch_ms,
+    )
+    # Striping balances the skewed load across disks ...
+    spread = max(per_disk.per_disk_mb_s) - min(per_disk.per_disk_mb_s)
+    balanced = max(striped.per_disk_mb_s) - min(striped.per_disk_mb_s)
+    assert balanced < spread * 0.25
+    # ... which relieves the overloaded hot disk's latency.
+    assert striped.mean_fetch_ms < per_disk.mean_fetch_ms
+
+
+def test_bench_striping_vcr_startup(benchmark):
+    """§2.3.3's other half: striped VCR restart delay, measured through
+    the full MSU — landing on the paper's own "we were probably wrong"."""
+    results = benchmark.pedantic(run_startup_latency, rounds=1)
+    publish(
+        benchmark, "striping_startup", format_startup_latency(results),
+        per_disk_mean_ms=float(np.mean(results["per-disk"]) * 1000),
+        striped_mean_ms=float(np.mean(results["striped"]) * 1000),
+    )
+    per_disk = np.mean(results["per-disk"])
+    striped = np.mean(results["striped"])
+    assert striped < per_disk * 2.0 and per_disk < striped * 2.0

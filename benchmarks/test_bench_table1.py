@@ -1,0 +1,22 @@
+"""Benchmark E1 — regenerates Table 1 (baseline measurements)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, kwargs={"duration": 20.0}, rounds=1)
+    text = format_table1(rows)
+    by_label = {row.label: row for row in rows}
+    publish(
+        benchmark, "table1", text,
+        fddi_only=by_label["0 disk"].fddi_only,
+        one_disk=by_label["1 disk (one HBA)"].disks_only[0],
+        two_hba_combined_fddi=by_label["2 disk (two HBA)"].combined_fddi,
+    )
+    # Paper shape: FDDI-only tops the chart; two active HBAs collapse it.
+    assert by_label["0 disk"].fddi_only > 8.0
+    assert (
+        by_label["2 disk (two HBA)"].combined_fddi
+        < by_label["2 disk (one HBA)"].combined_fddi * 0.65
+    )

@@ -1,0 +1,19 @@
+"""Benchmark E12 — offered-load admission sweep (extension)."""
+
+from benchmarks.conftest import publish
+from repro.experiments.vod_load import format_vod_load, run_vod_load
+
+
+def test_bench_vod_load(benchmark):
+    points = benchmark.pedantic(run_vod_load, rounds=1)
+    publish(
+        benchmark, "vod_load", format_vod_load(points),
+        blocking=[p.blocking_probability for p in points],
+    )
+    # Blocking is monotone in offered load and concurrency never exceeds
+    # the MSU's stream capacity.
+    blocking = [p.blocking_probability for p in points]
+    assert blocking == sorted(blocking)
+    assert points[0].blocking_probability < 0.02
+    assert points[-1].blocking_probability > 0.15
+    assert all(p.concurrent_peak <= 23 for p in points)

@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works offline (no `wheel` package available,
+so the PEP 517 editable path can't build; this enables the legacy path:
+`pip install -e . --no-build-isolation`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Calliope: a distributed, scalable multimedia server (USENIX '96).
+
+A full reproduction of Heybey, Sullivan & England's system: a Coordinator
+plus Multimedia Storage Units (MSUs) serving constant- and variable-rate
+audio/video streams, running on a deterministic discrete-event simulation
+of the paper's Pentium/FreeBSD testbed.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Client-side components: applications, playout buffering, workloads.
+
+* :mod:`repro.clients.client` — a full Calliope client: sessions, display
+  ports, play/record requests, VCR control, receive statistics.
+* :mod:`repro.clients.playback` — the client playout-buffer model used to
+  reason about jitter smoothing (§2.2.1's 200 KB buffer argument).
+* :mod:`repro.clients.workload` — request generators (open-loop Poisson
+  arrivals for the §3.3 scalability measurement).
+* :mod:`repro.clients.fake_msu` — the paper's instrumented "fake MSU" that
+  delays 50 ms and reports the stream terminated (§3.3).
+"""
+
+from repro.clients.client import Client, GroupView, PortStats
+from repro.clients.fake_msu import FakeMsu
+from repro.clients.playback import PlayoutBuffer, PlayoutReport
+from repro.clients.population import PopulationStats, ViewerPopulation
+from repro.clients.rtp_receiver import RtpReceiverStats
+from repro.clients.workload import OpenLoopRequester
+
+__all__ = [
+    "Client",
+    "FakeMsu",
+    "GroupView",
+    "OpenLoopRequester",
+    "PlayoutBuffer",
+    "PlayoutReport",
+    "PopulationStats",
+    "PortStats",
+    "RtpReceiverStats",
+    "ViewerPopulation",
+]

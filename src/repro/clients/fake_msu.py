@@ -1,0 +1,67 @@
+"""The paper's instrumented fake MSU (§3.3).
+
+"To measure the effect of scheduling requests on shared resource loads, we
+have created a fake MSU which, when scheduled, delays for 50 ms and then
+reports that the user has terminated the stream."
+
+The fake MSU speaks the real Coordinator protocol (hello, schedule,
+terminate) but owns no disks, buffers or streams, so the only load it
+generates is the control traffic under measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.net import messages as m
+from repro.net.network import ControlChannel
+from repro.sim import Simulator
+from repro.units import ms
+
+__all__ = ["FakeMsu"]
+
+
+class FakeMsu:
+    """A protocol-complete MSU stub with a fixed 50 ms service time."""
+
+    SERVICE_TIME = ms(50.0)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        nominal_disks: int = 2,
+        free_blocks: int = 7_000,
+    ):
+        self.sim = sim
+        self.name = name
+        self.nominal_disks = nominal_disks
+        self.free_blocks = free_blocks
+        self.channel: ControlChannel = None
+        self.streams_handled = 0
+
+    def attach_coordinator(self, channel: ControlChannel) -> None:
+        """Say hello with fictitious disks and start serving."""
+        self.channel = channel
+        disks: List[Tuple[str, int]] = [
+            (f"{self.name}.sd{i}", self.free_blocks) for i in range(self.nominal_disks)
+        ]
+        channel.send(self.name, m.MsuHello(self.name, tuple(disks)), nbytes=m.WIRE_BYTES)
+        self.sim.process(self._loop(), name=f"{self.name}.fake")
+
+    def _loop(self) -> Generator:
+        while True:
+            msg = yield self.channel.recv(self.name)
+            if msg is None:
+                return
+            if isinstance(msg, (m.ScheduleRead, m.ScheduleRecord)):
+                self.sim.process(self._serve(msg), name=f"{self.name}.serve")
+
+    def _serve(self, msg) -> Generator:
+        yield self.sim.timeout(self.SERVICE_TIME)
+        self.streams_handled += 1
+        self.channel.send(
+            self.name,
+            m.StreamTerminated(msg.group_id, msg.stream_id, "quit"),
+            nbytes=m.WIRE_BYTES,
+        )

@@ -1,0 +1,143 @@
+"""A closed-loop viewer population for capacity studies.
+
+Viewers arrive as a Poisson process, pick content by a Zipf popularity
+law, watch for an exponentially distributed time, and leave.  Offered
+load in Erlangs is ``arrival_rate * mean_watch_time``; together with the
+Coordinator's admission control this produces the classic blocking
+behaviour the §3.3 sizing arithmetic ("150 MSUs at 20 streams each ...
+sessions as short as one minute") implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+import numpy as np
+
+from repro.clients.client import Client
+from repro.errors import CalliopeError
+from repro.sim import Simulator
+
+__all__ = ["ViewerPopulation", "PopulationStats"]
+
+
+@dataclass
+class PopulationStats:
+    """Aggregate outcome of a population run."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    blocked: int = 0  # request failed outright
+    abandoned: int = 0  # queued past the viewer's patience
+    completed: int = 0
+    concurrent_peak: int = 0
+    watch_seconds: float = 0.0
+    _active: int = 0
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of arrivals that never got their stream."""
+        denied = self.blocked + self.abandoned
+        return denied / self.arrivals if self.arrivals else 0.0
+
+
+class ViewerPopulation:
+    """Drives one client host with a stream of short viewing sessions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Client,
+        content_names: Sequence[str],
+        arrival_rate: float,
+        mean_watch_seconds: float,
+        zipf_s: float = 1.2,
+        port_type: str = "mpeg1",
+        queue_patience: float = 5.0,
+        seed: int = 33,
+    ):
+        if arrival_rate <= 0 or mean_watch_seconds <= 0:
+            raise ValueError("arrival rate and watch time must be positive")
+        self.sim = sim
+        self.client = client
+        self.content_names = list(content_names)
+        self.arrival_rate = arrival_rate
+        self.mean_watch_seconds = mean_watch_seconds
+        self.port_type = port_type
+        self.queue_patience = queue_patience
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, len(self.content_names) + 1, dtype=float)
+        weights = ranks**-zipf_s
+        self._popularity = weights / weights.sum()
+        self.stats = PopulationStats()
+        self._viewer_no = 0
+        self._stopped = False
+
+    @property
+    def offered_erlangs(self) -> float:
+        """Offered load: arrivals/second x mean holding time."""
+        return self.arrival_rate * self.mean_watch_seconds
+
+    def start(self) -> None:
+        """Spawn the arrival process."""
+        self.sim.process(self._arrivals(), name="population")
+
+    def stop(self) -> None:
+        """No further arrivals (in-flight viewers finish)."""
+        self._stopped = True
+
+    # -- processes -------------------------------------------------------------
+
+    def _arrivals(self) -> Generator:
+        yield from self.client.open_session("user")
+        while not self._stopped:
+            gap = float(self._rng.exponential(1.0 / self.arrival_rate))
+            yield self.sim.timeout(gap)
+            if self._stopped:
+                return
+            self._viewer_no += 1
+            self.sim.process(
+                self._viewer(self._viewer_no), name=f"viewer{self._viewer_no}"
+            )
+
+    def _pick_content(self) -> str:
+        index = int(self._rng.choice(len(self.content_names), p=self._popularity))
+        return self.content_names[index]
+
+    def _viewer(self, number: int) -> Generator:
+        stats = self.stats
+        stats.arrivals += 1
+        port_name = f"viewer{number}"
+        content = self._pick_content()
+        try:
+            yield from self.client.register_port(port_name, self.port_type)
+        except CalliopeError:
+            stats.blocked += 1
+            return
+        try:
+            view = yield from self.client.play_with_timeout(
+                content, port_name, self.queue_patience
+            )
+        except CalliopeError:
+            stats.blocked += 1
+            self.client.close_port(port_name)
+            return
+        if view is None:  # gave up waiting in the scheduling queue
+            stats.abandoned += 1
+            self.client.close_port(port_name)
+            return
+        stats.admitted += 1
+        stats._active += 1
+        stats.concurrent_peak = max(stats.concurrent_peak, stats._active)
+        watch = float(self._rng.exponential(self.mean_watch_seconds))
+        started = self.sim.now
+        yield self.sim.timeout(watch)
+        try:
+            self.client.quit(view.group_id)
+        except CalliopeError:
+            pass  # stream already ended on its own
+        stats._active -= 1
+        stats.completed += 1
+        stats.watch_seconds += self.sim.now - started
+        self.client.close_port(port_name)

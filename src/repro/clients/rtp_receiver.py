@@ -1,0 +1,75 @@
+"""Client-side RTP reception quality tracking.
+
+The MBone tools Calliope serves (§2.1) judge a stream by its RTP sequence
+numbers: gaps are lost packets, reversals are reordering.  The tracker
+consumes the payloads a display port receives and reports the statistics
+a ``vat``/``nv`` receiver would display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.net.rtp import RtpHeader
+
+__all__ = ["RtpReceiverStats"]
+
+_SEQ_MOD = 1 << 16
+
+
+@dataclass
+class RtpReceiverStats:
+    """Sequence-number accounting for one received RTP stream."""
+
+    received: int = 0
+    lost: int = 0
+    reordered: int = 0
+    duplicates: int = 0
+    not_rtp: int = 0
+    first_seq: Optional[int] = None
+    #: Highest sequence number seen, extended past 16-bit wrap.
+    highest_extended: Optional[int] = None
+
+    def feed(self, payload: bytes) -> Optional[RtpHeader]:
+        """Account one received payload; returns its header if RTP."""
+        try:
+            header = RtpHeader.parse(payload)
+        except ProtocolError:
+            self.not_rtp += 1
+            return None
+        self.received += 1
+        seq = header.sequence
+        if self.highest_extended is None:
+            self.first_seq = seq
+            self.highest_extended = seq
+            return header
+        # Extend the 16-bit counter: a small forward step (mod 2^16) past
+        # the highest value seen is new data; anything else is old.
+        delta = (seq - self.highest_extended) % _SEQ_MOD
+        if delta == 0:
+            self.duplicates += 1
+        elif delta < _SEQ_MOD // 2:
+            if delta > 1:
+                self.lost += delta - 1
+            self.highest_extended += delta
+        else:
+            # Behind the high-water mark: late/reordered arrival.
+            self.reordered += 1
+            if self.lost > 0:
+                self.lost -= 1  # a presumed-lost packet showed up late
+        return header
+
+    @property
+    def expected(self) -> int:
+        """Packets the sequence numbers say were sent to us so far."""
+        if self.highest_extended is None or self.first_seq is None:
+            return 0
+        return self.highest_extended - self.first_seq + 1
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of expected packets never seen."""
+        expected = self.expected
+        return self.lost / expected if expected else 0.0

@@ -1,0 +1,94 @@
+"""Request workload generators.
+
+:class:`OpenLoopRequester` drives the Coordinator with play requests at a
+fixed aggregate rate regardless of completion (the §3.3 measurement used
+two such clients jointly producing ~60 requests/second).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.net import messages as m
+from repro.net.network import ControlChannel
+from repro.sim import Simulator
+
+__all__ = ["OpenLoopRequester"]
+
+
+class OpenLoopRequester:
+    """Fires PlayRequests at exponential intervals, ignoring replies.
+
+    The requester registers a single display port up front; every request
+    plays a randomly chosen content item through it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: ControlChannel,
+        client_name: str,
+        content_names: Sequence[str],
+        rate_per_second: float,
+        total_requests: int,
+        port_type: str = "mpeg1",
+        seed: int = 17,
+    ):
+        if rate_per_second <= 0 or total_requests <= 0:
+            raise ValueError("rate and total must be positive")
+        self.sim = sim
+        self.channel = channel
+        self.client_name = client_name
+        self.content_names = list(content_names)
+        self.rate = rate_per_second
+        self.total = total_requests
+        self.port_type = port_type
+        self._rng = np.random.default_rng(seed)
+        self.sent = 0
+        self.failed = 0
+        self.done = sim.event(name=f"{client_name}.done")
+        self.session_id: Optional[int] = None
+
+    def start(self) -> None:
+        """Spawn the request-generation and reply-drain processes."""
+        self.sim.process(self._run(), name=f"{self.client_name}.gen")
+
+    def _run(self) -> Generator:
+        # Session + port setup (replies consumed synchronously).
+        self.channel.send(self.client_name, m.OpenSession("user"), nbytes=m.WIRE_BYTES)
+        reply = yield self.channel.recv(self.client_name)
+        self.session_id = reply.session_id
+        self.channel.send(
+            self.client_name,
+            m.RegisterPort(
+                self.session_id, "p0", self.port_type, (self.client_name, 6000)
+            ),
+            nbytes=m.WIRE_BYTES,
+        )
+        yield self.channel.recv(self.client_name)
+        self.sim.process(self._drain(), name=f"{self.client_name}.drain")
+        while self.sent < self.total:
+            gap = float(self._rng.exponential(1.0 / self.rate))
+            yield self.sim.timeout(gap)
+            name = self.content_names[
+                int(self._rng.integers(0, len(self.content_names)))
+            ]
+            self.channel.send(
+                self.client_name,
+                m.PlayRequest(self.session_id, name, "p0"),
+                nbytes=m.WIRE_BYTES,
+            )
+            self.sent += 1
+        if not self.done.triggered:
+            self.done.succeed(self.sent)
+
+    def _drain(self) -> Generator:
+        """Consume Coordinator replies so the channel mailbox stays empty."""
+        while True:
+            reply = yield self.channel.recv(self.client_name)
+            if reply is None:
+                return
+            if isinstance(reply, m.RequestFailed):
+                self.failed += 1

@@ -1,0 +1,12 @@
+"""Calliope proper: the Coordinator and the Multimedia Storage Unit.
+
+Typical assembly goes through :class:`repro.core.cluster.CalliopeCluster`,
+which wires a Coordinator machine, one or more MSUs, the intra-server
+Ethernet and the FDDI delivery network, exactly as Figure 1 lays them out.
+"""
+
+from repro.core.cluster import CalliopeCluster, ClusterConfig
+from repro.core.coordinator import Coordinator
+from repro.core.msu.msu import Msu
+
+__all__ = ["CalliopeCluster", "ClusterConfig", "Coordinator", "Msu"]

@@ -1,0 +1,154 @@
+"""Admission control and the scheduling queue (§2.2).
+
+"When Calliope receives a read request, the Coordinator finds an MSU with
+a disk that both contains the requested content and has enough bandwidth
+available to satisfy the request. ... If a client's request cannot be
+satisfied, the Coordinator queues the request until an MSU with the
+necessary resources becomes available."
+
+For recording the Coordinator must find disk *space* as well as bandwidth,
+sized from the client's length estimate and the content type's storage
+consumption rate; unused space returns when the recording completes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.core.database import AdminDatabase, ContentEntry, DiskState, MsuState
+from repro.media.content import ContentType
+
+__all__ = ["Allocation", "AdmissionControl"]
+
+
+@dataclass
+class Allocation:
+    """Resources granted to one stream: undo-able bookkeeping."""
+
+    msu_name: str
+    disk_id: str
+    bandwidth: float
+    reserved_blocks: int = 0
+
+
+class AdmissionControl:
+    """Bandwidth/space accounting over the admin database."""
+
+    def __init__(self, db: AdminDatabase, block_size: int):
+        self.db = db
+        self.block_size = block_size
+        #: Requests waiting for resources (the paper's scheduling queue).
+        self.queue: Deque = deque()
+        self.admitted = 0
+        self.queued = 0
+        self.rejected = 0
+
+    # -- placement ----------------------------------------------------------
+
+    def place_read(
+        self,
+        entry: ContentEntry,
+        ctype: ContentType,
+        msu_pin: Optional[str] = None,
+    ) -> Optional[Allocation]:
+        """Admit a playback of ``entry``; None when resources are short.
+
+        Each copy of the content lives wholly on one disk (no striping);
+        with replicas present the least-loaded feasible copy is used.
+        ``msu_pin`` restricts placement to one MSU — composite members
+        must share a machine (§2.2).
+        """
+        rate = ctype.bandwidth_rate
+        best = None
+        for msu_name, disk_id in entry.locations():
+            if msu_pin is not None and msu_name != msu_pin:
+                continue
+            state = self.db.msus.get(msu_name)
+            if state is None or not state.available:
+                continue
+            disk = state.disks.get(disk_id)
+            if disk is None:
+                continue
+            if disk.bandwidth_free() < rate or state.delivery_free() < rate:
+                continue
+            load = disk.bandwidth_used / disk.bandwidth_capacity
+            if best is None or load < best[0]:
+                best = (load, state, disk)
+        if best is None:
+            return None
+        _, state, disk = best
+        disk.bandwidth_used += rate
+        state.delivery_used += rate
+        state.active_streams += 1
+        self.admitted += 1
+        return Allocation(state.name, disk.disk_id, rate)
+
+    def place_record(
+        self,
+        ctype: ContentType,
+        estimate_seconds: float,
+        msu_name: Optional[str] = None,
+    ) -> Optional[Allocation]:
+        """Admit a recording: needs bandwidth *and* estimated disk space.
+
+        Picks the least-loaded (by bandwidth) qualifying disk; pinning
+        ``msu_name`` supports composite recordings whose members must land
+        on the same MSU (§2.2).
+        """
+        rate = ctype.bandwidth_rate
+        blocks = self.estimate_blocks(ctype, estimate_seconds)
+        best: Optional[Tuple[float, MsuState, DiskState]] = None
+        for state in self.db.available_msus():
+            if msu_name is not None and state.name != msu_name:
+                continue
+            if state.delivery_free() < rate:
+                continue
+            for disk in state.disks.values():
+                if disk.bandwidth_free() < rate or disk.free_blocks < blocks:
+                    continue
+                load = disk.bandwidth_used / disk.bandwidth_capacity
+                if best is None or load < best[0]:
+                    best = (load, state, disk)
+        if best is None:
+            return None
+        _, state, disk = best
+        disk.bandwidth_used += rate
+        disk.free_blocks -= blocks
+        state.delivery_used += rate
+        state.active_streams += 1
+        self.admitted += 1
+        return Allocation(state.name, disk.disk_id, rate, reserved_blocks=blocks)
+
+    def estimate_blocks(self, ctype: ContentType, estimate_seconds: float) -> int:
+        """Disk blocks a recording of this type/length will consume (§2.2)."""
+        nbytes = ctype.storage_rate * max(0.0, estimate_seconds)
+        return max(1, math.ceil(nbytes / self.block_size)) + 1  # +1 trailer
+
+    # -- release ----------------------------------------------------------------
+
+    def release(self, alloc: Allocation, blocks_used: int = 0) -> None:
+        """Return a stream's resources (and a recording's unused space)."""
+        state = self.db.msus.get(alloc.msu_name)
+        if state is None:
+            return
+        state.delivery_used = max(0.0, state.delivery_used - alloc.bandwidth)
+        state.active_streams = max(0, state.active_streams - 1)
+        disk = state.disks.get(alloc.disk_id)
+        if disk is not None:
+            disk.bandwidth_used = max(0.0, disk.bandwidth_used - alloc.bandwidth)
+            if alloc.reserved_blocks:
+                unused = max(0, alloc.reserved_blocks - blocks_used)
+                disk.free_blocks += unused
+
+    def release_msu(self, msu_name: str) -> None:
+        """Zero the accounting of a failed MSU (its streams died with it)."""
+        state = self.db.msus.get(msu_name)
+        if state is None:
+            return
+        state.delivery_used = 0.0
+        state.active_streams = 0
+        for disk in state.disks.values():
+            disk.bandwidth_used = 0.0

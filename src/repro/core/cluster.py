@@ -1,0 +1,244 @@
+"""Cluster assembly: Figure 1 in code.
+
+A :class:`CalliopeCluster` wires up a Coordinator machine, N MSUs, the
+intra-server Ethernet and the FDDI delivery network, and provides the
+administrative helpers experiments and examples share: pre-loading
+content, installing fast-scan companions and connecting clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coordinator import Coordinator
+from repro.core.msu.msu import Msu
+from repro.errors import CalliopeError
+from repro.hardware.params import MachineParams
+from repro.media.content import ContentType
+from repro.media.filtering import make_fast_backward, make_fast_forward
+from repro.media.mpeg import packetize_cbr
+from repro.net.network import ControlChannel, Network
+from repro.sim import Simulator
+from repro.storage.ibtree import IBTreeConfig
+from repro.units import ms
+
+__all__ = ["ClusterConfig", "CalliopeCluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of a Calliope installation."""
+
+    n_msus: int = 1
+    #: SCSI topology per MSU (the evaluation testbed: 2 disks, one HBA).
+    disks_per_hba: Tuple[int, ...] = (2,)
+    #: Intra-server network message latency (Ethernet RPC).
+    intra_latency: float = ms(1.0)
+    #: Delivery network latency (FDDI).
+    delivery_latency: float = ms(0.5)
+    types: Optional[List[ContentType]] = None
+    ibtree_config: IBTreeConfig = field(default_factory=IBTreeConfig)
+    #: Build striped MSUs (the §2.3.3 alternative layout) instead of the
+    #: paper's per-disk file systems.
+    striped_msus: bool = False
+    seed: int = 42
+
+
+class CalliopeCluster:
+    """A whole installation: Coordinator + MSUs + both networks."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfig = ClusterConfig()):
+        self.sim = sim
+        self.config = config
+        self.intra_net = Network(sim, "intra", latency=config.intra_latency)
+        self.delivery_net = Network(sim, "delivery", latency=config.delivery_latency)
+        self.coordinator = Coordinator(
+            sim, types=config.types, block_size=config.ibtree_config.data_page_size
+        )
+        self.msus: List[Msu] = []
+        self._client_channels: Dict[str, ControlChannel] = {}
+        self._vcr_listeners: Dict[str, object] = {}
+        #: group_id -> channel, populated as MSUs open VCR connections.
+        self.vcr_channels: Dict[int, ControlChannel] = {}
+        for i in range(config.n_msus):
+            msu = Msu(
+                sim,
+                f"msu{i}",
+                self.delivery_net,
+                machine_params=MachineParams(
+                    name=f"msu{i}", disks_per_hba=config.disks_per_hba
+                ),
+                seed=config.seed + i,
+                ibtree_config=config.ibtree_config,
+                client_channel_factory=self._make_vcr_channel,
+                striped=config.striped_msus,
+            )
+            channel = ControlChannel(
+                sim, self.coordinator.name, msu.name,
+                latency=config.intra_latency, network=self.intra_net,
+            )
+            self.coordinator.attach_msu(channel)
+            msu.attach_coordinator(channel)
+            self.msus.append(msu)
+
+    # -- client plumbing ----------------------------------------------------------
+
+    def _make_vcr_channel(self, client_host: str, group_id: int) -> ControlChannel:
+        """MSUs call this to open the per-group client control stream."""
+        msu_end = f"group{group_id}.msu"
+        channel = ControlChannel(
+            self.sim, msu_end, client_host, latency=self.config.delivery_latency
+        )
+        self.vcr_channels[group_id] = channel
+        listener = self._vcr_listeners.get(client_host)
+        if listener is not None:
+            listener(group_id, channel, msu_end)
+        return _MsuEndView(channel, msu_end)
+
+    def register_vcr_listener(self, client_host: str, callback) -> None:
+        """Clients register to be handed their incoming VCR channels."""
+        self._vcr_listeners[client_host] = callback
+
+    def connect_client(self, client_host: str) -> ControlChannel:
+        """Open the client <-> Coordinator session channel."""
+        channel = ControlChannel(
+            self.sim, client_host, self.coordinator.name,
+            latency=self.config.intra_latency, network=self.intra_net,
+        )
+        self.coordinator.connect_client(channel, client_host)
+        self._client_channels[client_host] = channel
+        return channel
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail_msu(self, index: int, crash: bool = False) -> None:
+        """Take an MSU down (failure injection).
+
+        ``crash=False`` breaks only the Coordinator connection (a control
+        network partition); ``crash=True`` kills the whole machine: device
+        processes stop and every client's VCR connection closes.  Either
+        way the Coordinator sees the TCP break and marks the MSU
+        unavailable (§2.2).  Disks and file systems survive — rejoining
+        with :meth:`rejoin_msu` restores it to the scheduling database.
+        """
+        msu = self.msus[index]
+        if crash:
+            msu.crash()
+        else:
+            if msu.coordinator_channel is not None:
+                msu.coordinator_channel.close()
+            msu.up = False
+
+    def rejoin_msu(self, index: int) -> None:
+        """Reconnect a failed MSU; it says hello and is rescheduled."""
+        msu = self.msus[index]
+        msu.reboot()
+        channel = ControlChannel(
+            self.sim, self.coordinator.name, msu.name,
+            latency=self.config.intra_latency, network=self.intra_net,
+        )
+        self.coordinator.attach_msu(channel)
+        msu.up = True
+        msu.attach_coordinator(channel)
+
+    # -- administrative helpers -----------------------------------------------------
+
+    def msu_named(self, name: str) -> Msu:
+        for msu in self.msus:
+            if msu.name == name:
+                return msu
+        raise CalliopeError(f"no MSU named {name!r}")
+
+    def load_content(
+        self,
+        name: str,
+        type_name: str,
+        packets: Sequence,
+        msu_index: int = 0,
+        disk_index: int = 0,
+        duration_us: Optional[int] = None,
+    ):
+        """Pre-load packets as stored content and register it (admin path)."""
+        msu = self.msus[msu_index]
+        disk_id = msu.disk_ids()[disk_index]
+        handle = msu.admin_load(disk_id, name, type_name, packets, duration_us)
+        self.coordinator.admin_add_content(
+            name, type_name, msu.name, disk_id,
+            blocks=handle.nblocks, duration_us=handle.duration_us,
+        )
+        return handle
+
+    def load_composite(
+        self,
+        name: str,
+        type_name: str,
+        component_packets: Dict[str, Sequence],
+        msu_index: int = 0,
+    ) -> None:
+        """Pre-load a composite item: one file per component, same MSU."""
+        msu = self.msus[msu_index]
+        names = []
+        for i, (comp_type, packets) in enumerate(sorted(component_packets.items())):
+            comp_name = f"{name}.{comp_type}"
+            disk_id = msu.disk_ids()[i % len(msu.disk_ids())]
+            handle = msu.admin_load(disk_id, comp_name, comp_type, packets)
+            self.coordinator.admin_add_content(
+                comp_name, comp_type, msu.name, disk_id,
+                blocks=handle.nblocks, duration_us=handle.duration_us,
+            )
+            names.append(comp_name)
+        self.coordinator.admin_add_content(
+            name, type_name, msu.name, "", components=tuple(names)
+        )
+
+    def install_fast_scans(
+        self,
+        name: str,
+        bitstream: bytes,
+        rate: float,
+        packet_size: int,
+        step: int = 15,
+        msu_index: int = 0,
+        disk_index: int = 0,
+    ) -> None:
+        """Run the offline filter and load ff/fb companions (§2.3.1).
+
+        ``bitstream`` is the original MPEG-like stream that was loaded as
+        ``name``; the filter parses it, selects every ``step``-th frame and
+        the companions are loaded and linked through the admin interface.
+        """
+        msu = self.msus[msu_index]
+        disk_id = msu.disk_ids()[disk_index]
+        ff_stream, _ = make_fast_forward(bitstream, step)
+        fb_stream, _ = make_fast_backward(bitstream, step)
+        ff_name, fb_name = f"{name}.ff", f"{name}.fb"
+        msu.admin_load(disk_id, ff_name, "mpeg1", packetize_cbr(ff_stream, rate, packet_size))
+        msu.admin_load(disk_id, fb_name, "mpeg1", packetize_cbr(fb_stream, rate, packet_size))
+        msu.admin_link_fast_scan(disk_id, name, ff_name, fb_name)
+
+
+class _MsuEndView:
+    """Presents a VCR channel to the MSU under the MSU's own name.
+
+    The MSU sends and receives as ``msu.name``; the wire end is the
+    per-group alias the cluster created.  This keeps the channel API
+    symmetric without the MSU knowing its alias.
+    """
+
+    def __init__(self, channel: ControlChannel, msu_end: str):
+        self._channel = channel
+        self._msu_end = msu_end
+
+    @property
+    def open(self) -> bool:
+        return self._channel.open
+
+    def send(self, _sender: str, message, nbytes: int = 128) -> None:
+        self._channel.send(self._msu_end, message, nbytes)
+
+    def recv(self, _end: str):
+        return self._channel.recv(self._msu_end)
+
+    def close(self) -> None:
+        self._channel.close()

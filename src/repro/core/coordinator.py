@@ -1,0 +1,459 @@
+"""The Coordinator: Calliope's global resource manager (§2.2).
+
+The Coordinator authenticates clients, serves the table of contents,
+admits play/record requests against per-disk bandwidth and per-MSU
+delivery budgets, queues requests that cannot be placed, builds stream
+groups for composite types, and detects MSU failures through broken
+control connections.  It is a single machine and a single point of
+failure: "Calliope does not recover from Coordinator failures."
+
+Per-request CPU costs are charged on the Coordinator machine's simulated
+processor; the scalability experiment (§3.3) measures exactly this
+utilization plus the intra-server network load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.admission import AdmissionControl, Allocation
+from repro.core.database import AdminDatabase, ContentEntry
+from repro.core.sessions import DisplayPort, Session, SessionTable
+from repro.errors import TypeMismatchError
+from repro.hardware.machine import Machine
+from repro.hardware.params import ETHERNET_10, MachineParams
+from repro.media.content import DEFAULT_TYPES, ContentType, ContentTypeRegistry
+from repro.net import messages as m
+from repro.net.network import ControlChannel
+from repro.sim import Simulator
+from repro.units import BLOCK_SIZE, ms
+
+__all__ = ["Coordinator", "GroupRecord"]
+
+
+@dataclass
+class GroupRecord:
+    """Coordinator-side bookkeeping for one scheduled stream group."""
+
+    group_id: int
+    session_id: int
+    msu_name: str
+    #: stream_id -> granted allocation.
+    allocations: Dict[int, Allocation] = field(default_factory=dict)
+    #: stream_id -> (content name, type name) for recordings in progress.
+    recordings: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    live = True
+
+
+@dataclass
+class _QueuedRequest:
+    """A request parked until resources free up (§2.2)."""
+
+    kind: str  # "play" or "record"
+    session_id: int
+    message: object
+    channel: ControlChannel
+
+
+class Coordinator:
+    """The non-real-time half of Calliope."""
+
+    #: CPU to parse/authenticate/place one client request.
+    REQUEST_CPU = ms(1.6)
+    #: CPU to emit one schedule message to an MSU.
+    SCHEDULE_CPU = ms(0.3)
+    #: CPU to process one stream-termination notification.
+    TERMINATION_CPU = ms(0.5)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        types: Optional[List[ContentType]] = None,
+        machine_params: Optional[MachineParams] = None,
+        block_size: int = BLOCK_SIZE,
+        name: str = "coordinator",
+    ):
+        self.sim = sim
+        self.name = name
+        params = machine_params or MachineParams(name=name, disks_per_hba=())
+        self.machine = Machine(sim, params)
+        self.nic = self.machine.add_nic(ETHERNET_10)
+        self.types = ContentTypeRegistry(types if types is not None else DEFAULT_TYPES)
+        self.db = AdminDatabase()
+        self.admission = AdmissionControl(self.db, block_size)
+        self.sessions = SessionTable()
+        self.groups: Dict[int, GroupRecord] = {}
+        self._msu_channels: Dict[str, ControlChannel] = {}
+        self._next_group = 1
+        self._next_stream = 1
+        self.requests_handled = 0
+        self.terminations_handled = 0
+        #: Optional structured event log (repro.metrics.tracing.Tracer).
+        self.tracer = None
+
+    def _trace(self, category: str, subject, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.name, category, subject, detail)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach_msu(self, channel: ControlChannel) -> None:
+        """Accept an MSU control connection; it will say hello."""
+        self.sim.process(self._msu_loop(channel), name="coord.msu")
+
+    def connect_client(self, channel: ControlChannel, client_host: str) -> None:
+        """Accept a client control connection."""
+        self.sim.process(self._client_loop(channel, client_host), name="coord.client")
+
+    # -- MSU side -------------------------------------------------------------------
+
+    def _msu_loop(self, channel: ControlChannel) -> Generator:
+        msu_name = None
+        while True:
+            msg = yield channel.recv(self.name)
+            if msg is None:
+                if msu_name is not None:
+                    self._msu_failed(msu_name)
+                return
+            if isinstance(msg, m.MsuHello):
+                msu_name = msg.msu_name
+                self._msu_channels[msu_name] = channel
+                self.db.register_msu(msu_name, list(msg.disks))
+                self._trace("msu-up", msu_name, f"disks={len(msg.disks)}")
+                self._retry_queue()
+            elif isinstance(msg, m.StreamTerminated):
+                yield from self.machine.cpu.execute(self.TERMINATION_CPU)
+                self.terminations_handled += 1
+                self._trace("terminated", f"group={msg.group_id}",
+                            f"stream={msg.stream_id} reason={msg.reason}")
+                self._stream_terminated(msg)
+                self._retry_queue()
+
+    def _msu_failed(self, msu_name: str) -> None:
+        """A broken MSU connection takes it out of scheduling (§2.2)."""
+        self._trace("msu-down", msu_name)
+        self.db.mark_msu_down(msu_name)
+        self.admission.release_msu(msu_name)
+        self._msu_channels.pop(msu_name, None)
+        for group in list(self.groups.values()):
+            if group.msu_name == msu_name:
+                del self.groups[group.group_id]
+
+    def _stream_terminated(self, msg: m.StreamTerminated) -> None:
+        group = self.groups.get(msg.group_id)
+        if group is None:
+            return
+        alloc = group.allocations.pop(msg.stream_id, None)
+        if alloc is not None:
+            self.admission.release(alloc, blocks_used=msg.recorded_blocks)
+        recording = group.recordings.pop(msg.stream_id, None)
+        if recording is not None and msg.reason == "record-complete":
+            content_name, _type_name = recording
+            self.db.content(content_name).blocks = msg.recorded_blocks
+        if not group.allocations and not group.recordings:
+            self.groups.pop(msg.group_id, None)
+            session = self.sessions._sessions.get(group.session_id)
+            if session is not None and msg.group_id in session.active_groups:
+                session.active_groups.remove(msg.group_id)
+
+    # -- client side -------------------------------------------------------------------
+
+    def _client_loop(self, channel: ControlChannel, client_host: str) -> Generator:
+        while True:
+            msg = yield channel.recv(self.name)
+            if msg is None:
+                return
+            yield from self.machine.cpu.execute(self.REQUEST_CPU)
+            self.requests_handled += 1
+            request_id = getattr(msg, "request_id", 0)
+            reply = None
+            try:
+                if isinstance(msg, m.OpenSession):
+                    reply = self._open_session(msg, client_host)
+                elif isinstance(msg, m.ListContents):
+                    reply = m.ContentListing(tuple(self.db.listing()))
+                elif isinstance(msg, m.RegisterPort):
+                    reply = self._register_port(msg)
+                elif isinstance(msg, m.RegisterCompositePort):
+                    reply = self._register_composite(msg)
+                elif isinstance(msg, m.PlayRequest):
+                    reply = yield from self._play(msg, channel)
+                elif isinstance(msg, m.RecordRequest):
+                    reply = yield from self._record(msg, channel)
+                elif isinstance(msg, m.DeleteContent):
+                    reply = self._delete(msg)
+                elif isinstance(msg, m.CloseSession):
+                    self.sessions.close(msg.session_id)
+            except Exception as err:  # admission/type errors become replies
+                reply = m.RequestFailed(str(err))
+            if reply is not None:
+                reply = dataclasses.replace(reply, request_id=request_id)
+                channel.send(self.name, reply, nbytes=m.WIRE_BYTES)
+
+    def _open_session(self, msg: m.OpenSession, client_host: str):
+        customer = self.db.authenticate(msg.customer)
+        if customer is None:
+            return m.RequestFailed(f"unknown customer {msg.customer!r}")
+        session = self.sessions.open(customer, client_host)
+        return m.SessionOpened(session.session_id)
+
+    def _register_port(self, msg: m.RegisterPort):
+        session = self.sessions.get(msg.session_id)
+        ctype = self.types.get(msg.type_name)
+        if ctype.is_composite:
+            raise TypeMismatchError(
+                f"type {msg.type_name!r} is composite; register components first"
+            )
+        session.register_port(
+            DisplayPort(msg.port_name, msg.type_name, address=tuple(msg.address))
+        )
+        return m.PortRegistered(msg.port_name)
+
+    def _register_composite(self, msg: m.RegisterCompositePort):
+        session = self.sessions.get(msg.session_id)
+        ctype = self.types.get(msg.type_name)
+        if not ctype.is_composite:
+            raise TypeMismatchError(f"type {msg.type_name!r} is not composite")
+        component_types = sorted(c.name for c in self.types.atomic_components(msg.type_name))
+        port_types = sorted(
+            session.port(p).type_name for p in msg.component_ports
+        )
+        if component_types != port_types:
+            raise TypeMismatchError(
+                f"composite {msg.type_name!r} needs ports of types "
+                f"{component_types}, got {port_types}"
+            )
+        session.register_port(
+            DisplayPort(
+                msg.port_name, msg.type_name,
+                component_ports=tuple(msg.component_ports),
+            )
+        )
+        return m.PortRegistered(msg.port_name)
+
+    # -- play ----------------------------------------------------------------------------
+
+    def _members_for_play(
+        self, session: Session, entry: ContentEntry, port: DisplayPort
+    ) -> List[Tuple[ContentEntry, DisplayPort]]:
+        """Pair component contents with component ports, by type (§2.2)."""
+        if not entry.components:
+            return [(entry, port)]
+        if not port.is_composite:
+            raise TypeMismatchError(
+                f"content {entry.name!r} is composite; port {port.name!r} is not"
+            )
+        pairs = []
+        available = [session.port(p) for p in port.component_ports]
+        for comp_name in entry.components:
+            comp_entry = self.db.content(comp_name)
+            match = next(
+                (p for p in available if p.type_name == comp_entry.type_name), None
+            )
+            if match is None:
+                raise TypeMismatchError(
+                    f"no component port of type {comp_entry.type_name!r}"
+                )
+            available.remove(match)
+            pairs.append((comp_entry, match))
+        return pairs
+
+    def _play(self, msg: m.PlayRequest, channel: ControlChannel) -> Generator:
+        session = self.sessions.get(msg.session_id)
+        entry = self.db.content(msg.content_name)
+        port = session.port(msg.port_name)
+        if port.type_name != entry.type_name:
+            raise TypeMismatchError(
+                f"content is {entry.type_name!r} but port is {port.type_name!r}"
+            )
+        members = self._members_for_play(session, entry, port)
+        # Try to admit every member; roll back on partial success.  Members
+        # of one group pin to one MSU so VCR commands stay in sync (§2.2).
+        allocations: List[Tuple[ContentEntry, DisplayPort, Allocation]] = []
+        msu_pin: Optional[str] = None
+        for comp_entry, comp_port in members:
+            ctype = self.types.get(comp_entry.type_name)
+            alloc = self.admission.place_read(comp_entry, ctype, msu_pin=msu_pin)
+            if alloc is None:
+                for _, _, granted in allocations:
+                    self.admission.release(granted)
+                self.admission.queue.append(
+                    _QueuedRequest("play", msg.session_id, msg, channel)
+                )
+                self.admission.queued += 1
+                self._trace("queued", msg.content_name, "no resources")
+                return None  # queued: the client hears nothing until placed
+            msu_pin = alloc.msu_name
+            allocations.append((comp_entry, comp_port, alloc))
+        entry.play_count += 1
+        group = GroupRecord(self._next_group, msg.session_id, allocations[0][2].msu_name)
+        self._next_group += 1
+        msu_channel = self._msu_channels[group.msu_name]
+        size = len(allocations)
+        for comp_entry, comp_port, alloc in allocations:
+            stream_id = self._next_stream
+            self._next_stream += 1
+            group.allocations[stream_id] = alloc
+            ctype = self.types.get(comp_entry.type_name)
+            yield from self.machine.cpu.execute(self.SCHEDULE_CPU)
+            msu_channel.send(
+                self.name,
+                m.ScheduleRead(
+                    group.group_id, stream_id, comp_entry.name, alloc.disk_id,
+                    ctype.protocol, ctype.bandwidth_rate, ctype.variable,
+                    tuple(comp_port.address), session.client_host, group_size=size,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+        self.groups[group.group_id] = group
+        session.active_groups.append(group.group_id)
+        self._trace("scheduled", msg.content_name,
+                    f"group={group.group_id} msu={group.msu_name}")
+        return m.StreamScheduled(group.group_id, group.msu_name)
+
+    # -- record --------------------------------------------------------------------------
+
+    def _record(self, msg: m.RecordRequest, channel: ControlChannel) -> Generator:
+        session = self.sessions.get(msg.session_id)
+        ctype = self.types.get(msg.type_name)
+        port = session.port(msg.port_name)
+        if port.type_name != msg.type_name:
+            raise TypeMismatchError(
+                f"recording type {msg.type_name!r} but port is {port.type_name!r}"
+            )
+        if msg.content_name in self.db.contents:
+            raise TypeMismatchError(f"content {msg.content_name!r} already exists")
+        if ctype.is_composite:
+            comp_types = self.types.atomic_components(msg.type_name)
+            ports = session.atomic_ports_for(msg.port_name, self.types)
+            members = []
+            for comp in comp_types:
+                match = next((p for p in ports if p.type_name == comp.name), None)
+                if match is None:
+                    raise TypeMismatchError(f"no component port of type {comp.name!r}")
+                ports.remove(match)
+                members.append((f"{msg.content_name}.{comp.name}", comp, match))
+        else:
+            members = [(msg.content_name, ctype, port)]
+        # Place all members on one MSU (stream groups stay together, §2.2).
+        placed: List[Tuple[str, ContentType, DisplayPort, Allocation]] = []
+        msu_pin: Optional[str] = None
+        for content_name, comp_type, comp_port in members:
+            alloc = self.admission.place_record(
+                comp_type, msg.estimate_seconds, msu_name=msu_pin
+            )
+            if alloc is None:
+                for _, _, _, granted in placed:
+                    self.admission.release(granted)
+                self.admission.queue.append(
+                    _QueuedRequest("record", msg.session_id, msg, channel)
+                )
+                self.admission.queued += 1
+                return None
+            msu_pin = alloc.msu_name
+            placed.append((content_name, comp_type, comp_port, alloc))
+        group = GroupRecord(self._next_group, msg.session_id, msu_pin)
+        self._next_group += 1
+        msu_channel = self._msu_channels[group.msu_name]
+        size = len(placed)
+        component_names = []
+        for content_name, comp_type, comp_port, alloc in placed:
+            stream_id = self._next_stream
+            self._next_stream += 1
+            group.allocations[stream_id] = alloc
+            group.recordings[stream_id] = (content_name, comp_type.name)
+            component_names.append(content_name)
+            self.db.add_content(
+                ContentEntry(
+                    content_name, comp_type.name, group.msu_name, alloc.disk_id
+                )
+            )
+            yield from self.machine.cpu.execute(self.SCHEDULE_CPU)
+            msu_channel.send(
+                self.name,
+                m.ScheduleRecord(
+                    group.group_id, stream_id, content_name, alloc.disk_id,
+                    comp_type.protocol, comp_type.bandwidth_rate, comp_type.variable,
+                    tuple(comp_port.address) if comp_port.address else ("", 0),
+                    alloc.reserved_blocks, session.client_host, group_size=size,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+        if ctype.is_composite:
+            self.db.add_content(
+                ContentEntry(
+                    msg.content_name, msg.type_name, group.msu_name,
+                    components=tuple(component_names),
+                )
+            )
+        self.groups[group.group_id] = group
+        session.active_groups.append(group.group_id)
+        return m.StreamScheduled(group.group_id, group.msu_name)
+
+    # -- delete ---------------------------------------------------------------------------
+
+    def _delete(self, msg: m.DeleteContent):
+        session = self.sessions.get(msg.session_id)
+        if not session.customer.admin:
+            return m.RequestFailed("delete requires administrative permission")
+        entry = self.db.remove_content(msg.content_name)
+        for comp_name in entry.components:
+            comp = self.db.remove_content(comp_name)
+            self._delete_on_msu(comp)
+        if entry.msu_name:
+            self._delete_on_msu(entry)
+        return m.Deleted(msg.content_name)
+
+    def _delete_on_msu(self, entry: ContentEntry) -> None:
+        channel = self._msu_channels.get(entry.msu_name)
+        if channel is not None:
+            channel.send(
+                self.name, m.DeleteFile(entry.name, entry.disk_id), nbytes=m.WIRE_BYTES
+            )
+            disk = self.db.disk(entry.msu_name, entry.disk_id)
+            disk.free_blocks += entry.blocks
+
+    # -- queued-request retry --------------------------------------------------------------
+
+    def _retry_queue(self) -> None:
+        """Resources changed: re-attempt parked requests, FIFO."""
+        if not self.admission.queue:
+            return
+        pending = list(self.admission.queue)
+        self.admission.queue.clear()
+        for req in pending:
+            self.sim.process(self._retry_one(req), name="coord.retry")
+
+    def _retry_one(self, req: _QueuedRequest) -> Generator:
+        try:
+            if req.kind == "play":
+                reply = yield from self._play(req.message, req.channel)
+            else:
+                reply = yield from self._record(req.message, req.channel)
+        except Exception as err:
+            reply = m.RequestFailed(str(err))
+        if reply is not None:
+            request_id = getattr(req.message, "request_id", 0)
+            reply = dataclasses.replace(reply, request_id=request_id)
+            req.channel.send(self.name, reply, nbytes=m.WIRE_BYTES)
+
+    # -- administrative registration (content pre-loaded on MSUs) ---------------------------
+
+    def admin_add_content(
+        self,
+        name: str,
+        type_name: str,
+        msu_name: str,
+        disk_id: str,
+        blocks: int = 0,
+        duration_us: int = 0,
+        components: Tuple[str, ...] = (),
+    ) -> ContentEntry:
+        """Register pre-loaded content in the table of contents."""
+        entry = ContentEntry(
+            name, type_name, msu_name, disk_id, blocks, duration_us, components
+        )
+        self.db.add_content(entry)
+        return entry

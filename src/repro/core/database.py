@@ -1,0 +1,154 @@
+"""The Coordinator's administrative database (§2.2).
+
+"The database contains information about customers, content stored on
+Calliope, and resources owned by the system.  The Coordinator uses the
+database to tell what MSUs are available, how many disks each one has,
+and how much disk space remains unused."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnknownContentError
+
+__all__ = ["Customer", "ContentEntry", "DiskState", "MsuState", "AdminDatabase"]
+
+
+@dataclass
+class Customer:
+    """One authenticated user; ``admin`` gates destructive operations."""
+
+    name: str
+    admin: bool = False
+
+
+@dataclass
+class ContentEntry:
+    """One item in the table of contents."""
+
+    name: str
+    type_name: str
+    msu_name: str = ""
+    disk_id: str = ""
+    blocks: int = 0
+    duration_us: int = 0
+    #: Component content names for composite items (empty for atomic).
+    components: Tuple[str, ...] = ()
+    #: Additional (msu, disk) copies of this item (§2.3.3: "we can make
+    #: copies of popular content on several disks").
+    replicas: Tuple[Tuple[str, str], ...] = ()
+    #: Cumulative play requests (drives replication decisions).
+    play_count: int = 0
+
+    def locations(self) -> List[Tuple[str, str]]:
+        """Every (msu, disk) holding a copy, primary first."""
+        primary = [(self.msu_name, self.disk_id)] if self.msu_name else []
+        return primary + [loc for loc in self.replicas if loc not in primary]
+
+    def add_replica(self, msu_name: str, disk_id: str) -> None:
+        """Record a new copy's location."""
+        location = (msu_name, disk_id)
+        if location not in self.locations():
+            self.replicas = self.replicas + (location,)
+
+
+@dataclass
+class DiskState:
+    """Coordinator-side accounting for one MSU disk."""
+
+    msu_name: str
+    disk_id: str
+    free_blocks: int
+    #: Deliverable bytes/sec this disk can sustain under load; default from
+    #: Table 1's combined two-disk figure (2.4 MB/s) with headroom shaved.
+    bandwidth_capacity: float = 2.3e6
+    bandwidth_used: float = 0.0
+
+    def bandwidth_free(self) -> float:
+        return self.bandwidth_capacity - self.bandwidth_used
+
+
+@dataclass
+class MsuState:
+    """Coordinator-side accounting for one MSU."""
+
+    name: str
+    available: bool = True
+    disks: Dict[str, DiskState] = field(default_factory=dict)
+    #: Aggregate delivery-path capacity (FDDI/host path), bytes/sec; the
+    #: MSU measured 4.7 MB/s combined in Table 1, ~90 % usable (§3.2.1).
+    delivery_capacity: float = 4.2e6
+    delivery_used: float = 0.0
+    active_streams: int = 0
+
+    def delivery_free(self) -> float:
+        return self.delivery_capacity - self.delivery_used
+
+
+class AdminDatabase:
+    """Customers, contents and resources."""
+
+    def __init__(self):
+        self.customers: Dict[str, Customer] = {}
+        self.contents: Dict[str, ContentEntry] = {}
+        self.msus: Dict[str, MsuState] = {}
+
+    # -- customers -----------------------------------------------------------
+
+    def add_customer(self, name: str, admin: bool = False) -> Customer:
+        customer = Customer(name, admin)
+        self.customers[name] = customer
+        return customer
+
+    def authenticate(self, name: str) -> Optional[Customer]:
+        return self.customers.get(name)
+
+    # -- contents ------------------------------------------------------------
+
+    def add_content(self, entry: ContentEntry) -> None:
+        self.contents[entry.name] = entry
+
+    def content(self, name: str) -> ContentEntry:
+        try:
+            return self.contents[name]
+        except KeyError:
+            raise UnknownContentError(f"no content named {name!r}") from None
+
+    def remove_content(self, name: str) -> ContentEntry:
+        entry = self.content(name)
+        del self.contents[name]
+        return entry
+
+    def listing(self) -> List[Tuple[str, str]]:
+        """(name, type) pairs for the table of contents, name-sorted."""
+        return [(n, self.contents[n].type_name) for n in sorted(self.contents)]
+
+    # -- resources ------------------------------------------------------------
+
+    def register_msu(self, name: str, disks: List[Tuple[str, int]]) -> MsuState:
+        """Add or re-activate an MSU (MsuHello handling, §2.2)."""
+        state = self.msus.get(name)
+        if state is None:
+            state = MsuState(name)
+            self.msus[name] = state
+        state.available = True
+        for disk_id, free_blocks in disks:
+            disk = state.disks.get(disk_id)
+            if disk is None:
+                state.disks[disk_id] = DiskState(name, disk_id, free_blocks)
+            else:
+                disk.free_blocks = free_blocks
+        return state
+
+    def mark_msu_down(self, name: str) -> None:
+        """Take a failed MSU out of the scheduling database (§2.2)."""
+        if name in self.msus:
+            self.msus[name].available = False
+
+    def available_msus(self) -> List[MsuState]:
+        return [s for s in self.msus.values() if s.available]
+
+    def disk(self, msu_name: str, disk_id: str) -> DiskState:
+        return self.msus[msu_name].disks[disk_id]

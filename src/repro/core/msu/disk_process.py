@@ -1,0 +1,108 @@
+"""The MSU disk process: round-robin duty-cycle scheduling (§2.2.1, §2.3.3).
+
+One disk process per disk.  Each pass over the active streams is one duty
+cycle: every playback stream missing a buffer gets one 256 KiB read slot,
+and every recording stream with a completed page gets one write slot.  The
+paper's MSU "services the customers for each disk in a round-robin
+fashion, resulting in random seeks between disk transfers" — there is no
+head scheduling here (that is the elevator experiment's job, at the
+hardware layer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.core.msu.queues import Signal
+from repro.core.msu.streams import PlayStream, RecordStream
+from repro.sim import Simulator
+from repro.storage.filesystem import MsuFileSystem
+from repro.storage.ibtree import IBTreeReader
+
+__all__ = ["DiskProcess"]
+
+
+class DiskProcess:
+    """Duty-cycle scheduler for one disk's streams."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: MsuFileSystem,
+        disk_id: str,
+        on_page_loaded: Optional[Callable] = None,
+        on_record_drained: Optional[Callable] = None,
+    ):
+        self.sim = sim
+        self.fs = fs
+        self.disk_id = disk_id
+        self.play_streams: List[PlayStream] = []
+        self.record_streams: List[RecordStream] = []
+        self.wakeup = Signal(sim, name=f"disk:{disk_id}")
+        #: Called with (stream,) when a page lands in a stream buffer.
+        self.on_page_loaded = on_page_loaded
+        #: Called with (stream,) when a finishing recording is fully on disk.
+        self.on_record_drained = on_record_drained
+        self.pages_read = 0
+        self.pages_written = 0
+        self.cycles = 0
+        self._proc = sim.process(self.run(), name=f"diskproc:{disk_id}")
+
+    # -- stream management (called by the control process) --------------------
+
+    def add_play(self, stream: PlayStream) -> None:
+        """Admit a playback stream to this disk's duty cycle."""
+        self.play_streams.append(stream)
+        self.wakeup.set()
+
+    def add_record(self, stream: RecordStream) -> None:
+        """Admit a recording stream to this disk's duty cycle."""
+        self.record_streams.append(stream)
+        self.wakeup.set()
+
+    def remove(self, stream) -> None:
+        """Drop a stream (slot freed for others)."""
+        if stream in self.play_streams:
+            self.play_streams.remove(stream)
+        if stream in self.record_streams:
+            self.record_streams.remove(stream)
+
+    # -- the duty cycle itself ---------------------------------------------------
+
+    def run(self) -> Generator:
+        """One read or write slot per active stream per cycle, forever."""
+        while True:
+            did_work = False
+            for stream in list(self.play_streams):
+                if not stream.wants_page():
+                    continue
+                epoch = stream.epoch
+                page_index = stream.next_page
+                stream.next_page += 1
+                buf = yield from self.fs.read_file_block(stream.handle, page_index)
+                records = IBTreeReader.parse_page(buf)
+                stream.attach_page(epoch, page_index, records)
+                self.pages_read += 1
+                did_work = True
+                if self.on_page_loaded is not None:
+                    self.on_page_loaded(stream)
+            for stream in list(self.record_streams):
+                if not stream.pending_pages:
+                    if stream.drained and not stream.finished:
+                        stream.finished = True
+                        self.remove(stream)
+                        if self.on_record_drained is not None:
+                            self.on_record_drained(stream)
+                    continue
+                page = stream.pending_pages.popleft()
+                yield from stream.handle.append_block(page)
+                self.pages_written += 1
+                did_work = True
+                if stream.drained and not stream.finished:
+                    stream.finished = True
+                    self.remove(stream)
+                    if self.on_record_drained is not None:
+                        self.on_record_drained(stream)
+            self.cycles += 1
+            if not did_work:
+                yield self.wakeup.wait()

@@ -1,0 +1,494 @@
+"""The Multimedia Storage Unit: hardware, file systems, processes (§2.3).
+
+An MSU is one PC with disks, an interface to the intra-server network and
+an interface to the high-speed delivery network.  It runs a disk process
+per disk, a network process (IOP) for the delivery interface, and a
+central control process handling RPCs from the Coordinator and VCR
+commands from clients.
+
+The MSU also exposes the *administrative interface* of §2.3.1 (the
+``admin_*`` methods): pre-loading content and installing the offline
+fast-forward / fast-backward companion files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Set
+
+from repro.core.msu.disk_process import DiskProcess
+from repro.core.msu.network_process import NetworkProcess
+from repro.core.msu.streams import PlayStream, RateVariant, RecordStream, StreamState
+from repro.core.msu.vcr import seek_stream, switch_variant
+from repro.errors import StorageError
+from repro.hardware.machine import Machine
+from repro.hardware.params import FDDI, MachineParams
+from repro.net import messages as m
+from repro.net.network import ControlChannel, Host, Network
+from repro.net.protocols import ProtocolRegistry, default_registry
+from repro.sim import Simulator
+from repro.storage.filesystem import FileHandle, MsuFileSystem
+from repro.storage.ibtree import IBTreeConfig, IBTreeWriter, PacketRecord
+from repro.storage.layout import SpanVolume, StripedVolume
+from repro.storage.raw_disk import RawDisk
+
+__all__ = ["Msu", "GroupState"]
+
+
+@dataclass
+class GroupState:
+    """One stream group: members sharing VCR control (§2.2)."""
+
+    group_id: int
+    client_host: str
+    expected: int
+    channel: Optional[ControlChannel] = None
+    play_streams: List[PlayStream] = field(default_factory=list)
+    record_streams: List[RecordStream] = field(default_factory=list)
+    finished: Set[int] = field(default_factory=set)
+    quitting: bool = False
+
+    @property
+    def members(self) -> int:
+        return len(self.play_streams) + len(self.record_streams)
+
+    @property
+    def all_done(self) -> bool:
+        return self.members > 0 and len(self.finished) >= self.members
+
+
+class Msu:
+    """One Multimedia Storage Unit."""
+
+    DATA_PORT = 4000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        delivery_net: Network,
+        machine_params: Optional[MachineParams] = None,
+        seed: int = 0,
+        protocols: Optional[ProtocolRegistry] = None,
+        ibtree_config: IBTreeConfig = IBTreeConfig(),
+        client_channel_factory: Optional[Callable] = None,
+        striped: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        params = machine_params or MachineParams(name=name)
+        if params.name != name:
+            params = MachineParams(
+                name=name, disk=params.disk, scsi=params.scsi, memory=params.memory,
+                cpu=params.cpu, timer=params.timer,
+                disks_per_hba=params.disks_per_hba, ram_bytes=params.ram_bytes,
+            )
+        self.machine = Machine(sim, params, seed=seed)
+        self.nic = self.machine.add_nic(FDDI)
+        self.host = Host(sim, delivery_net, name, machine=self.machine, nic=self.nic)
+        self.protocols = protocols or default_registry()
+        self.ibtree_config = ibtree_config
+        #: cluster-supplied: (client_host, group_id) -> ControlChannel.
+        self.client_channel_factory = client_channel_factory
+        # Per-disk file systems (the paper's MSU does not stripe, §2.3.3);
+        # ``striped=True`` builds the §2.3.3 alternative: one file system
+        # whose consecutive blocks land on "adjacent" disks, served by a
+        # single duty cycle covering all disks.
+        self.striped = striped
+        self.filesystems: Dict[str, MsuFileSystem] = {}
+        self.disk_processes: Dict[str, DiskProcess] = {}
+        if striped:
+            raws = [RawDisk(drive) for drive in self.machine.disks]
+            fs = MsuFileSystem(
+                StripedVolume(raws, ibtree_config.data_page_size)
+            )
+            disk_id = f"{name}.striped"
+            self.filesystems[disk_id] = fs
+            self.disk_processes[disk_id] = DiskProcess(
+                sim, fs, disk_id,
+                on_page_loaded=self._on_page_loaded,
+                on_record_drained=self._on_record_drained,
+            )
+        else:
+            for drive in self.machine.disks:
+                raw = RawDisk(drive)
+                fs = MsuFileSystem(SpanVolume(raw, ibtree_config.data_page_size))
+                self.filesystems[drive.name] = fs
+                self.disk_processes[drive.name] = DiskProcess(
+                    sim, fs, drive.name,
+                    on_page_loaded=self._on_page_loaded,
+                    on_record_drained=self._on_record_drained,
+                )
+        self.data_socket = self.host.bind(self.DATA_PORT)
+        self.iop = NetworkProcess(
+            sim, self.data_socket, self.machine.timer,
+            on_stream_done=self._on_play_done,
+        )
+        self.iop.disk_kick = self._kick_disk_for
+        self.groups: Dict[int, GroupState] = {}
+        self._stream_disk: Dict[int, DiskProcess] = {}
+        self._stream_group: Dict[int, GroupState] = {}
+        self.coordinator_channel: Optional[ControlChannel] = None
+        self.up = True
+        self.streams_served = 0
+        #: Optional structured event log (repro.metrics.tracing.Tracer).
+        self.tracer = None
+
+    def _trace(self, category: str, subject, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.name, category, subject, detail)
+
+    # -- wiring callbacks -------------------------------------------------------
+
+    def _on_page_loaded(self, stream: PlayStream) -> None:
+        self.iop.wakeup.set()
+
+    def _kick_disk_for(self, stream) -> None:
+        proc = self._stream_disk.get(stream.stream_id)
+        if proc is not None:
+            proc.wakeup.set()
+
+    # -- coordinator control channel ----------------------------------------------
+
+    def attach_coordinator(self, channel: ControlChannel) -> None:
+        """Connect to the Coordinator and announce disks (§2.2 MsuHello)."""
+        self.coordinator_channel = channel
+        disks = tuple(
+            (disk_id, fs.allocator.free_blocks)
+            for disk_id, fs in sorted(self.filesystems.items())
+        )
+        channel.send(self.name, m.MsuHello(self.name, disks), nbytes=m.WIRE_BYTES)
+        self.sim.process(self._control_loop(), name=f"{self.name}.ctl")
+
+    def _control_loop(self) -> Generator:
+        channel = self.coordinator_channel
+        while True:
+            msg = yield channel.recv(self.name)
+            if msg is None:
+                self.up = False
+                return  # Coordinator failure is not recovered from (§2.2)
+            if isinstance(msg, m.ScheduleRead):
+                self._schedule_read(msg)
+            elif isinstance(msg, m.ScheduleRecord):
+                self._schedule_record(msg)
+            elif isinstance(msg, m.DeleteFile):
+                fs = self.filesystems.get(msg.disk_id)
+                if fs is not None and fs.exists(msg.content_name):
+                    fs.delete(msg.content_name)
+
+    # -- scheduling (RPCs from the Coordinator) --------------------------------------
+
+    def _group_for(self, group_id: int, client_host: str, expected: int) -> GroupState:
+        group = self.groups.get(group_id)
+        if group is None:
+            group = GroupState(group_id, client_host, expected)
+            self.groups[group_id] = group
+            if self.client_channel_factory is not None:
+                group.channel = self.client_channel_factory(client_host, group_id)
+                self.sim.process(
+                    self._vcr_loop(group), name=f"{self.name}.vcr{group_id}"
+                )
+        return group
+
+    def _schedule_read(self, msg: m.ScheduleRead) -> None:
+        fs = self.filesystems[msg.disk_id]
+        handle = fs.open(msg.content_name)
+        stream = PlayStream(
+            msg.stream_id, msg.group_id, handle,
+            self.protocols.get(msg.protocol), msg.rate, msg.display_address,
+            self.ibtree_config,
+        )
+        group = self._group_for(msg.group_id, msg.client_host, msg.group_size)
+        group.play_streams.append(stream)
+        self._stream_disk[msg.stream_id] = self.disk_processes[msg.disk_id]
+        self._stream_group[msg.stream_id] = group
+        self.disk_processes[msg.disk_id].add_play(stream)
+        self.iop.add_play(stream)
+        self.streams_served += 1
+        self._trace("play", msg.content_name,
+                    f"group={msg.group_id} stream={msg.stream_id} disk={msg.disk_id}")
+        if group.channel is not None:
+            group.channel.send(
+                self.name,
+                m.StreamReady(
+                    msg.group_id, self.name, msg.stream_id, msg.content_name,
+                    group_size=group.expected,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+
+    def _schedule_record(self, msg: m.ScheduleRecord) -> None:
+        fs = self.filesystems[msg.disk_id]
+        handle = fs.create(msg.content_name, "", reserve_blocks=msg.reserve_blocks)
+        stream = RecordStream(
+            msg.stream_id, msg.group_id, handle,
+            self.protocols.get(msg.protocol), self.ibtree_config,
+        )
+        socket = self.host.bind()  # a fresh port for this recording
+        group = self._group_for(msg.group_id, msg.client_host, msg.group_size)
+        group.record_streams.append(stream)
+        self._stream_disk[msg.stream_id] = self.disk_processes[msg.disk_id]
+        self._stream_group[msg.stream_id] = group
+        self.disk_processes[msg.disk_id].add_record(stream)
+        self.iop.add_record(stream, socket)
+        self.streams_served += 1
+        self._trace("record", msg.content_name,
+                    f"group={msg.group_id} stream={msg.stream_id} disk={msg.disk_id}")
+        if group.channel is not None:
+            group.channel.send(
+                self.name,
+                m.StreamReady(
+                    msg.group_id, self.name, msg.stream_id, msg.content_name,
+                    group_size=group.expected, record_address=socket.address,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+
+    # -- VCR handling --------------------------------------------------------------
+
+    def _vcr_loop(self, group: GroupState) -> Generator:
+        while True:
+            msg = yield group.channel.recv(self.name)
+            if msg is None:
+                return
+            if not isinstance(msg, m.VcrCommand):
+                continue
+            if msg.command == m.VCR_QUIT:
+                self._quit_group(group)
+                return
+            self.sim.process(self._apply_vcr(group, msg), name="vcr")
+
+    def _apply_vcr(self, group: GroupState, msg: m.VcrCommand) -> Generator:
+        now = self.sim.now
+        self._trace("vcr", f"group={group.group_id}", msg.command)
+        if msg.command == m.VCR_PAUSE:
+            for stream in group.play_streams:
+                stream.pause(now)
+        elif msg.command == m.VCR_PLAY:
+            for stream in group.play_streams:
+                stream.resume(now)
+        elif msg.command == m.VCR_SEEK:
+            target_us = int(msg.position_seconds * 1e6)
+            for stream in group.play_streams:
+                yield from seek_stream(stream, target_us)
+                self._kick_disk_for(stream)
+        elif msg.command in (m.VCR_FAST_FORWARD, m.VCR_FAST_BACKWARD, m.VCR_NORMAL):
+            variant = {
+                m.VCR_FAST_FORWARD: RateVariant.FAST_FORWARD,
+                m.VCR_FAST_BACKWARD: RateVariant.FAST_BACKWARD,
+                m.VCR_NORMAL: RateVariant.NORMAL,
+            }[msg.command]
+            for stream in group.play_streams:
+                fs = self._fs_of_stream(stream)
+                yield from switch_variant(stream, fs, variant)
+                self._kick_disk_for(stream)
+        self.iop.wakeup.set()
+
+    def _fs_of_stream(self, stream) -> MsuFileSystem:
+        proc = self._stream_disk[stream.stream_id]
+        return proc.fs
+
+    def _quit_group(self, group: GroupState) -> None:
+        self._trace("vcr", f"group={group.group_id}", "quit")
+        group.quitting = True
+        for stream in list(group.play_streams):
+            stream.state = StreamState.DONE
+            self.iop.remove(stream)
+            proc = self._stream_disk.pop(stream.stream_id, None)
+            if proc is not None:
+                proc.remove(stream)
+            self._notify_terminated(group, stream.stream_id, "quit")
+            group.finished.add(stream.stream_id)
+        for stream in list(group.record_streams):
+            stream.begin_finish()
+            self._kick_record(stream)
+        self._maybe_close_group(group)
+
+    def _kick_record(self, stream: RecordStream) -> None:
+        proc = self._stream_disk.get(stream.stream_id)
+        if proc is not None:
+            proc.wakeup.set()
+
+    # -- completion paths -------------------------------------------------------------
+
+    def _notify_terminated(
+        self, group: GroupState, stream_id: int, reason: str, blocks: int = 0
+    ) -> None:
+        if self.coordinator_channel is not None:
+            self.coordinator_channel.send(
+                self.name,
+                m.StreamTerminated(group.group_id, stream_id, reason, blocks),
+                nbytes=m.WIRE_BYTES,
+            )
+
+    def _on_play_done(self, stream: PlayStream) -> None:
+        """IOP reached end of file for a playback stream."""
+        group = self._stream_group.get(stream.stream_id)
+        proc = self._stream_disk.pop(stream.stream_id, None)
+        if proc is not None:
+            proc.remove(stream)
+        if group is None:
+            return
+        if group.channel is not None:
+            group.channel.send(
+                self.name, m.EndOfStream(group.group_id, stream.stream_id),
+                nbytes=m.WIRE_BYTES,
+            )
+        self._notify_terminated(group, stream.stream_id, "end-of-stream")
+        self._trace("end-of-stream", f"stream={stream.stream_id}",
+                    f"group={group.group_id} packets={stream.packets_sent}")
+        group.finished.add(stream.stream_id)
+        self._maybe_close_group(group)
+
+    def _on_record_drained(self, stream: RecordStream) -> None:
+        """Disk process flushed a finishing recording's last page."""
+        group = self._stream_group.get(stream.stream_id)
+        handle = stream.handle
+        handle.duration_us = stream.last_delivery_us
+        fs = handle.fs
+        returned = fs.finish_recording(handle)
+        self.iop.remove(stream)
+        self._stream_disk.pop(stream.stream_id, None)
+        self.sim.process(fs.sync_metadata(), name=f"{self.name}.sync")
+        if group is None:
+            return
+        if group.channel is not None:
+            group.channel.send(
+                self.name, m.EndOfStream(group.group_id, stream.stream_id),
+                nbytes=m.WIRE_BYTES,
+            )
+        self._notify_terminated(
+            group, stream.stream_id, "record-complete", blocks=len(handle.blocks)
+        )
+        self._trace("record-complete", handle.name,
+                    f"blocks={len(handle.blocks)} returned={returned}")
+        group.finished.add(stream.stream_id)
+        self._maybe_close_group(group)
+
+    def _maybe_close_group(self, group: GroupState) -> None:
+        if group.all_done and group.group_id in self.groups:
+            del self.groups[group.group_id]
+            for stream in group.play_streams + group.record_streams:
+                self._stream_group.pop(stream.stream_id, None)
+            if group.channel is not None and group.channel.open:
+                group.channel.close()
+
+    # -- crash injection ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the MSU: all processes stop, every connection breaks.
+
+        The Coordinator sees the control-channel break and marks the MSU
+        down (§2.2); clients see their VCR connections close mid-stream.
+        Disk contents survive — :meth:`repro.core.cluster.CalliopeCluster.
+        rejoin_msu` brings the machine back with its files intact.
+        """
+        self._trace("crash", self.name)
+        self.up = False
+        if self.coordinator_channel is not None and self.coordinator_channel.open:
+            self.coordinator_channel.close()
+        for group in list(self.groups.values()):
+            if group.channel is not None and group.channel.open:
+                group.channel.close()
+        for disk_proc in self.disk_processes.values():
+            if disk_proc._proc.is_alive:
+                disk_proc._proc.interrupt("crash")
+        if self.iop._proc.is_alive:
+            self.iop._proc.interrupt("crash")
+        self.groups.clear()
+        self._stream_disk.clear()
+        self._stream_group.clear()
+        self.iop.play_streams.clear()
+        self.iop.record_streams.clear()
+
+    def reboot(self) -> None:
+        """Restart the device processes after a crash (file systems kept)."""
+        if self.up:
+            return
+        self.up = True
+        for disk_proc in self.disk_processes.values():
+            if not disk_proc._proc.is_alive:
+                disk_proc._proc = self.sim.process(
+                    disk_proc.run(), name=f"diskproc:{disk_proc.disk_id}"
+                )
+        if not self.iop._proc.is_alive:
+            self.iop._proc = self.sim.process(self.iop.run(), name="iop")
+
+    # -- administrative interface (§2.3.1) ------------------------------------------------
+
+    def admin_load(
+        self,
+        disk_id: str,
+        name: str,
+        content_type: str,
+        packets,
+        duration_us: Optional[int] = None,
+    ) -> FileHandle:
+        """Pre-load content outside the measured interval (no sim time).
+
+        ``packets`` is an iterable of
+        :class:`~repro.media.content.SourcePacket`-compatible tuples.
+        """
+        fs = self.filesystems[disk_id]
+        handle = fs.create(name, content_type)
+        writer = IBTreeWriter(self.ibtree_config)
+        last_us = 0
+        for packet in packets:
+            delivery_us, payload = packet[0], packet[1]
+            kind = packet[2] if len(packet) > 2 else 0
+            page = writer.feed(PacketRecord(delivery_us, payload, kind))
+            last_us = delivery_us
+            if page is not None:
+                fs.append_block_sync(handle, page)
+        pages, root = writer.finish()
+        for page in pages:
+            fs.append_block_sync(handle, page)
+        handle.root = root
+        handle.duration_us = duration_us if duration_us is not None else last_us
+        return handle
+
+    def admin_link_fast_scan(
+        self, disk_id: str, name: str, ff_name: str = "", fb_name: str = ""
+    ) -> None:
+        """Associate fast-forward / fast-backward companions with content."""
+        fs = self.filesystems[disk_id]
+        handle = fs.open(name)
+        if ff_name:
+            if not fs.exists(ff_name):
+                raise StorageError(f"fast-forward file {ff_name!r} not loaded")
+            handle.fast_forward = ff_name
+        if fb_name:
+            if not fs.exists(fb_name):
+                raise StorageError(f"fast-backward file {fb_name!r} not loaded")
+            handle.fast_backward = fb_name
+
+    def admin_sync_all(self) -> Generator:
+        """Simulation process: flush every file system's metadata (§2.3.3).
+
+        The metadata is small enough to cache entirely in memory; this
+        writes it to each volume's reserved region so a power cycle can
+        :meth:`admin_remount` it.
+        """
+        for disk_id in sorted(self.filesystems):
+            yield from self.filesystems[disk_id].sync_metadata()
+
+    def admin_remount(self) -> Generator:
+        """Simulation process: re-read all metadata from disk (power cycle).
+
+        Rebuilds each file system from its volume's serialized metadata —
+        the in-memory state is discarded, exactly as a reboot would.  The
+        disk processes are re-pointed at the fresh file systems.
+        """
+        for disk_id in sorted(self.filesystems):
+            volume = self.filesystems[disk_id].volume
+            mounted = yield from MsuFileSystem.mount(volume)
+            self.filesystems[disk_id] = mounted
+            self.disk_processes[disk_id].fs = mounted
+
+    def disk_ids(self) -> List[str]:
+        """The MSU's disk identifiers, sorted."""
+        return sorted(self.filesystems)
+
+    def free_blocks(self, disk_id: str) -> int:
+        """Unreserved free blocks on one disk."""
+        return self.filesystems[disk_id].allocator.free_blocks

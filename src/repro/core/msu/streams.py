@@ -1,0 +1,235 @@
+"""Per-stream MSU state: double buffers, schedules, positions (§2.2.1, §2.3).
+
+A playback stream owns two page buffers: the network process sends from
+the *front* buffer while the disk process loads the *back* one; when the
+front drains the two swap.  A recording stream owns an IB-tree writer and
+a queue of completed pages awaiting their disk slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from repro.net.protocols import ProtocolModule
+from repro.storage.filesystem import FileHandle
+from repro.storage.ibtree import IBTreeConfig, IBTreeReader, IBTreeWriter, PacketRecord
+
+__all__ = ["StreamState", "LoadedPage", "PlayStream", "RecordStream", "RateVariant"]
+
+
+class StreamState(enum.Enum):
+    """Playback life cycle."""
+
+    LOADING = "loading"  # waiting for the first buffer / post-seek refill
+    PLAYING = "playing"
+    PAUSED = "paused"
+    DONE = "done"
+
+
+class RateVariant(enum.Enum):
+    """Which file of the rate family is playing (§2.3.1)."""
+
+    NORMAL = "normal"
+    FAST_FORWARD = "fast-forward"
+    FAST_BACKWARD = "fast-backward"
+
+
+@dataclass
+class LoadedPage:
+    """One parsed data page sitting in an MSU memory buffer."""
+
+    page_index: int
+    records: List[PacketRecord]
+    next_record: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next_record >= len(self.records)
+
+    def peek(self) -> Optional[PacketRecord]:
+        """The next unsent record, if any."""
+        if self.exhausted:
+            return None
+        return self.records[self.next_record]
+
+    def advance(self) -> None:
+        self.next_record += 1
+
+
+class PlayStream:
+    """One playback stream: a file, two buffers and a schedule anchor."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        group_id: int,
+        handle: FileHandle,
+        protocol: ProtocolModule,
+        rate: float,
+        display_address: Tuple[str, int],
+        config: IBTreeConfig = IBTreeConfig(),
+    ):
+        self.stream_id = stream_id
+        self.group_id = group_id
+        self.handle = handle
+        self.protocol = protocol
+        self.rate = rate
+        self.display_address = display_address
+        self.config = config
+        self.state = StreamState.LOADING
+        self.variant = RateVariant.NORMAL
+        #: The normal-rate file; ``handle`` may point at a fast-scan
+        #: companion after a rate switch (§2.3.1).
+        self.normal_handle = handle
+        #: (page_index, record_index) to start from after a seek.
+        self.skip_on_page: Optional[Tuple[int, int]] = None
+        #: True while a seek is walking the IB-tree: blocks refills so the
+        #: disk process cannot reload the old position meanwhile.
+        self.seeking = False
+        #: sim time corresponding to delivery offset 0 of the current file.
+        self.anchor: Optional[float] = None
+        self.pause_started: Optional[float] = None
+        self.next_page = 0  # next page index the disk process should load
+        self.buffers: Deque[LoadedPage] = deque()  # front = buffers[0]
+        self.refill_wanted = True
+        self.position_us = 0  # delivery offset of the last record sent
+        self.packets_sent = 0
+        self.epoch = 0  # bumped by seeks/switches to drop in-flight reads
+
+    # -- buffer protocol (network side) -----------------------------------
+
+    @property
+    def double_buffered(self) -> bool:
+        """True while both buffers are resident."""
+        return len(self.buffers) >= 2
+
+    def front(self) -> Optional[LoadedPage]:
+        """The page currently being transmitted."""
+        while self.buffers and self.buffers[0].exhausted:
+            self.buffers.popleft()
+            self.refill_wanted = True
+        return self.buffers[0] if self.buffers else None
+
+    def peek_record(self) -> Optional[PacketRecord]:
+        """Next record to send, if a buffer is resident."""
+        page = self.front()
+        return page.peek() if page is not None else None
+
+    def deadline(self, record: PacketRecord) -> float:
+        """Absolute send deadline for ``record``."""
+        if self.anchor is None:
+            raise RuntimeError("stream has no anchor yet")
+        return self.anchor + record.delivery_us / 1e6
+
+    @property
+    def at_end(self) -> bool:
+        """All pages read and all records sent."""
+        return self.next_page >= self.handle.nblocks and self.front() is None
+
+    # -- buffer protocol (disk side) ----------------------------------------
+
+    def wants_page(self) -> bool:
+        """Whether the disk process should load another page."""
+        return (
+            self.state is not StreamState.DONE
+            and not self.seeking
+            and len(self.buffers) < 2
+            and self.next_page < self.handle.nblocks
+        )
+
+    def attach_page(self, epoch: int, page_index: int, records: List[PacketRecord]) -> None:
+        """Disk process delivers a parsed page (dropped if from a stale epoch)."""
+        if epoch != self.epoch:
+            return
+        page = LoadedPage(page_index, records)
+        if self.skip_on_page is not None and self.skip_on_page[0] == page_index:
+            page.next_record = self.skip_on_page[1]
+            self.skip_on_page = None
+        self.buffers.append(page)
+
+    # -- schedule control -----------------------------------------------------
+
+    def start(self, now: float, first_delivery_us: int) -> None:
+        """Anchor the schedule so the first record is due now."""
+        self.anchor = now - first_delivery_us / 1e6
+        self.state = StreamState.PLAYING
+
+    def pause(self, now: float) -> None:
+        self.state = StreamState.PAUSED
+        self.pause_started = now
+
+    def resume(self, now: float) -> None:
+        if self.state is StreamState.PAUSED and self.pause_started is not None:
+            self.anchor += now - self.pause_started
+            self.pause_started = None
+        self.state = StreamState.PLAYING
+
+    def flush_buffers(self) -> None:
+        """Drop loaded pages (seek / rate switch) and invalidate reads."""
+        self.buffers.clear()
+        self.epoch += 1
+        self.refill_wanted = True
+
+    def reader(self) -> IBTreeReader:
+        """An IB-tree reader over the current file."""
+        return IBTreeReader(self.handle, self.config)
+
+
+class RecordStream:
+    """One recording stream: a protocol context, a writer, pending pages."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        group_id: int,
+        handle: FileHandle,
+        protocol: ProtocolModule,
+        config: IBTreeConfig = IBTreeConfig(),
+    ):
+        self.stream_id = stream_id
+        self.group_id = group_id
+        self.handle = handle
+        self.protocol = protocol
+        self.config = config
+        self.writer = IBTreeWriter(config)
+        self.context: Dict = protocol.new_context()
+        self.started: Optional[float] = None
+        self.pending_pages: Deque[bytes] = deque()
+        self.finishing = False
+        self.finished = False
+        self.packets_received = 0
+        self.last_delivery_us = 0
+
+    def accept(self, payload: bytes, now: float) -> None:
+        """Record one arriving packet (assigns its delivery time)."""
+        if self.started is None:
+            self.started = now
+        arrival_us = int((now - self.started) * 1e6)
+        kind = self.protocol.classify(payload, self.context)
+        delivery_us = self.protocol.delivery_time_us(payload, arrival_us, self.context)
+        # Guard against clock skew between header timestamps and arrivals:
+        # delivery offsets are non-decreasing in the IB-tree.
+        delivery_us = max(delivery_us, self.last_delivery_us)
+        self.last_delivery_us = delivery_us
+        page = self.writer.feed(PacketRecord(delivery_us, payload, kind))
+        self.packets_received += 1
+        if page is not None:
+            self.pending_pages.append(page)
+
+    def begin_finish(self) -> None:
+        """Client quit: emit trailer pages and mark for completion."""
+        if self.finishing:
+            return
+        self.finishing = True
+        pages, root = self.writer.finish()
+        self.pending_pages.extend(pages)
+        self.handle.root = root
+
+    @property
+    def drained(self) -> bool:
+        """True once every page has been handed to the disk process."""
+        return self.finishing and not self.pending_pages

@@ -1,0 +1,95 @@
+"""VCR command engine: pause, play, seek, fast scans (§2.1, §2.3.1).
+
+Seeks traverse the IB-tree's internal pages (simulated disk reads) and the
+stream then waits for its next duty-cycle slot while the disk process
+refills its buffers — the paper's "few seconds of delay".
+
+Fast forward/backward switch the stream to an offline-filtered companion
+file (§2.3.1): the MSU "seeks to the frame in the fast forward file
+corresponding to the current frame of the normal rate file".  The
+correspondence is by content fraction — a fast-backward file stores the
+content in reverse, so its position axis is flipped.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.msu.streams import PlayStream, RateVariant, StreamState
+from repro.errors import VCRError
+from repro.storage.filesystem import MsuFileSystem
+
+__all__ = ["content_fraction", "entry_position_us", "seek_stream", "switch_variant"]
+
+
+def content_fraction(stream: PlayStream) -> float:
+    """Fraction of the underlying *content* the stream has reached."""
+    duration = max(1, stream.handle.duration_us)
+    frac = min(1.0, stream.position_us / duration)
+    if stream.variant is RateVariant.FAST_BACKWARD:
+        return 1.0 - frac
+    return frac
+
+
+def entry_position_us(handle, variant: RateVariant, fraction: float) -> int:
+    """Position in ``handle``'s time axis for a content ``fraction``."""
+    fraction = min(1.0, max(0.0, fraction))
+    if variant is RateVariant.FAST_BACKWARD:
+        fraction = 1.0 - fraction
+    return int(fraction * handle.duration_us)
+
+
+def seek_stream(stream: PlayStream, target_us: int) -> Generator:
+    """Simulation process: reposition ``stream`` at ``target_us``.
+
+    Walks the IB-tree internal pages (paying their block reads), then
+    leaves the stream LOADING for the disk process to refill; the network
+    process re-anchors the schedule once the group's buffers return.
+    """
+    stream.state = StreamState.LOADING
+    stream.seeking = True
+    stream.flush_buffers()
+    try:
+        position = yield from stream.reader().seek(max(0, target_us))
+    finally:
+        stream.seeking = False
+    if position is None:
+        # Past the end: park the stream at EOF; it will terminate.
+        stream.next_page = stream.handle.nblocks
+        stream.skip_on_page = None
+        stream.state = StreamState.PLAYING
+        return
+    page_index, record_index = position
+    stream.next_page = page_index
+    stream.skip_on_page = (page_index, record_index)
+    return
+
+
+def switch_variant(
+    stream: PlayStream, fs: MsuFileSystem, variant: RateVariant
+) -> Generator:
+    """Simulation process: move the stream onto another rate-family file.
+
+    The MSU "remembers which files contain the normal rate, fast forward,
+    and fast backward versions of the same content"; those links live in
+    the normal file's metadata.
+    """
+    if stream.variant is variant:
+        return
+    normal = stream.normal_handle
+    if variant is RateVariant.NORMAL:
+        target_name = normal.name
+    elif variant is RateVariant.FAST_FORWARD:
+        target_name = normal.fast_forward
+    else:
+        target_name = normal.fast_backward
+    if not target_name or not fs.exists(target_name):
+        raise VCRError(
+            f"content {normal.name!r} has no {variant.value} version loaded"
+        )
+    fraction = content_fraction(stream)
+    target = fs.open(target_name)
+    stream.handle = target
+    stream.variant = variant
+    target_us = entry_position_us(target, variant, fraction)
+    yield from seek_stream(stream, target_us)

@@ -1,0 +1,140 @@
+"""Popularity-driven content replication (extension of §2.3.3).
+
+The paper keeps each file on a single disk and notes the consequence:
+"If each of the N items were on separate disks, only 1/N of the system's
+customers can access any one item of content.  In the non-striped case,
+we can make copies of popular content on several disks, but we must
+anticipate usage trends in order to choose the content to copy.  We must
+also use additional disk space to get additional disk bandwidth."
+
+This module implements exactly that administrative mechanism: it watches
+the Coordinator's per-content play counts, picks hot items whose home
+disks run close to their bandwidth caps, and copies them to the disk with
+the most free bandwidth.  Placement (``AdmissionControl.place_read``)
+then load-balances across replicas automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.cluster import CalliopeCluster
+from repro.core.database import ContentEntry, DiskState
+from repro.errors import CalliopeError, OutOfSpaceError
+
+__all__ = ["ReplicationManager", "ReplicationDecision"]
+
+
+@dataclass(frozen=True)
+class ReplicationDecision:
+    """One copy the manager made (for logs and tests)."""
+
+    content_name: str
+    source: Tuple[str, str]
+    target: Tuple[str, str]
+
+
+class ReplicationManager:
+    """The administrator's usage-trend watcher."""
+
+    def __init__(
+        self,
+        cluster: CalliopeCluster,
+        hot_play_count: int = 5,
+        disk_load_threshold: float = 0.7,
+        max_replicas: int = 2,
+    ):
+        self.cluster = cluster
+        self.hot_play_count = hot_play_count
+        self.disk_load_threshold = disk_load_threshold
+        self.max_replicas = max_replicas
+        self.decisions: List[ReplicationDecision] = []
+
+    # -- policy ----------------------------------------------------------
+
+    def _hot_entries(self) -> List[ContentEntry]:
+        db = self.cluster.coordinator.db
+        hot = [
+            entry
+            for entry in db.contents.values()
+            if not entry.components
+            and entry.msu_name
+            and entry.play_count >= self.hot_play_count
+            and len(entry.locations()) <= self.max_replicas
+        ]
+        return sorted(hot, key=lambda e: e.play_count, reverse=True)
+
+    def _home_disk_loaded(self, entry: ContentEntry) -> bool:
+        db = self.cluster.coordinator.db
+        loads = []
+        for msu_name, disk_id in entry.locations():
+            state = db.msus.get(msu_name)
+            if state is None:
+                continue
+            disk = state.disks.get(disk_id)
+            if disk is not None:
+                loads.append(disk.bandwidth_used / disk.bandwidth_capacity)
+        return bool(loads) and min(loads) >= self.disk_load_threshold
+
+    def _pick_target(self, entry: ContentEntry) -> Optional[DiskState]:
+        """The disk with the most free bandwidth that lacks a copy."""
+        db = self.cluster.coordinator.db
+        taken = set(entry.locations())
+        best: Optional[DiskState] = None
+        for state in db.available_msus():
+            for disk in state.disks.values():
+                if (state.name, disk.disk_id) in taken:
+                    continue
+                if disk.free_blocks < entry.blocks:
+                    continue
+                if best is None or disk.bandwidth_free() > best.bandwidth_free():
+                    best = disk
+        return best
+
+    # -- mechanism ----------------------------------------------------------
+
+    def replicate(self, content_name: str, msu_name: str, disk_id: str
+                  ) -> ReplicationDecision:
+        """Copy one content item to a specific disk (admin path)."""
+        db = self.cluster.coordinator.db
+        entry = db.content(content_name)
+        if (msu_name, disk_id) in entry.locations():
+            raise CalliopeError(f"{content_name!r} already has a copy on {disk_id}")
+        source_msu = self.cluster.msu_named(entry.msu_name)
+        target_msu = self.cluster.msu_named(msu_name)
+        source_fs = source_msu.filesystems[entry.disk_id]
+        target_fs = target_msu.filesystems[disk_id]
+        source = source_fs.open(content_name)
+        copy = target_fs.create(content_name, source.content_type)
+        for index in range(source.nblocks):
+            target_fs.append_block_sync(copy, source_fs.read_block_sync(source, index))
+        copy.root = source.root
+        copy.duration_us = source.duration_us
+        copy.fast_forward = source.fast_forward
+        copy.fast_backward = source.fast_backward
+        entry.add_replica(msu_name, disk_id)
+        disk = db.disk(msu_name, disk_id)
+        disk.free_blocks = max(0, disk.free_blocks - copy.nblocks)
+        decision = ReplicationDecision(
+            content_name, (entry.msu_name, entry.disk_id), (msu_name, disk_id)
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def rebalance(self) -> List[ReplicationDecision]:
+        """One policy pass: copy hot items off their loaded home disks."""
+        made = []
+        for entry in self._hot_entries():
+            if not self._home_disk_loaded(entry):
+                continue
+            target = self._pick_target(entry)
+            if target is None:
+                continue
+            try:
+                made.append(
+                    self.replicate(entry.name, target.msu_name, target.disk_id)
+                )
+            except (OutOfSpaceError, CalliopeError):
+                continue
+        return made

@@ -1,0 +1,99 @@
+"""Client sessions and display ports (§2.1).
+
+A display port associates a string name, a content type and a UDP
+(address, port).  Ports for composite types are built from
+previously-registered ports of the component types.  All ports belong to a
+single client-Coordinator session and vanish when it drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.database import Customer
+from repro.errors import TypeMismatchError, UnknownPortError
+from repro.media.content import ContentTypeRegistry
+
+__all__ = ["DisplayPort", "Session", "SessionTable"]
+
+
+@dataclass
+class DisplayPort:
+    """One registered display port (atomic or composite)."""
+
+    name: str
+    type_name: str
+    address: Optional[Tuple[str, int]] = None  # atomic ports only
+    component_ports: Tuple[str, ...] = ()  # composite ports only
+
+    @property
+    def is_composite(self) -> bool:
+        return bool(self.component_ports)
+
+
+@dataclass
+class Session:
+    """One client-Coordinator session and its ports."""
+
+    session_id: int
+    customer: Customer
+    client_host: str
+    ports: Dict[str, DisplayPort] = field(default_factory=dict)
+    active_groups: List[int] = field(default_factory=list)
+
+    def register_port(self, port: DisplayPort) -> None:
+        self.ports[port.name] = port
+
+    def unregister_port(self, name: str) -> None:
+        self.ports.pop(name, None)
+
+    def port(self, name: str) -> DisplayPort:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise UnknownPortError(f"no display port {name!r} in session") from None
+
+    def atomic_ports_for(
+        self, port_name: str, types: ContentTypeRegistry
+    ) -> List[DisplayPort]:
+        """Resolve a port to its atomic members, type-checking components."""
+        port = self.port(port_name)
+        if not port.is_composite:
+            return [port]
+        members = []
+        for comp_name in port.component_ports:
+            comp = self.port(comp_name)
+            if comp.is_composite:
+                raise TypeMismatchError(
+                    f"composite port {port.name!r} may not nest {comp_name!r}"
+                )
+            members.append(comp)
+        return members
+
+
+class SessionTable:
+    """All live sessions, keyed by id."""
+
+    def __init__(self):
+        self._sessions: Dict[int, Session] = {}
+        self._next_id = 1
+
+    def open(self, customer: Customer, client_host: str) -> Session:
+        session = Session(self._next_id, customer, client_host)
+        self._sessions[session.session_id] = session
+        self._next_id += 1
+        return session
+
+    def get(self, session_id: int) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise UnknownPortError(f"no session {session_id}") from None
+
+    def close(self, session_id: int) -> Optional[Session]:
+        """Drop a session; its port registrations are deallocated (§2.1)."""
+        return self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Calliope reproduction."""
+
+from __future__ import annotations
+
+
+class CalliopeError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class AdmissionError(CalliopeError):
+    """A request could not be scheduled for lack of resources."""
+
+
+class TypeMismatchError(CalliopeError):
+    """Content type and display-port type do not match."""
+
+
+class UnknownContentError(CalliopeError):
+    """A content name is not in the Coordinator's table of contents."""
+
+
+class UnknownPortError(CalliopeError):
+    """A display-port name is not registered for this session."""
+
+
+class PermissionError_(CalliopeError):
+    """The client lacks permission for an administrative operation."""
+
+
+class StorageError(CalliopeError):
+    """MSU file-system failure (out of space, bad block address, ...)."""
+
+
+class OutOfSpaceError(StorageError):
+    """The allocator could not find a free block."""
+
+
+class ProtocolError(CalliopeError):
+    """Malformed packet or unknown protocol module."""
+
+
+class MSUUnavailableError(CalliopeError):
+    """Operation addressed to an MSU that is marked down."""
+
+
+class VCRError(CalliopeError):
+    """Invalid VCR command for the stream's current state."""

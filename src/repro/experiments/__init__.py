@@ -1,0 +1,17 @@
+"""One runner per paper table/figure.
+
+Each module exposes a ``run_*`` function returning plain-data results and a
+``format_*`` function rendering them the way the paper reports them.  The
+benchmark harness under ``benchmarks/`` and EXPERIMENTS.md both consume
+these runners, so the numbers in the docs are regenerable by definition.
+
+* :mod:`repro.experiments.table1`       — Table 1 baseline measurements
+* :mod:`repro.experiments.graph1`       — Graph 1 constant-rate lateness CDF
+* :mod:`repro.experiments.graph2`       — Graph 2 variable-rate lateness CDF
+* :mod:`repro.experiments.memorypath`   — §3.2.3 memory-path bottleneck
+* :mod:`repro.experiments.scalability`  — §3.3 Coordinator/network load
+* :mod:`repro.experiments.elevator`     — §2.3.3 elevator-scheduling gain
+* :mod:`repro.experiments.ibtree_ablation` — §2.2.1 IB-tree integration
+* :mod:`repro.experiments.timer_jitter` — §2.2.1 timer-granularity jitter
+* :mod:`repro.experiments.striping`     — §2.3.3 striping trade-off
+"""

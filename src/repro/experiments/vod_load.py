@@ -1,0 +1,143 @@
+"""Experiment E12 (extension) — admission behaviour under offered load.
+
+The paper sizes the large installation by arithmetic ("150 MSUs at 20
+streams each ... sessions as short as one minute", §3.3).  This extension
+exercises that sizing on a real (single-MSU) installation: a Poisson
+viewer population with Zipf content popularity offers increasing Erlang
+loads; the Coordinator's admission control serves what fits and queues or
+loses the rest.
+
+Blocking follows the classic Erlang-B shape: negligible below the ~22
+stream capacity, climbing steeply past it.  The experiment prints the
+measured blocking next to the Erlang-B formula at the MSU's stream
+capacity, connecting the paper's back-of-envelope to queueing theory.
+Measured blocking sits somewhat above Erlang-B at mid loads: Zipf
+popularity concentrates demand on the hot titles' disks, so per-disk
+bandwidth caps bind before the aggregate does — the placement problem
+§2.3.3 discusses (and replication, experiment E11, relieves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.clients.client import Client
+from repro.clients.population import ViewerPopulation
+from repro.core.cluster import CalliopeCluster, ClusterConfig
+from repro.media.mpeg import MpegEncoder, packetize_cbr
+from repro.sim import Simulator
+from repro.storage.ibtree import IBTreeConfig
+from repro.units import MPEG1_RATE
+
+__all__ = ["VodLoadPoint", "erlang_b", "run_vod_load", "format_vod_load"]
+
+_CONFIG = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
+
+
+@dataclass(frozen=True)
+class VodLoadPoint:
+    """One offered-load level's outcome."""
+
+    offered_erlangs: float
+    arrivals: int
+    admitted: int
+    blocked_or_abandoned: int
+    blocking_probability: float
+    concurrent_peak: int
+    erlang_b_reference: float
+
+
+def erlang_b(offered: float, servers: int) -> float:
+    """The Erlang-B blocking probability for ``servers`` circuits."""
+    if offered <= 0:
+        return 0.0
+    inv_b = 1.0
+    for k in range(1, servers + 1):
+        inv_b = 1.0 + inv_b * k / offered
+    return 1.0 / inv_b
+
+
+def _capacity_streams(cluster: CalliopeCluster) -> int:
+    state = next(iter(cluster.coordinator.db.msus.values()))
+    per_disk = [
+        int(d.bandwidth_capacity // MPEG1_RATE) for d in state.disks.values()
+    ]
+    return min(sum(per_disk), int(state.delivery_capacity // MPEG1_RATE))
+
+
+def run_vod_load(
+    offered_erlangs: List[float] = (10.0, 18.0, 24.0, 32.0),
+    mean_watch_seconds: float = 8.0,
+    duration: float = 200.0,
+    n_titles: int = 8,
+    seed: int = 14,
+) -> List[VodLoadPoint]:
+    """Sweep offered load; returns one point per level."""
+    points = []
+    for offered in offered_erlangs:
+        sim = Simulator()
+        cluster = CalliopeCluster(sim, ClusterConfig(n_msus=1, ibtree_config=_CONFIG))
+        cluster.coordinator.db.add_customer("user")
+        # Titles must outlast the watch times or streams end (and free
+        # their resources) before the viewer leaves.
+        length = mean_watch_seconds * 6.0
+        packets = packetize_cbr(
+            MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024
+        )
+        titles = []
+        for t in range(n_titles):
+            name = f"title{t}"
+            cluster.load_content(name, "mpeg1", packets, disk_index=t % 2)
+            titles.append(name)
+        sim.run(until=0.01)
+        capacity = _capacity_streams(cluster)
+        client = Client(sim, cluster, "audience")
+        population = ViewerPopulation(
+            sim, client, titles,
+            arrival_rate=offered / mean_watch_seconds,
+            mean_watch_seconds=mean_watch_seconds,
+            queue_patience=2.0,
+            seed=seed,
+        )
+        population.start()
+        sim.run(until=duration)
+        population.stop()
+        sim.run(until=duration + 30.0)  # drain in-flight viewers
+        stats = population.stats
+        points.append(
+            VodLoadPoint(
+                offered_erlangs=offered,
+                arrivals=stats.arrivals,
+                admitted=stats.admitted,
+                blocked_or_abandoned=stats.blocked + stats.abandoned,
+                blocking_probability=stats.blocking_probability,
+                concurrent_peak=stats.concurrent_peak,
+                erlang_b_reference=erlang_b(offered, capacity),
+            )
+        )
+    return points
+
+
+def format_vod_load(points: List[VodLoadPoint]) -> str:
+    """Render the offered-load sweep."""
+    lines = [
+        "VoD admission under offered load (one MSU, Zipf popularity)",
+        f"{'Erlangs':>8} | {'arrivals':>8} | {'admitted':>8} | "
+        f"{'denied':>6} | {'P(block)':>8} | {'Erlang-B':>8} | {'peak':>4}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.offered_erlangs:>8.1f} | {p.arrivals:>8} | {p.admitted:>8} | "
+            f"{p.blocked_or_abandoned:>6} | {p.blocking_probability:>8.3f} | "
+            f"{p.erlang_b_reference:>8.3f} | {p.concurrent_peak:>4}"
+        )
+    lines.append(
+        "(blocking stays near zero below the ~22-stream capacity and climbs"
+        " on the Erlang-B curve past it — the §3.3 sizing arithmetic)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual calibration aid
+    print(format_vod_load(run_vod_load()))

@@ -1,0 +1,45 @@
+"""Calibrated models of the paper's 1995 testbed hardware.
+
+The testbed (paper §3): a 66 MHz Micron Pentium PC running FreeBSD 2.0.5,
+with Buslogic EISA fast-differential SCSI host-bus adaptors, 2 GB Seagate
+Barracuda disks, 32 MB RAM, an SMC ISA Ethernet card for the intra-server
+network and a DEC DEFPA PCI FDDI card for the delivery network.
+
+Every timing constant lives in :mod:`repro.hardware.params`, annotated with
+the Table 1 cell or text measurement it was calibrated against.
+"""
+
+from repro.hardware.cpu import Cpu
+from repro.hardware.disk import DiskDrive, SeekPolicy
+from repro.hardware.machine import Machine
+from repro.hardware.memory import MemoryBus
+from repro.hardware.nic import NetworkInterface
+from repro.hardware.params import (
+    CpuParams,
+    DiskParams,
+    MachineParams,
+    MemoryParams,
+    NicParams,
+    ScsiParams,
+    TimerParams,
+)
+from repro.hardware.scsi import HostBusAdapter
+from repro.hardware.timer import SystemTimer
+
+__all__ = [
+    "Cpu",
+    "CpuParams",
+    "DiskDrive",
+    "DiskParams",
+    "HostBusAdapter",
+    "Machine",
+    "MachineParams",
+    "MemoryBus",
+    "MemoryParams",
+    "NetworkInterface",
+    "NicParams",
+    "ScsiParams",
+    "SeekPolicy",
+    "SystemTimer",
+    "TimerParams",
+]

@@ -1,0 +1,75 @@
+"""CPU model: a single 66 MHz Pentium plus the I/O-stall pathology.
+
+The CPU is a FIFO resource.  Besides ordinary ``execute`` holds, it exposes
+:meth:`io_stall_time`, the extra latency suffered by I/O-instruction-heavy
+operations when two or more SCSI host-bus adaptors have commands
+outstanding — the hardware bug of §3.1 ("the sequence of instructions
+needed to read the hardware timer ... often took 20 milliseconds with two
+HBAs running").
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.hardware.params import CpuParams
+from repro.sim import Resource, Simulator
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """A single processor with utilization accounting."""
+
+    def __init__(self, sim: Simulator, params: CpuParams = CpuParams()):
+        self.sim = sim
+        self.params = params
+        self._res = Resource(sim, capacity=1, name="cpu")
+        self.busy_time = 0.0
+        # Wired up by Machine: callables reporting SCSI activity.
+        self._active_hba_count = lambda: 0
+        self._outstanding_commands = lambda: 0
+
+    def attach_scsi_activity(self, active_hbas, outstanding) -> None:
+        """Connect the stall model to the machine's HBA registry."""
+        self._active_hba_count = active_hbas
+        self._outstanding_commands = outstanding
+
+    def io_stall_time(self) -> float:
+        """Current extra latency per I/O-heavy operation (0 when healthy)."""
+        p = self.params
+        if self._active_hba_count() < p.stall_hba_threshold:
+            return 0.0
+        extra_cmds = max(0, self._outstanding_commands() - 2)
+        return p.io_stall_base + p.io_stall_per_command * extra_cmds
+
+    def acquire(self):
+        """Low-level claim on the CPU; yield the returned request event.
+
+        Used by multi-phase paths (e.g. the NIC send path) that must hold
+        the CPU across memory operations.  Pair with :meth:`release`.
+        """
+        return self._res.request()
+
+    def release(self, req, busy: float = 0.0) -> None:
+        """Release a claim from :meth:`acquire`, accounting ``busy`` secs."""
+        self._res.release(req)
+        if busy < 0:
+            raise ValueError(f"negative busy time: {busy}")
+        self.busy_time += busy
+
+    def execute(self, duration: float) -> Generator:
+        """Hold the CPU for ``duration`` seconds of work (FIFO queued)."""
+        if duration < 0:
+            raise ValueError(f"negative CPU time: {duration}")
+        req = self._res.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._res.release(req)
+        self.busy_time += duration
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent executing (0 if elapsed is 0)."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,187 @@
+"""Calibrated hardware parameters for the simulated Micron Pentium testbed.
+
+Each constant is annotated with the paper measurement it is calibrated
+against.  The calibration targets (all in the paper's 10**6 byte/sec units)
+come from Table 1 and §3 text:
+
+* FDDI alone (ttcp, 4 KiB UDP):                      8.5 MB/s
+* one disk alone (random 256 KiB raw reads):         3.6 MB/s
+  ("70% of the maximum disk transfer bandwidth", §2.3.3)
+* two disks, one HBA:                                2.8 MB/s each
+* two disks, two HBAs:                               2.9 MB/s each
+* three disks (2+1 over two HBAs):                   2.2 / 2.2 / 2.7 MB/s
+* combined one disk + FDDI:                          disk 3.4, FDDI 5.9
+* combined two disks (one HBA) + FDDI:               disks 2.4, FDDI 4.7
+* combined two disks (two HBAs) + FDDI:              disks 2.7, FDDI 2.3
+* combined three disks + FDDI:                       1.9/1.9/2.5, FDDI 1.4
+* memory: read 53, write 25, copy 18 MB/s (§3.2.3)
+* disk-less data path: theoretical 7.5 MB/s, measured ~6.3 MB/s (§3.2.3)
+
+The dramatic FDDI collapse with two active HBAs reproduces the paper's
+hardware pathology (§3.1): "in" and "out" instructions could take up to
+20 ms when two HBAs were running, stalling interrupt service and the
+network send path.  We model that as an extra CPU stall per packet send
+that switches on when commands are outstanding on two or more HBAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import KIB, ms, us
+
+__all__ = [
+    "DiskParams",
+    "ScsiParams",
+    "MemoryParams",
+    "CpuParams",
+    "NicParams",
+    "TimerParams",
+    "MachineParams",
+    "FDDI",
+    "ETHERNET_10",
+]
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """A 2 GB Seagate Barracuda-class mechanism.
+
+    ``media_rate`` is the sustained head rate; a lone disk then reads random
+    256 KiB blocks at ~3.6 MB/s, i.e. ~70 % of the 5.1 MB/s burst media
+    bandwidth, matching §2.3.3's "70% of the maximum disk transfer
+    bandwidth" and Table 1's one-disk cell.
+    """
+
+    capacity_bytes: int = 2_000_000_000
+    cylinders: int = 2700
+    rpm: float = 7200.0
+    #: Fixed head-settle + command portion of every seek.
+    seek_min: float = ms(1.6)
+    #: Full-stroke seek adds this much (seek grows with sqrt of distance).
+    seek_max_extra: float = ms(11.0)
+    #: Sustained media transfer rate, bytes/sec.
+    media_rate: float = 4.45e6
+    #: Granularity at which a transfer claims buses and memory.
+    chunk_bytes: int = 16 * KIB
+
+    @property
+    def rotation_time(self) -> float:
+        """One full platter revolution, seconds."""
+        return 60.0 / self.rpm
+
+    @property
+    def avg_rotational_latency(self) -> float:
+        """Expected rotational delay for a random request."""
+        return self.rotation_time / 2.0
+
+
+@dataclass(frozen=True)
+class ScsiParams:
+    """A Buslogic EISA fast-differential SCSI chain."""
+
+    #: Burst rate from disk buffer over the chain (fast-differential SCSI).
+    burst_rate: float = 10.0e6
+    #: Per-command chain occupancy (selection, messaging, disconnects).
+    command_overhead: float = ms(1.2)
+    #: Extra per-command latency, scaled by sqrt(other outstanding commands)
+    #: system wide (driver/interrupt serialization on the 66 MHz Pentium;
+    #: fits the drop from 3.6 MB/s for one disk to ~2.8 each for two).
+    per_command_load_penalty: float = ms(16.0)
+    #: Extra per-command latency for each other active disk sharing this
+    #: chain once >= 3 commands are outstanding system wide (fits the
+    #: 2.2/2.2/2.7 split of the three-disk row).
+    chain_share_penalty: float = ms(18.0)
+    #: Extra per-command latency while a NIC is actively transmitting
+    #: (interrupt and DMA interference; fits the combined-row disk drops).
+    #: Applied as base + scale * sqrt(other outstanding commands).
+    nic_active_base: float = ms(4.0)
+    nic_active_penalty: float = ms(12.0)
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Main-memory bandwidth of the Micron Pentium (§3.2.3)."""
+
+    read_rate: float = 53.0e6
+    write_rate: float = 25.0e6
+    copy_rate: float = 18.0e6
+    #: DMA (disk or NIC bus-master) writes move at the memory write rate.
+    dma_write_rate: float = 25.0e6
+    #: DMA reads move at the memory read rate.
+    dma_read_rate: float = 53.0e6
+    #: Max bytes a single memory-bus hold may cover (forces interleaving).
+    chunk_bytes: int = 16 * KIB
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """CPU costs and the two-HBA I/O-instruction stall pathology (§3.1)."""
+
+    #: Per-UDP-packet fixed protocol/driver cost (syscall, headers, queueing)
+    #: excluding memory movement.  Calibrated so FDDI-only = 8.5 MB/s.
+    udp_send_overhead: float = us(100.0)
+    #: Per-packet receive cost on the input path.
+    udp_recv_overhead: float = us(80.0)
+    #: CPU time to service a completed disk command (interrupt + driver).
+    disk_interrupt_cost: float = ms(1.0)
+    #: Extra stall added to every I/O-instruction-heavy operation (packet
+    #: send, timer read) when >= ``stall_hba_threshold`` HBAs have commands
+    #: outstanding.  Fits the FDDI 4.7 -> 2.3 collapse in Table 1.
+    io_stall_base: float = ms(1.00)
+    #: The stall grows with each outstanding command beyond two (fits the
+    #: three-disk FDDI = 1.4 cell).
+    io_stall_per_command: float = ms(0.90)
+    stall_hba_threshold: int = 2
+    #: Extra per-packet send cost per outstanding disk command, regardless
+    #: of HBA count (driver-level interference; fits the combined-row FDDI
+    #: drops 8.5 -> 5.9 -> 4.7).
+    packet_disk_penalty: float = us(117.0)
+    #: Cost of reading the hardware timer (the "4 microseconds" in §3.1).
+    timer_read_cost: float = us(4.0)
+
+
+@dataclass(frozen=True)
+class NicParams:
+    """A network interface (FDDI delivery side or Ethernet control side)."""
+
+    name: str = "fddi0"
+    #: Line rate in bytes/sec (FDDI: 100 Mbit/s).
+    line_rate: float = 12.5e6
+    #: Per-frame media overhead (token rotation, preamble, framing).
+    frame_overhead: float = us(15.0)
+    #: Output queue depth in packets; a full queue yields ENOBUFS and the
+    #: sender retries after ``enobufs_backoff`` (ttcp's behaviour, §3.1).
+    txq_depth: int = 50
+    enobufs_backoff: float = ms(1.0)
+    #: Per-packet header bytes added on the wire (UDP/IP/MAC).
+    header_bytes: int = 46
+
+
+FDDI = NicParams(name="fddi0", line_rate=12.5e6)
+ETHERNET_10 = NicParams(
+    name="ed0", line_rate=1.25e6, frame_overhead=us(40.0), txq_depth=50
+)
+
+
+@dataclass(frozen=True)
+class TimerParams:
+    """The FreeBSD software clock (§2.2.1: "timers have only 10 ms
+    granularity, so delivery times are only approximate")."""
+
+    granularity: float = ms(10.0)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """A whole MSU/Coordinator PC."""
+
+    name: str = "pc0"
+    disk: DiskParams = field(default_factory=DiskParams)
+    scsi: ScsiParams = field(default_factory=ScsiParams)
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    cpu: CpuParams = field(default_factory=CpuParams)
+    timer: TimerParams = field(default_factory=TimerParams)
+    #: disks per HBA, e.g. (2,) = one HBA with two disks; (2, 1) = two HBAs.
+    disks_per_hba: tuple = (2,)
+    ram_bytes: int = 32 * 1024 * 1024

@@ -1,0 +1,42 @@
+"""Media substrate: encodings, packetizers and content typing.
+
+The paper's MSU is deliberately encoding-agnostic — it ships opaque bytes
+on a delivery schedule — but the evaluation needs real workloads:
+
+* :mod:`repro.media.mpeg` — a synthetic MPEG-1-like bitstream with genuine
+  GOP structure and picture start codes (the offline fast-scan filter of
+  §2.3.1 parses these for real).
+* :mod:`repro.media.nv` — NV-like variable-rate video (§3.2.2): ~1 KiB
+  packets in back-to-back frame bursts, calibrated to the paper's 635–877
+  kbit/s averages and 2.0–5.4 Mbit/s 50 ms-window peaks.
+* :mod:`repro.media.vat` — VAT-style constant-rate audio framing.
+* :mod:`repro.media.content` — content types with separate bandwidth and
+  storage consumption rates (§2.2), plus composite types (Seminar).
+* :mod:`repro.media.filtering` — the offline fast-forward/backward filter.
+"""
+
+from repro.media.content import (
+    DEFAULT_TYPES,
+    ContentType,
+    ContentTypeRegistry,
+    SourcePacket,
+)
+from repro.media.filtering import make_fast_backward, make_fast_forward, parse_frames
+from repro.media.mpeg import Frame, MpegEncoder, packetize_cbr
+from repro.media.nv import NvEncoder
+from repro.media.vat import VatEncoder
+
+__all__ = [
+    "ContentType",
+    "ContentTypeRegistry",
+    "DEFAULT_TYPES",
+    "Frame",
+    "MpegEncoder",
+    "NvEncoder",
+    "SourcePacket",
+    "VatEncoder",
+    "make_fast_backward",
+    "make_fast_forward",
+    "packetize_cbr",
+    "parse_frames",
+]

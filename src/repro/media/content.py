@@ -1,0 +1,126 @@
+"""Content types: the Coordinator's typing of every stored item (§2.1–2.2).
+
+A content type carries *two* consumption rates: the bandwidth rate used
+for admission control and the storage rate used for disk-space allocation.
+For constant-rate encodings they are equal; for variable-rate encodings
+"the bandwidth consumption rate should be closer to the stream's peak rate
+and the storage consumption rate should be closer to the average rate."
+
+Types may be composite (e.g. a Seminar = one RTP video + one VAT audio);
+playing a composite item creates a *stream group* whose members share VCR
+control and are scheduled on the same MSU (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.errors import TypeMismatchError
+from repro.units import MPEG1_RATE, kbit_per_s
+
+__all__ = ["SourcePacket", "ContentType", "ContentTypeRegistry", "DEFAULT_TYPES"]
+
+
+class SourcePacket(NamedTuple):
+    """One packet produced by a media source, before recording."""
+
+    delivery_us: int  # offset from stream start
+    payload: bytes
+    kind: int = 0  # 0 data, 1 control (interleaved protocol messages)
+
+
+@dataclass(frozen=True)
+class ContentType:
+    """One entry of the Coordinator's content-type table."""
+
+    name: str
+    #: Rate used for MSU/disk *bandwidth* admission, bytes/sec.
+    bandwidth_rate: float
+    #: Rate used for *disk-space* allocation, bytes/sec.
+    storage_rate: float
+    #: Constant- vs variable-rate encoding (drives schedule storage).
+    variable: bool = False
+    #: MSU protocol-extension module handling the wire format (§2.3.2).
+    protocol: str = "raw"
+    #: Names of component types; non-empty means this type is composite.
+    components: tuple = ()
+
+    @property
+    def is_composite(self) -> bool:
+        """True for stream-group types like Seminar."""
+        return bool(self.components)
+
+
+class ContentTypeRegistry:
+    """The Coordinator's internal content-type database.
+
+    Clients may not define new types without an administrator (§2.1):
+    :meth:`define` is the administrative entry point.
+    """
+
+    def __init__(self, types: Optional[List[ContentType]] = None):
+        self._types: Dict[str, ContentType] = {}
+        for ctype in types or []:
+            self.define(ctype)
+
+    def define(self, ctype: ContentType) -> None:
+        """Administratively add (or replace) a type definition."""
+        for comp in ctype.components:
+            if comp not in self._types:
+                raise TypeMismatchError(
+                    f"composite {ctype.name!r} references unknown type {comp!r}"
+                )
+            if self._types[comp].is_composite:
+                raise TypeMismatchError(
+                    f"composite {ctype.name!r} may only contain atomic types"
+                )
+        self._types[ctype.name] = ctype
+
+    def get(self, name: str) -> ContentType:
+        """Look up a type; raises for unknown names."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise TypeMismatchError(f"unknown content type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def atomic_components(self, name: str) -> List[ContentType]:
+        """The atomic subtypes a display port / stream group needs."""
+        ctype = self.get(name)
+        if not ctype.is_composite:
+            return [ctype]
+        return [self.get(c) for c in ctype.components]
+
+    def names(self) -> List[str]:
+        """All defined type names, sorted."""
+        return sorted(self._types)
+
+
+def _default_types() -> List[ContentType]:
+    mpeg = ContentType(
+        "mpeg1", bandwidth_rate=MPEG1_RATE, storage_rate=MPEG1_RATE,
+        variable=False, protocol="raw",
+    )
+    # NV video (§3.2.2): averages 635-877 kbit/s, 50 ms peaks up to
+    # 5.4 Mbit/s.  Bandwidth admission uses a near-peak figure, storage the
+    # average, per §2.2.
+    rtp_video = ContentType(
+        "rtp-video", bandwidth_rate=kbit_per_s(2000.0),
+        storage_rate=kbit_per_s(750.0), variable=True, protocol="rtp",
+    )
+    vat_audio = ContentType(
+        "vat-audio", bandwidth_rate=kbit_per_s(78.0),
+        storage_rate=kbit_per_s(71.0), variable=True, protocol="vat",
+    )
+    seminar = ContentType(
+        "seminar", bandwidth_rate=0.0, storage_rate=0.0,
+        variable=True, components=("rtp-video", "vat-audio"),
+    )
+    return [mpeg, rtp_video, vat_audio, seminar]
+
+
+#: The registry shipped with a fresh Coordinator (administrators add more).
+DEFAULT_TYPES = _default_types()

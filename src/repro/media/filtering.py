@@ -1,0 +1,94 @@
+"""The offline fast-forward / fast-backward filter program (§2.3.1).
+
+"The filtering program reads the recorded stream, selects every fifteenth
+video frame, recompresses the filtered stream, and loads it into the
+server.  For the fast-backward version, the frames are stored in the
+filtered stream in reverse order."
+
+The filter genuinely parses the MPEG-like bitstream by start code.  It
+selects the intra-coded frame of each GOP (every ``step``-th frame), and
+"recompression" re-encodes the selected frames into a fresh bitstream
+whose nominal rate equals the original's — so a fast-scan stream occupies
+a normal stream's network and disk slots while covering ``step`` times the
+content per unit time.
+
+The original frame numbers are preserved in the filtered frames' headers;
+the MSU's VCR switcher uses them to map a position in the normal-rate file
+to the corresponding frame of the fast-scan file and back.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import ProtocolError
+from repro.media.mpeg import (
+    PICTURE_START,
+    SEQUENCE_START,
+    _CODE_TYPE,
+    _PIC_HDR,
+    _PIC_HDR_SIZE,
+    Frame,
+)
+
+__all__ = ["parse_frames", "make_fast_forward", "make_fast_backward"]
+
+
+def parse_frames(bitstream: bytes) -> List[Frame]:
+    """Parse an MPEG-like bitstream into its frames, by start code."""
+    if not bitstream.startswith(SEQUENCE_START):
+        raise ProtocolError("missing sequence header")
+    pos = len(SEQUENCE_START)
+    frames: List[Frame] = []
+    while pos < len(bitstream):
+        if bitstream[pos : pos + len(PICTURE_START)] != PICTURE_START:
+            raise ProtocolError(f"expected picture start code at offset {pos}")
+        pos += len(PICTURE_START)
+        number, code, length = struct.unpack_from(_PIC_HDR, bitstream, pos)
+        pos += _PIC_HDR_SIZE
+        if code not in _CODE_TYPE:
+            raise ProtocolError(f"bad frame type code {code} at offset {pos}")
+        payload = bitstream[pos : pos + length]
+        if len(payload) != length:
+            raise ProtocolError("truncated frame payload")
+        frames.append(Frame(number, _CODE_TYPE[code], payload))
+        pos += length
+    return frames
+
+
+def _select(frames: List[Frame], step: int) -> List[Frame]:
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    selected = frames[::step]
+    bad = [f for f in selected if f.ftype != "I"]
+    if bad:
+        # Inter-coded frames cannot be decoded standalone (§2.3.1); the
+        # administrator must pick a step matching the GOP length.
+        raise ProtocolError(
+            f"step {step} selects inter-coded frames (first at #{bad[0].number}); "
+            "choose a multiple of the GOP length"
+        )
+    return selected
+
+
+def _emit(frames: List[Frame]) -> bytes:
+    parts = [SEQUENCE_START]
+    parts.extend(f.encode() for f in frames)
+    return b"".join(parts)
+
+
+def make_fast_forward(bitstream: bytes, step: int = 15) -> Tuple[bytes, List[int]]:
+    """Produce the fast-forward companion stream.
+
+    Returns ``(filtered_bitstream, original_frame_numbers)``: position ``i``
+    of the filtered stream shows original frame ``original_frame_numbers[i]``.
+    """
+    selected = _select(parse_frames(bitstream), step)
+    return _emit(selected), [f.number for f in selected]
+
+
+def make_fast_backward(bitstream: bytes, step: int = 15) -> Tuple[bytes, List[int]]:
+    """Produce the fast-backward companion (selected frames, reversed)."""
+    selected = list(reversed(_select(parse_frames(bitstream), step)))
+    return _emit(selected), [f.number for f in selected]

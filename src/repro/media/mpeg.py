@@ -1,0 +1,133 @@
+"""A synthetic MPEG-1-like bitstream with real frame structure.
+
+The MSU treats MPEG as an opaque constant-rate byte stream (§2.3.1: "the
+MPEG encoders that we have produce an opaque stream with no framing
+information" — from the *server's* point of view).  The offline fast-scan
+filter, however, genuinely parses the bitstream, so the generator emits
+real structure:
+
+* a sequence header start code at stream start;
+* per frame, a picture start code followed by frame number, frame type
+  (I/P/B) and payload length, then payload bytes guaranteed free of start
+  codes;
+* a classic 15-frame GOP (``IBBPBBPBBPBBPBB``), the paper's "intra-encoding
+  is used for every N-th frame ... typically fifteen to thirty".
+
+Frame sizes follow the usual I > P > B ratios with deterministic seeded
+jitter, normalized per GOP so the stream averages the nominal 1.5 Mbit/s.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.media.content import SourcePacket
+from repro.units import MPEG1_RATE
+
+__all__ = [
+    "SEQUENCE_START",
+    "PICTURE_START",
+    "Frame",
+    "MpegEncoder",
+    "packetize_cbr",
+]
+
+SEQUENCE_START = b"\x00\x00\x01\xb3"
+PICTURE_START = b"\x00\x00\x01\x00"
+_PIC_HDR = "<IBI"  # frame number, frame type, payload length
+_PIC_HDR_SIZE = struct.calcsize(_PIC_HDR)
+
+FRAME_I, FRAME_P, FRAME_B = 1, 2, 3
+_TYPE_CODE = {"I": FRAME_I, "P": FRAME_P, "B": FRAME_B}
+_CODE_TYPE = {v: k for k, v in _TYPE_CODE.items()}
+
+#: The classic GOP pattern; index 0 is the intra-coded frame.
+GOP_PATTERN = "IBBPBBPBBPBBPBB"
+
+#: Relative frame weights (normalized per GOP to hit the nominal rate).
+_WEIGHTS = {"I": 3.0, "P": 1.3, "B": 0.55}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One encoded picture."""
+
+    number: int
+    ftype: str  # 'I', 'P' or 'B'
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialize with start code and header."""
+        return (
+            PICTURE_START
+            + struct.pack(_PIC_HDR, self.number, _TYPE_CODE[self.ftype], len(self.payload))
+            + self.payload
+        )
+
+
+class MpegEncoder:
+    """Deterministic synthetic MPEG-1 encoder."""
+
+    def __init__(
+        self,
+        rate: float = MPEG1_RATE,
+        fps: float = 30.0,
+        gop: str = GOP_PATTERN,
+        seed: int = 7,
+    ):
+        if rate <= 0 or fps <= 0:
+            raise ValueError("rate and fps must be positive")
+        if not gop or gop[0] != "I" or any(c not in "IPB" for c in gop):
+            raise ValueError(f"bad GOP pattern {gop!r}")
+        self.rate = rate
+        self.fps = fps
+        self.gop = gop
+        self._rng = np.random.default_rng(seed)
+
+    def _payload(self, nbytes: int) -> bytes:
+        # Bytes in 0x10..0xFF can never form a 00 00 01 start code.
+        raw = self._rng.integers(0x10, 0x100, max(1, nbytes), dtype=np.uint16)
+        return raw.astype(np.uint8).tobytes()
+
+    def frames(self, nframes: int) -> List[Frame]:
+        """Generate ``nframes`` pictures."""
+        gop_bytes = self.rate * len(self.gop) / self.fps
+        weight_sum = sum(_WEIGHTS[c] for c in self.gop)
+        out = []
+        for n in range(nframes):
+            ftype = self.gop[n % len(self.gop)]
+            nominal = gop_bytes * _WEIGHTS[ftype] / weight_sum
+            jitter = float(self._rng.uniform(0.85, 1.15))
+            size = max(64, int(nominal * jitter) - _PIC_HDR_SIZE - len(PICTURE_START))
+            out.append(Frame(n, ftype, self._payload(size)))
+        return out
+
+    def bitstream(self, duration: float) -> bytes:
+        """Encode ``duration`` seconds into one opaque byte stream."""
+        nframes = int(round(duration * self.fps))
+        parts = [SEQUENCE_START]
+        parts.extend(f.encode() for f in self.frames(nframes))
+        return b"".join(parts)
+
+
+def packetize_cbr(
+    bitstream: bytes, rate: float, packet_size: int
+) -> List[SourcePacket]:
+    """Slice an opaque stream into fixed-size packets on a CBR schedule.
+
+    This is how the MSU sees MPEG content: fixed-size packets delivered at
+    a constant rate, delivery time computed rather than stored (§2.2.1).
+    """
+    if rate <= 0 or packet_size <= 0:
+        raise ProtocolError("rate and packet size must be positive")
+    packets = []
+    for i in range(0, len(bitstream), packet_size):
+        chunk = bitstream[i : i + packet_size]
+        delivery_us = int(i / rate * 1e6)
+        packets.append(SourcePacket(delivery_us, chunk))
+    return packets

@@ -1,0 +1,117 @@
+"""NV-like variable-rate video traffic (§3.2.2).
+
+The paper replays three files encoded by NV [6] with average rates of 650,
+635 and 877 kbit/s.  Two properties of NV traffic drive Graph 2's result
+and are reproduced here:
+
+* **Small packets** — "most of the packets in the streams are about one
+  KByte long", so per-packet overhead is ~4x the 4 KiB constant-rate case.
+* **Burstiness** — "NV encodes a frame and then sends it out as quickly as
+  possible, resulting in bursts of back-to-back packets"; 50 ms-window
+  peaks reach 2.0–5.4 Mbit/s against sub-Mbit averages.
+
+The generator emits frames at the nominal frame interval; frame sizes are
+lognormal with occasional scene-change spikes, and each frame is split
+into ~1 KiB packets spaced back-to-back at the encoder's wire pacing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.media.content import SourcePacket
+from repro.units import kbit_per_s
+
+__all__ = ["NvEncoder", "window_peak_rate"]
+
+
+class NvEncoder:
+    """Deterministic NV-style VBR source."""
+
+    def __init__(
+        self,
+        avg_rate: float = kbit_per_s(650.0),
+        fps: float = 12.0,
+        packet_size: int = 1024,
+        scene_change_prob: float = 0.04,
+        scene_change_scale: float = 4.5,
+        max_frame_bytes: int = 30_000,
+        burst_gap_us: int = 300,
+        seed: int = 11,
+    ):
+        if avg_rate <= 0 or fps <= 0 or packet_size <= 0:
+            raise ValueError("rates, fps and packet size must be positive")
+        self.avg_rate = avg_rate
+        self.fps = fps
+        self.packet_size = packet_size
+        self.scene_change_prob = scene_change_prob
+        self.scene_change_scale = scene_change_scale
+        self.max_frame_bytes = max_frame_bytes
+        self.burst_gap_us = burst_gap_us
+        self._rng = np.random.default_rng(seed)
+
+    def frame_sizes(self, nframes: int) -> List[int]:
+        """Per-frame byte counts, normalized to the average rate."""
+        rng = self._rng
+        # Lognormal body plus occasional scene-change spikes.
+        body = rng.lognormal(mean=0.0, sigma=0.45, size=nframes)
+        spikes = rng.random(nframes) < self.scene_change_prob
+        body[spikes] *= self.scene_change_scale
+        body *= (self.avg_rate / self.fps) / body.mean()
+        # Clamp outliers (NV spreads very large frames) and renormalize so
+        # the average rate is preserved; the clamp bounds the 50 ms-window
+        # peak at roughly max_frame_bytes / 50 ms.
+        body = np.clip(body, 200.0, float(self.max_frame_bytes))
+        body *= (self.avg_rate / self.fps) / body.mean()
+        body = np.clip(body, 200.0, float(self.max_frame_bytes))
+        return [int(b) for b in body]
+
+    def packets(self, duration: float) -> List[SourcePacket]:
+        """All packets for ``duration`` seconds of video."""
+        nframes = int(round(duration * self.fps))
+        frame_interval_us = 1e6 / self.fps
+        rng = self._rng
+        out: List[SourcePacket] = []
+        for n, size in enumerate(self.frame_sizes(nframes)):
+            base_us = int(n * frame_interval_us)
+            remaining = size
+            burst_index = 0
+            while remaining > 0:
+                take = min(self.packet_size, remaining)
+                payload = rng.integers(0, 256, take, dtype=np.uint8).tobytes()
+                out.append(
+                    SourcePacket(base_us + burst_index * self.burst_gap_us, payload)
+                )
+                remaining -= take
+                burst_index += 1
+        return out
+
+    def mean_rate(self, packets: List[SourcePacket]) -> float:
+        """Measured average rate of a packet list, bytes/sec."""
+        if not packets:
+            return 0.0
+        span = (packets[-1].delivery_us - packets[0].delivery_us) / 1e6
+        total = sum(len(p.payload) for p in packets)
+        return total / span if span > 0 else 0.0
+
+
+def window_peak_rate(packets: List[SourcePacket], window: float = 0.05) -> float:
+    """Peak rate over a sliding ``window`` (the paper uses 50 ms), bytes/sec.
+
+    Used by the tests to assert the generator reproduces the paper's
+    2.0–5.4 Mbit/s peaks.
+    """
+    if not packets:
+        return 0.0
+    times = np.array([p.delivery_us / 1e6 for p in packets])
+    sizes = np.array([float(len(p.payload)) for p in packets])
+    prefix = np.concatenate([[0.0], np.cumsum(sizes)])
+    peak = 0.0
+    j = 0
+    for i in range(len(packets)):
+        while times[i] - times[j] > window:
+            j += 1
+        peak = max(peak, (prefix[i + 1] - prefix[j]) / window)
+    return peak

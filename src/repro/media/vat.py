@@ -1,0 +1,49 @@
+"""VAT-style audio framing (the MBone audio tool, §2.1).
+
+VAT carries 8 kHz mu-law audio in fixed 20 ms frames — 160 payload bytes
+plus a small header — so the stream is near-constant-rate but still
+replayed from a stored schedule (it is typed as variable-rate content
+because silence suppression makes real VAT traffic gappy)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.media.content import SourcePacket
+
+__all__ = ["VatEncoder"]
+
+
+class VatEncoder:
+    """Deterministic VAT-like audio source with silence suppression."""
+
+    FRAME_US = 20_000  # 20 ms of audio per packet
+    FRAME_BYTES = 160  # 8 kHz mu-law
+
+    def __init__(self, talk_spurt_s: float = 3.0, silence_s: float = 1.2, seed: int = 23):
+        if talk_spurt_s <= 0 or silence_s < 0:
+            raise ValueError("bad talk-spurt/silence durations")
+        self.talk_spurt_s = talk_spurt_s
+        self.silence_s = silence_s
+        self._rng = np.random.default_rng(seed)
+
+    def packets(self, duration: float) -> List[SourcePacket]:
+        """Audio packets for ``duration`` seconds, with silence gaps."""
+        rng = self._rng
+        out: List[SourcePacket] = []
+        t_us = 0
+        end_us = int(duration * 1e6)
+        talking = True
+        phase_end = int(rng.exponential(self.talk_spurt_s) * 1e6)
+        while t_us < end_us:
+            if talking:
+                payload = rng.integers(0, 256, self.FRAME_BYTES, dtype=np.uint8).tobytes()
+                out.append(SourcePacket(t_us, payload))
+            t_us += self.FRAME_US
+            if t_us >= phase_end:
+                talking = not talking
+                mean = self.talk_spurt_s if talking else self.silence_s
+                phase_end = t_us + max(self.FRAME_US, int(rng.exponential(mean) * 1e6))
+        return out

@@ -1,0 +1,17 @@
+"""Measurement helpers shared by experiments and examples."""
+
+from repro.metrics.lateness import LatenessCollector, LatenessCdf
+from repro.metrics.probes import CounterProbe, UtilizationProbe
+from repro.metrics.tracing import TraceEvent, Tracer
+from repro.metrics.report import format_cdf_table, quantile_summary
+
+__all__ = [
+    "CounterProbe",
+    "TraceEvent",
+    "Tracer",
+    "LatenessCdf",
+    "LatenessCollector",
+    "UtilizationProbe",
+    "format_cdf_table",
+    "quantile_summary",
+]

@@ -1,0 +1,78 @@
+"""Packet-lateness accounting: the metric of Graphs 1 and 2.
+
+The paper plots, per workload, the cumulative percent of packets delivered
+within a given number of milliseconds of their deadline, in 1 ms bins
+(early or on-time packets land in bin 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["LatenessCollector", "LatenessCdf"]
+
+
+@dataclass
+class LatenessCdf:
+    """A cumulative lateness distribution in 1 ms bins."""
+
+    #: ``percent[i]`` = percent of packets sent <= i milliseconds late.
+    percent: np.ndarray
+    count: int
+    max_late_ms: float
+
+    def fraction_within(self, ms_late: float) -> float:
+        """Fraction of packets no more than ``ms_late`` ms past deadline."""
+        if self.count == 0:
+            return 1.0
+        index = int(ms_late)
+        if index >= len(self.percent):
+            return 1.0
+        return float(self.percent[index]) / 100.0
+
+
+class LatenessCollector:
+    """Accumulates (deadline, actual send time) pairs for one workload."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._late_seconds: List[float] = []
+
+    def record(self, deadline: float, sent_at: float) -> None:
+        """Record one packet send against its schedule deadline."""
+        self._late_seconds.append(sent_at - deadline)
+
+    def __len__(self) -> int:
+        return len(self._late_seconds)
+
+    @property
+    def late_seconds(self) -> List[float]:
+        """Raw signed lateness samples (negative = early)."""
+        return self._late_seconds
+
+    def cdf(self, max_ms: int = 1000) -> LatenessCdf:
+        """Build the Graph 1/2-style cumulative distribution."""
+        n = len(self._late_seconds)
+        if n == 0:
+            return LatenessCdf(np.full(max_ms + 1, 100.0), 0, 0.0)
+        late_ms = np.maximum(0.0, np.array(self._late_seconds) * 1000.0)
+        bins = np.minimum(late_ms.astype(int), max_ms)
+        hist = np.bincount(bins, minlength=max_ms + 1)
+        percent = 100.0 * np.cumsum(hist) / n
+        return LatenessCdf(percent, n, float(late_ms.max()))
+
+    def percent_within(self, ms_late: float) -> float:
+        """Percent of packets sent no more than ``ms_late`` ms late."""
+        if not self._late_seconds:
+            return 100.0
+        arr = np.array(self._late_seconds) * 1000.0
+        return 100.0 * float(np.mean(arr <= ms_late))
+
+    def max_lateness_ms(self) -> float:
+        """Worst lateness observed (>= 0)."""
+        if not self._late_seconds:
+            return 0.0
+        return max(0.0, max(self._late_seconds) * 1000.0)

@@ -1,0 +1,83 @@
+"""Structured event tracing for server-side observability.
+
+A :class:`Tracer` attached to a Coordinator or MSU records stream
+life-cycle events (scheduled, started, VCR, terminated ...) with their
+simulation timestamps.  Operators (and tests) can then reconstruct what
+the server did and render per-group timelines — the kind of log a
+production Calliope would ship to syslog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    source: str  # "coordinator", "msu0", ...
+    category: str  # "schedule", "vcr", "terminate", ...
+    subject: str  # content name, group id, stream id ...
+    detail: str = ""
+
+    def render(self) -> str:
+        extra = f" {self.detail}" if self.detail else ""
+        return f"{self.time:10.3f}  {self.source:<12} {self.category:<12} {self.subject}{extra}"
+
+
+class Tracer:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, clock, capacity: int = 100_000):
+        """``clock`` is a zero-argument callable returning the sim time."""
+        self._clock = clock
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, source: str, category: str, subject, detail: str = "") -> None:
+        """Append one event (drops silently past capacity)."""
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(self._clock(), source, str(category), str(subject), detail)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        """Events of one category, in time order."""
+        return [e for e in self.events if e.category == category]
+
+    def by_subject(self, subject) -> List[TraceEvent]:
+        """Events about one subject, in time order."""
+        wanted = str(subject)
+        return [e for e in self.events if e.subject == wanted]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        """Events with start <= time < end."""
+        return [e for e in self.events if start <= e.time < end]
+
+    def counts(self) -> Dict[str, int]:
+        """category -> number of events."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.category] = out.get(event.category, 0) + 1
+        return out
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, subject: Optional[str] = None) -> str:
+        """A text timeline (optionally filtered to one subject)."""
+        events = self.by_subject(subject) if subject is not None else self.events
+        lines = [f"{'time':>10}  {'source':<12} {'event':<12} subject"]
+        lines.extend(event.render() for event in events)
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped at capacity")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Network substrate: simulated wires, real header bytes.
+
+* :mod:`repro.net.network` — hosts, UDP sockets and datagram delivery with
+  configurable latency/jitter; TCP-like control channels with in-order
+  delivery and break detection (the Coordinator's MSU failure detector).
+* :mod:`repro.net.rtp` / :mod:`repro.net.vat` — real header pack/parse for
+  the two MBone protocols Calliope records (§2.1, §2.3.2).
+* :mod:`repro.net.protocols` — the MSU protocol-extension modules: a
+  module supplies per-protocol socket handling and the delivery-time
+  derivation used when constructing schedules during recording.
+* :mod:`repro.net.messages` — Coordinator/MSU/client control messages.
+"""
+
+from repro.net.network import Datagram, Host, Network, ControlChannel, UdpSocket
+from repro.net.protocols import (
+    ProtocolModule,
+    ProtocolRegistry,
+    RawProtocol,
+    RtpProtocol,
+    VatProtocol,
+    default_registry,
+)
+from repro.net.rtp import RtpHeader
+from repro.net.vat import VatHeader
+
+__all__ = [
+    "ControlChannel",
+    "Datagram",
+    "Host",
+    "Network",
+    "ProtocolModule",
+    "ProtocolRegistry",
+    "RawProtocol",
+    "RtpHeader",
+    "RtpProtocol",
+    "UdpSocket",
+    "VatHeader",
+    "VatProtocol",
+    "default_registry",
+]

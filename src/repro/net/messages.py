@@ -1,0 +1,248 @@
+"""Control-plane messages (client <-> Coordinator <-> MSU <-> client).
+
+Plain dataclasses carried over :class:`~repro.net.network.ControlChannel`
+instances.  ``WIRE_BYTES`` approximates each message's on-the-wire size for
+the intra-server network-utilization accounting of §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "WIRE_BYTES",
+    "OpenSession",
+    "SessionOpened",
+    "ListContents",
+    "ContentListing",
+    "RegisterPort",
+    "RegisterCompositePort",
+    "PortRegistered",
+    "PlayRequest",
+    "RecordRequest",
+    "RequestFailed",
+    "StreamScheduled",
+    "DeleteContent",
+    "Deleted",
+    "CloseSession",
+    "MsuHello",
+    "ScheduleRead",
+    "ScheduleRecord",
+    "StreamTerminated",
+    "StreamReady",
+    "VcrCommand",
+    "EndOfStream",
+    "VCR_PLAY",
+    "VCR_PAUSE",
+    "VCR_SEEK",
+    "VCR_FAST_FORWARD",
+    "VCR_FAST_BACKWARD",
+    "VCR_NORMAL",
+    "VCR_QUIT",
+]
+
+#: Nominal wire size of a control message including TCP/IP and Ethernet
+#: framing (the §3.3 network-utilization accounting counts full frames).
+WIRE_BYTES = 300
+
+
+# -- client <-> Coordinator --------------------------------------------------
+
+@dataclass(frozen=True)
+class OpenSession:
+    customer: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class SessionOpened:
+    session_id: int
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class ListContents:
+    session_id: int
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class ContentListing:
+    items: Tuple[Tuple[str, str], ...]  # (name, type name)
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class RegisterPort:
+    """Associate a name, a content type and a UDP address (§2.1)."""
+
+    session_id: int
+    port_name: str
+    type_name: str
+    address: Tuple[str, int]
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class RegisterCompositePort:
+    """Build a composite display port from registered component ports."""
+
+    session_id: int
+    port_name: str
+    type_name: str
+    component_ports: Tuple[str, ...]
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class PortRegistered:
+    port_name: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class PlayRequest:
+    session_id: int
+    content_name: str
+    port_name: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class RecordRequest:
+    """Recording needs a length estimate for space allocation (§2.1)."""
+
+    session_id: int
+    content_name: str
+    type_name: str
+    port_name: str
+    estimate_seconds: float
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class RequestFailed:
+    reason: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class StreamScheduled:
+    """The request was placed; the MSU will contact the client."""
+
+    group_id: int
+    msu_name: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class DeleteContent:
+    session_id: int
+    content_name: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class Deleted:
+    content_name: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class CloseSession:
+    session_id: int
+
+
+# -- Coordinator <-> MSU ----------------------------------------------------
+
+@dataclass(frozen=True)
+class MsuHello:
+    """Sent when an MSU (re)connects; restores it to the schedule (§2.2)."""
+
+    msu_name: str
+    disks: Tuple[Tuple[str, int], ...]  # (disk id, free blocks)
+
+
+@dataclass(frozen=True)
+class ScheduleRead:
+    group_id: int
+    stream_id: int
+    content_name: str
+    disk_id: str
+    protocol: str
+    rate: float
+    variable: bool
+    display_address: Tuple[str, int]
+    client_host: str
+    group_size: int = 1
+
+
+@dataclass(frozen=True)
+class ScheduleRecord:
+    group_id: int
+    stream_id: int
+    content_name: str
+    disk_id: str
+    protocol: str
+    rate: float
+    variable: bool
+    source_address: Tuple[str, int]  # where the client will send from
+    reserve_blocks: int
+    client_host: str
+    group_size: int = 1
+
+
+@dataclass(frozen=True)
+class DeleteFile:
+    """Coordinator -> MSU: remove a stored file (admin delete, §2.1)."""
+
+    content_name: str
+    disk_id: str
+
+
+@dataclass(frozen=True)
+class StreamTerminated:
+    """MSU -> Coordinator when a stream/group finishes (§2.2)."""
+
+    group_id: int
+    stream_id: int
+    reason: str = "quit"
+    recorded_blocks: int = 0
+
+
+# -- MSU <-> client ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StreamReady:
+    """The MSU's control connection greeting: VCR commands may begin."""
+
+    group_id: int
+    msu_name: str
+    stream_id: int = -1
+    content_name: str = ""
+    group_size: int = 1
+    #: For recordings: the MSU address the client should send media to.
+    record_address: Optional[Tuple[str, int]] = None
+
+
+VCR_PLAY = "play"
+VCR_PAUSE = "pause"
+VCR_SEEK = "seek"
+VCR_FAST_FORWARD = "fast-forward"
+VCR_FAST_BACKWARD = "fast-backward"
+VCR_NORMAL = "normal"
+VCR_QUIT = "quit"
+
+
+@dataclass(frozen=True)
+class VcrCommand:
+    group_id: int
+    command: str
+    position_seconds: float = 0.0  # for seek
+
+
+@dataclass(frozen=True)
+class EndOfStream:
+    group_id: int
+    stream_id: int

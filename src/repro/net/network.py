@@ -1,0 +1,258 @@
+"""Hosts, sockets, datagram networks and control channels.
+
+Calliope's topology (§2): a low-bandwidth intra-server Ethernet carries
+Coordinator/MSU control traffic over TCP; a high-bandwidth delivery
+network (FDDI) carries real-time data to clients over UDP, plus one TCP
+control connection per active stream for VCR commands.
+
+A :class:`Host` may own a simulated :class:`~repro.hardware.machine.Machine`
+(MSUs and the Coordinator do), in which case packets pay the full host
+send/receive path on that machine's NIC; plain client hosts pay only wire
+latency (client CPUs are outside the paper's measurement scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.hardware.machine import Machine
+from repro.hardware.nic import NetworkInterface
+from repro.sim import Simulator, Store
+
+__all__ = ["Datagram", "UdpSocket", "Host", "Network", "ControlChannel"]
+
+Address = Tuple[str, int]  # (host name, port)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP datagram on a simulated wire."""
+
+    src: Address
+    dst: Address
+    payload: bytes
+    sent_at: float = 0.0
+
+
+class UdpSocket:
+    """A bound UDP endpoint: a mailbox of received datagrams."""
+
+    def __init__(self, sim: Simulator, host: "Host", port: int):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self._mailbox = Store(sim, name=f"{host.name}:{port}")
+        self.received = 0
+        self.dropped = 0
+        #: Optional callback invoked on every delivery (e.g. IOP wakeup).
+        self.notify: Optional[Callable[[], None]] = None
+
+    @property
+    def address(self) -> Address:
+        """The (host, port) this socket is bound to."""
+        return (self.host.name, self.port)
+
+    def recv(self):
+        """Event that fires with the next :class:`Datagram`."""
+        return self._mailbox.get()
+
+    def try_recv(self) -> Optional[Datagram]:
+        """Non-blocking receive."""
+        return self._mailbox.try_get()
+
+    def pending(self) -> int:
+        """Datagrams waiting in the mailbox."""
+        return len(self._mailbox)
+
+    def send(self, dst: Address, payload: bytes) -> Generator:
+        """Send a datagram (full host path if this host has a machine)."""
+        yield from self.host.network.send(
+            Datagram(self.address, dst, payload, self.host.sim.now)
+        )
+
+    def close(self) -> None:
+        """Unbind the socket; further arrivals are dropped."""
+        self.host.unbind(self.port)
+
+
+class Host:
+    """A named endpoint on a network, optionally backed by a Machine NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: "Network",
+        name: str,
+        machine: Optional[Machine] = None,
+        nic: Optional[NetworkInterface] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.machine = machine
+        self.nic = nic
+        self._sockets: Dict[int, UdpSocket] = {}
+        self._next_port = 5000
+        network._register(self)
+
+    def bind(self, port: Optional[int] = None) -> UdpSocket:
+        """Create a UDP socket on ``port`` (or an ephemeral one)."""
+        if port is None:
+            while self._next_port in self._sockets:
+                self._next_port += 1
+            port = self._next_port
+            self._next_port += 1
+        if port in self._sockets:
+            raise ProtocolError(f"{self.name}: port {port} already bound")
+        sock = UdpSocket(self.sim, self, port)
+        self._sockets[port] = sock
+        return sock
+
+    def unbind(self, port: int) -> None:
+        """Release a bound port."""
+        self._sockets.pop(port, None)
+
+    def socket_on(self, port: int) -> Optional[UdpSocket]:
+        """The socket bound to ``port``, if any."""
+        return self._sockets.get(port)
+
+
+class Network:
+    """A datagram network: latency + optional jitter between hosts.
+
+    ``send`` is a simulation process: it pays the sender's host path (NIC
+    send on machine-backed hosts), then the wire latency, then the
+    receiver's host path, then deposits into the destination mailbox.
+    Unknown destinations are silently dropped (UDP semantics).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "net0",
+        latency: float = 0.0005,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 5,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ProtocolError(f"loss rate {loss_rate} outside [0, 1)")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self._rng = np.random.default_rng(seed)
+        self._hosts: Dict[str, Host] = {}
+        self.datagrams_carried = 0
+        self.datagrams_lost = 0
+        self.bytes_carried = 0
+
+    def _register(self, host: Host) -> None:
+        if host.name in self._hosts:
+            raise ProtocolError(f"duplicate host {host.name!r} on {self.name}")
+        self._hosts[host.name] = host
+
+    def host(self, name: str) -> Host:
+        """Look up a registered host."""
+        return self._hosts[name]
+
+    def _wire_delay(self) -> float:
+        if self.jitter > 0:
+            return self.latency + float(self._rng.uniform(0.0, self.jitter))
+        return self.latency
+
+    def send(self, dgram: Datagram) -> Generator:
+        """Carry one datagram end to end (see class docstring)."""
+        src_host = self._hosts.get(dgram.src[0])
+        if src_host is not None and src_host.nic is not None:
+            yield from src_host.nic.udp_send(max(1, len(dgram.payload)))
+        self.datagrams_carried += 1
+        self.bytes_carried += len(dgram.payload)
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.datagrams_lost += 1  # dropped on the wire (UDP semantics)
+            return
+        self.sim.schedule(self._wire_delay(), self._arrive, dgram)
+
+    def _arrive(self, dgram: Datagram) -> None:
+        host = self._hosts.get(dgram.dst[0])
+        if host is None:
+            return
+        if host.nic is not None:
+            self.sim.process(self._receive_path(host, dgram), name="rx")
+        else:
+            self._deliver(host, dgram)
+
+    def _receive_path(self, host: Host, dgram: Datagram) -> Generator:
+        yield from host.nic.udp_receive(max(1, len(dgram.payload)))
+        self._deliver(host, dgram)
+
+    def _deliver(self, host: Host, dgram: Datagram) -> None:
+        sock = host.socket_on(dgram.dst[1])
+        if sock is None:
+            return  # no listener: dropped, as UDP does
+        sock._mailbox.put(dgram)
+        sock.received += 1
+        if sock.notify is not None:
+            sock.notify()
+
+
+class ControlChannel:
+    """A TCP-like duplex control connection between two endpoints.
+
+    In-order, reliable, with per-message wire latency.  ``close`` wakes the
+    peer with a ``None`` message — the Coordinator detects MSU failures by
+    exactly this "break in the TCP connection" (§2.2).
+    """
+
+    def __init__(self, sim: Simulator, a: str, b: str, latency: float = 0.001,
+                 network: Optional[Network] = None):
+        self.sim = sim
+        self.latency = latency
+        self.network = network
+        self.ends = (a, b)
+        self._mailboxes = {a: Store(sim, name=f"chan:{a}"), b: Store(sim, name=f"chan:{b}")}
+        self.open = True
+        self.messages_carried = 0
+        self.bytes_carried = 0
+        #: Optional hook called with (sender_end, message) for accounting.
+        self.on_message: Optional[Callable[[str, Any], None]] = None
+
+    def _peer(self, end: str) -> str:
+        a, b = self.ends
+        if end == a:
+            return b
+        if end == b:
+            return a
+        raise ProtocolError(f"{end!r} is not an end of this channel")
+
+    def send(self, sender: str, message: Any, nbytes: int = 128) -> None:
+        """Send ``message`` to the peer of ``sender`` (fire and forget)."""
+        if not self.open:
+            return  # writes on a broken connection vanish
+        peer = self._peer(sender)
+        self.messages_carried += 1
+        self.bytes_carried += nbytes
+        if self.network is not None:
+            self.network.bytes_carried += nbytes
+            self.network.datagrams_carried += 1
+        if self.on_message is not None:
+            self.on_message(sender, message)
+        self.sim.schedule(self.latency, self._mailboxes[peer].put, message)
+
+    def recv(self, end: str):
+        """Event firing with the next message for ``end`` (None = break)."""
+        self._peer(end)  # validates the end name
+        return self._mailboxes[end].get()
+
+    def close(self) -> None:
+        """Break the connection; both ends see a ``None`` wake-up."""
+        if not self.open:
+            return
+        self.open = False
+        for box in self._mailboxes.values():
+            self.sim.schedule(self.latency, box.put, None)

@@ -1,0 +1,64 @@
+"""RTP header encoding (the Internet Real-time Transport Protocol [13]).
+
+Calliope records RTP sessions off the MBone; the MSU's RTP extension
+module derives delivery times from the header timestamp rather than the
+arrival time, which "does not include the effects of network-induced
+jitter" (§2.3.2).  The 12-byte fixed header is packed for real.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+__all__ = ["RtpHeader", "RTP_CLOCK_HZ"]
+
+_FMT = "!BBHII"
+_SIZE = struct.calcsize(_FMT)
+
+#: The media clock used by the video payload types we record (90 kHz).
+RTP_CLOCK_HZ = 90_000
+
+
+@dataclass(frozen=True)
+class RtpHeader:
+    """The RTP fixed header (version 2, no CSRC list)."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    marker: bool = False
+
+    SIZE = _SIZE
+
+    def pack(self) -> bytes:
+        """Serialize to the 12-byte wire format."""
+        vpxcc = 2 << 6  # version 2, no padding/extension/CSRC
+        mpt = (int(self.marker) << 7) | (self.payload_type & 0x7F)
+        return struct.pack(
+            _FMT, vpxcc, mpt, self.sequence & 0xFFFF,
+            self.timestamp & 0xFFFFFFFF, self.ssrc & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "RtpHeader":
+        """Parse a wire packet's header (payload follows at ``SIZE``)."""
+        if len(data) < _SIZE:
+            raise ProtocolError(f"RTP packet of {len(data)} bytes too short")
+        vpxcc, mpt, seq, ts, ssrc = struct.unpack_from(_FMT, data, 0)
+        if vpxcc >> 6 != 2:
+            raise ProtocolError(f"unsupported RTP version {vpxcc >> 6}")
+        return cls(
+            payload_type=mpt & 0x7F,
+            sequence=seq,
+            timestamp=ts,
+            ssrc=ssrc,
+            marker=bool(mpt >> 7),
+        )
+
+    def timestamp_us(self, clock_hz: int = RTP_CLOCK_HZ) -> int:
+        """Media timestamp converted to microseconds."""
+        return int(self.timestamp * 1_000_000 // clock_hz)

@@ -1,0 +1,51 @@
+"""VAT header encoding (the LBL audio-conferencing tool [17]).
+
+VAT predates RTP; its 8-byte header carries flags, an audio format code, a
+conference id and a media timestamp in sample units (8 kHz).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+__all__ = ["VatHeader", "VAT_CLOCK_HZ"]
+
+_FMT = "!BBHI"
+_SIZE = struct.calcsize(_FMT)
+
+#: VAT audio sample clock (8 kHz mu-law).
+VAT_CLOCK_HZ = 8_000
+
+
+@dataclass(frozen=True)
+class VatHeader:
+    """The VAT packet header."""
+
+    flags: int
+    audio_format: int
+    conference: int
+    timestamp: int  # in samples
+
+    SIZE = _SIZE
+
+    def pack(self) -> bytes:
+        """Serialize to the 8-byte wire format."""
+        return struct.pack(
+            _FMT, self.flags & 0xFF, self.audio_format & 0xFF,
+            self.conference & 0xFFFF, self.timestamp & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "VatHeader":
+        """Parse a wire packet's header (payload follows at ``SIZE``)."""
+        if len(data) < _SIZE:
+            raise ProtocolError(f"VAT packet of {len(data)} bytes too short")
+        flags, fmt, conf, ts = struct.unpack_from(_FMT, data, 0)
+        return cls(flags, fmt, conf, ts)
+
+    def timestamp_us(self, clock_hz: int = VAT_CLOCK_HZ) -> int:
+        """Media timestamp converted to microseconds."""
+        return int(self.timestamp * 1_000_000 // clock_hz)

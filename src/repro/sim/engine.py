@@ -1,0 +1,392 @@
+"""Event loop, events and processes for the simulation kernel.
+
+The design follows the classic coroutine DES pattern: a *process* is a Python
+generator that ``yield``\\ s waitables (events).  The simulator resumes the
+generator when the waited-on event fires, sending the event's value back into
+the generator (or throwing its exception).
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim, results):
+        yield sim.timeout(1.5)
+        results.append(sim.now)
+
+    results = []
+    sim.process(worker(sim, results))
+    sim.run()
+    assert results == [1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupt ``cause`` (an arbitrary object) is available as
+    ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable.
+
+    An event starts *pending*; it is *triggered* by :meth:`succeed` or
+    :meth:`fail` and then fires all registered callbacks at the current
+    simulation time (in scheduling order).  Processes wait on an event by
+    ``yield``\\ ing it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (or raises the failure exception)."""
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._post(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event fires.
+
+        If the event has already fired, the callback runs at the current
+        simulation time (still in deterministic scheduling order).
+        """
+        if self.callbacks is None:
+            # Already fired: deliver asynchronously for determinism.
+            self.sim.schedule(0.0, fn, self)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._post(self, delay)
+
+
+class _Join(Event):
+    """Internal event used by AllOf/AnyOf and process termination."""
+
+    __slots__ = ()
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    A process is itself an event that fires when the generator returns
+    (value = the generator's return value) or raises (failure).  Other
+    processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", ""))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Start the process at the current time, after already-queued events.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        self._waiting_on = start
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the waited-on event (the event may
+        still fire later, but this process no longer cares).
+        """
+        if self._triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+        self.sim.schedule(0.0, self._deliver_interrupt, Interrupt(cause))
+
+    def _deliver_interrupt(self, exc: Interrupt) -> None:
+        if self._triggered:
+            return  # finished in the meantime; interrupt is moot
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(exc=exc)
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up (we were interrupted away from this event)
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(exc=event._exc)
+        else:
+            self._step(value=event._value)
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        sim = self.sim
+        prev = sim._active_process
+        sim._active_process = self
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            sim._active_process = prev
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An un-caught interrupt terminates the process quietly.
+            sim._active_process = prev
+            self.succeed(None)
+            return
+        except Exception as err:
+            sim._active_process = prev
+            self.fail(err)
+            return
+        sim._active_process = prev
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(TypeError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+def AllOf(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """An event that fires when *all* of ``events`` have fired.
+
+    Its value is the list of the constituent values, in input order.  The
+    first failure fails the whole condition.
+    """
+    events = list(events)
+    done = _Join(sim)
+    remaining = [len(events)]
+    values: list = [None] * len(events)
+    if not events:
+        return done.succeed(values)
+
+    def on_fire(index: int, event: Event) -> None:
+        if done.triggered:
+            return
+        if event._exc is not None:
+            done.fail(event._exc)
+            return
+        values[index] = event._value
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            done.succeed(values)
+
+    for i, ev in enumerate(events):
+        ev.add_callback(lambda e, i=i: on_fire(i, e))
+    return done
+
+
+def AnyOf(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """An event that fires when the *first* of ``events`` fires.
+
+    Its value is a ``(index, value)`` pair identifying the winner.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("AnyOf requires at least one event")
+    done = _Join(sim)
+
+    def on_fire(index: int, event: Event) -> None:
+        if done.triggered:
+            return
+        if event._exc is not None:
+            done.fail(event._exc)
+            return
+        done.succeed((index, event._value))
+
+    for i, ev in enumerate(events):
+        ev.add_callback(lambda e, i=i: on_fire(i, e))
+    return done
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of pending events.
+
+    Simultaneous events fire in scheduling order (stable via a sequence
+    counter) which makes every run bit-for-bit reproducible.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list = []  # (time, seq, kind, payload)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds (0 = asap, in order)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event._fire, ()))
+
+    # -- factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Spawn ``gen`` as a simulated process starting now."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Shorthand for :func:`AllOf`."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Shorthand for :func:`AnyOf`."""
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Fire the single next queued event."""
+        time, _seq, fn, args = heapq.heappop(self._queue)
+        if time < self._now:  # pragma: no cover - defensive
+            raise RuntimeError("time ran backwards")
+        self._now = time
+        fn(*args)
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none queued."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue is empty or the clock reaches ``until``.
+
+        Returns the simulation time at which execution stopped.  When
+        ``until`` is given the clock is advanced to exactly ``until`` even if
+        the queue drains earlier.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+        else:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` fires; return its value.
+
+        Raises ``RuntimeError`` if the queue drains (or ``limit`` is hit)
+        before the event triggers — useful in tests to catch deadlock.
+        """
+        while not event.triggered or event.callbacks is not None:
+            if not self._queue:
+                raise RuntimeError(f"simulation deadlocked waiting for {event!r}")
+            if limit is not None and self._queue[0][0] > limit:
+                raise RuntimeError(f"exceeded limit={limit} waiting for {event!r}")
+            self.step()
+        return event.value

@@ -1,0 +1,133 @@
+"""Bitmap block allocator with reservations.
+
+The Coordinator admits a recording only when an MSU disk has enough free
+space for the *estimated* length (§2.2); unused blocks are returned when
+the recording session completes.  The allocator therefore distinguishes
+*reserved* capacity (admission accounting) from *allocated* blocks (actual
+file extents), and a reservation can be released partially.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import OutOfSpaceError, StorageError
+
+__all__ = ["BitmapAllocator", "Reservation"]
+
+
+class Reservation:
+    """A claim on ``blocks`` future allocations from one allocator."""
+
+    __slots__ = ("allocator", "blocks", "active")
+
+    def __init__(self, allocator: "BitmapAllocator", blocks: int):
+        self.allocator = allocator
+        self.blocks = blocks
+        self.active = True
+
+    def consume(self, n: int = 1) -> None:
+        """Count ``n`` allocated blocks against this reservation."""
+        if not self.active:
+            raise StorageError("reservation already released")
+        self.blocks = max(0, self.blocks - n)
+
+    def release(self) -> None:
+        """Return any unconsumed reserved blocks to the free pool."""
+        if self.active:
+            self.allocator._reserved -= self.blocks
+            self.blocks = 0
+            self.active = False
+
+
+class BitmapAllocator:
+    """First-fit-from-cursor ("next fit") bitmap allocator."""
+
+    def __init__(self, nblocks: int):
+        if nblocks <= 0:
+            raise ValueError(f"nblocks must be positive, got {nblocks}")
+        self.nblocks = nblocks
+        self._bitmap = bytearray(nblocks)  # 0 free, 1 used
+        self._cursor = 0
+        self._used = 0
+        self._reserved = 0
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently allocated to files."""
+        return self._used
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks neither allocated nor reserved."""
+        return self.nblocks - self._used - self._reserved
+
+    @property
+    def reserved_blocks(self) -> int:
+        """Blocks promised to in-progress recordings."""
+        return self._reserved
+
+    def is_allocated(self, block: int) -> bool:
+        """Whether ``block`` is currently in use."""
+        self._check(block)
+        return bool(self._bitmap[block])
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.nblocks:
+            raise StorageError(f"block {block} outside [0, {self.nblocks})")
+
+    # -- reservation ---------------------------------------------------------
+
+    def reserve(self, blocks: int) -> Reservation:
+        """Set aside ``blocks`` for a future recording, or raise."""
+        if blocks < 0:
+            raise ValueError(f"negative reservation: {blocks}")
+        if blocks > self.free_blocks:
+            raise OutOfSpaceError(
+                f"reserve({blocks}): only {self.free_blocks} blocks free"
+            )
+        self._reserved += blocks
+        return Reservation(self, blocks)
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, reservation: Reservation = None) -> int:
+        """Allocate one block (counting against ``reservation`` if given)."""
+        if reservation is not None:
+            if not reservation.active or reservation.blocks < 1:
+                raise OutOfSpaceError("reservation exhausted")
+        elif self.free_blocks < 1:
+            raise OutOfSpaceError("disk full")
+        for probe in range(self.nblocks):
+            block = (self._cursor + probe) % self.nblocks
+            if not self._bitmap[block]:
+                self._bitmap[block] = 1
+                self._cursor = (block + 1) % self.nblocks
+                self._used += 1
+                if reservation is not None:
+                    reservation.consume()
+                    self._reserved -= 1
+                return block
+        raise OutOfSpaceError("disk full")  # pragma: no cover - guarded above
+
+    def alloc_many(self, n: int, reservation: Reservation = None) -> List[int]:
+        """Allocate ``n`` blocks (not necessarily contiguous)."""
+        out = []
+        try:
+            for _ in range(n):
+                out.append(self.alloc(reservation))
+        except OutOfSpaceError:
+            for block in out:
+                self.free(block)
+            raise
+        return out
+
+    def free(self, block: int) -> None:
+        """Return one block to the free pool."""
+        self._check(block)
+        if not self._bitmap[block]:
+            raise StorageError(f"double free of block {block}")
+        self._bitmap[block] = 0
+        self._used -= 1

@@ -1,0 +1,268 @@
+"""The MSU's user-level large-block file system (§2.3.3).
+
+Key properties taken from the paper:
+
+* 256 KiB blocks, accessed through the raw disk device (no kernel FS).
+* No block cache — "an LRU block cache would impair performance because
+  there is not enough data locality or sharing"; reads always go to disk.
+* Metadata small enough to cache entirely in memory; it is serialized to a
+  reserved metadata region so a file system can be unmounted and remounted.
+* Space for a recording is *reserved* up front from the client's length
+  estimate and the unused remainder returned when the recording completes.
+
+Files are block lists (no contiguity requirement); each file may carry an
+IB-tree root pointer and links to its fast-forward / fast-backward
+companion files (§2.3.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.allocator import BitmapAllocator, Reservation
+from repro.storage.layout import Volume
+
+__all__ = ["FileHandle", "MsuFileSystem"]
+
+_SUPER_MAGIC = b"CLFS"
+_SUPER_FMT = "<4sHIQ"  # magic, version, nfiles, total blocks
+_VERSION = 1
+
+
+class FileHandle:
+    """One stored content file: a name, a block list and stream metadata."""
+
+    def __init__(self, fs: "MsuFileSystem", name: str, content_type: str):
+        self.fs = fs
+        self.name = name
+        self.content_type = content_type
+        self.blocks: List[int] = []
+        self.length = 0  # valid payload bytes (last block may be partial)
+        #: IB-tree root pointer: (page_index, offset_in_page, level) or None.
+        self.root: Optional[Tuple[int, int, int]] = None
+        #: Total stream duration in microseconds (last delivery offset).
+        self.duration_us = 0
+        #: Names of rate-variant companions (normal/ff/fb), § 2.3.1.
+        self.fast_forward: str = ""
+        self.fast_backward: str = ""
+        self._reservation: Optional[Reservation] = None
+
+    @property
+    def nblocks(self) -> int:
+        """Number of data pages in the file."""
+        return len(self.blocks)
+
+    def read_block(self, index: int) -> Generator:
+        """Read data page ``index`` (simulation process; returns bytes)."""
+        return self.fs.read_file_block(self, index)
+
+    def append_block(self, data: bytes) -> Generator:
+        """Allocate and write the next data page."""
+        return self.fs.append_file_block(self, data)
+
+
+class MsuFileSystem:
+    """An in-memory-metadata file system over one :class:`Volume`."""
+
+    #: Blocks at the front of the volume reserved for serialized metadata.
+    META_BLOCKS = 2
+
+    def __init__(self, volume: Volume):
+        self.volume = volume
+        self.allocator = BitmapAllocator(volume.nblocks)
+        self._files: Dict[str, FileHandle] = {}
+        # The metadata region is permanently allocated.
+        for block in range(self.META_BLOCKS):
+            self.allocator.alloc()
+        if self.META_BLOCKS >= volume.nblocks:
+            raise StorageError("volume too small for the metadata region")
+
+    # -- namespace ------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        content_type: str = "",
+        reserve_blocks: int = 0,
+    ) -> FileHandle:
+        """Create an empty file, reserving ``reserve_blocks`` of space."""
+        if not name:
+            raise StorageError("empty file name")
+        if name in self._files:
+            raise StorageError(f"file exists: {name!r}")
+        handle = FileHandle(self, name, content_type)
+        if reserve_blocks:
+            handle._reservation = self.allocator.reserve(reserve_blocks)
+        self._files[name] = handle
+        return handle
+
+    def open(self, name: str) -> FileHandle:
+        """Look up an existing file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` is a stored file."""
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Remove a file and free its blocks and any reservation."""
+        handle = self.open(name)
+        if handle._reservation is not None:
+            handle._reservation.release()
+        for block in handle.blocks:
+            self.allocator.free(block)
+        handle.blocks = []
+        del self._files[name]
+
+    def list_files(self) -> List[FileHandle]:
+        """All files, in name order."""
+        return [self._files[k] for k in sorted(self._files)]
+
+    # -- data path --------------------------------------------------------------
+
+    def append_file_block(self, handle: FileHandle, data: bytes) -> Generator:
+        """Allocate the next block of ``handle`` and write ``data`` to it."""
+        if len(data) > self.volume.block_size:
+            raise StorageError(
+                f"{len(data)} bytes exceeds block size {self.volume.block_size}"
+            )
+        block = self.allocator.alloc(handle._reservation)
+        try:
+            yield from self.volume.write_block(block, data)
+        except BaseException:
+            self.allocator.free(block)
+            raise
+        handle.blocks.append(block)
+        handle.length += len(data)
+        return len(handle.blocks) - 1
+
+    def append_block_sync(self, handle: FileHandle, data: bytes) -> int:
+        """Administrative append without simulated latency (pre-loading)."""
+        if len(data) > self.volume.block_size:
+            raise StorageError(
+                f"{len(data)} bytes exceeds block size {self.volume.block_size}"
+            )
+        block = self.allocator.alloc(handle._reservation)
+        self.volume.write_block_sync(block, data)
+        handle.blocks.append(block)
+        handle.length += len(data)
+        return len(handle.blocks) - 1
+
+    def read_block_sync(self, handle: FileHandle, index: int) -> bytes:
+        """Administrative read without simulated latency (offline filter)."""
+        if not 0 <= index < len(handle.blocks):
+            raise StorageError(
+                f"{handle.name!r}: block index {index} outside 0..{len(handle.blocks) - 1}"
+            )
+        return self.volume.read_block_sync(handle.blocks[index])
+
+    def read_file_block(self, handle: FileHandle, index: int) -> Generator:
+        """Read data page ``index`` of ``handle``; returns the block bytes."""
+        if not 0 <= index < len(handle.blocks):
+            raise StorageError(
+                f"{handle.name!r}: block index {index} outside 0..{len(handle.blocks) - 1}"
+            )
+        data = yield from self.volume.read_block(handle.blocks[index])
+        return data
+
+    def finish_recording(self, handle: FileHandle) -> int:
+        """Release the unused remainder of the file's reservation (§2.2).
+
+        Returns the number of reserved-but-unused blocks returned to the
+        free pool.
+        """
+        if handle._reservation is None:
+            return 0
+        returned = handle._reservation.blocks
+        handle._reservation.release()
+        handle._reservation = None
+        return returned
+
+    # -- metadata persistence ------------------------------------------------------
+
+    def _serialize(self) -> bytes:
+        chunks = [struct.pack(_SUPER_FMT, _SUPER_MAGIC, _VERSION,
+                              len(self._files), self.volume.nblocks)]
+        for name in sorted(self._files):
+            f = self._files[name]
+            nb = name.encode()
+            tb = f.content_type.encode()
+            ffb = f.fast_forward.encode()
+            fbb = f.fast_backward.encode()
+            root = f.root if f.root is not None else (0, 0, 0)
+            has_root = 1 if f.root is not None else 0
+            chunks.append(
+                struct.pack(
+                    "<HHHHQIBIIBQ",
+                    len(nb), len(tb), len(ffb), len(fbb),
+                    f.length, len(f.blocks),
+                    has_root, root[0], root[1], root[2],
+                    f.duration_us,
+                )
+            )
+            chunks.append(nb + tb + ffb + fbb)
+            chunks.append(struct.pack(f"<{len(f.blocks)}I", *f.blocks))
+        return b"".join(chunks)
+
+    def sync_metadata(self) -> Generator:
+        """Write the in-memory metadata to the reserved region."""
+        blob = self._serialize()
+        capacity = self.META_BLOCKS * self.volume.block_size
+        if len(blob) > capacity:
+            raise StorageError(
+                f"metadata of {len(blob)} bytes exceeds region of {capacity}"
+            )
+        for i in range(self.META_BLOCKS):
+            piece = blob[i * self.volume.block_size : (i + 1) * self.volume.block_size]
+            yield from self.volume.write_block(i, piece)
+
+    @classmethod
+    def mount(cls, volume: Volume) -> Generator:
+        """Re-read metadata from a previously synced volume."""
+        fs = cls(volume)
+        blob = b""
+        for i in range(cls.META_BLOCKS):
+            piece = yield from volume.read_block(i)
+            blob += piece
+        magic, version, nfiles, nblocks = struct.unpack_from(_SUPER_FMT, blob, 0)
+        if magic != _SUPER_MAGIC:
+            raise StorageError("not a Calliope file system (bad magic)")
+        if version != _VERSION:
+            raise StorageError(f"unsupported metadata version {version}")
+        if nblocks != volume.nblocks:
+            raise StorageError("volume size does not match superblock")
+        pos = struct.calcsize(_SUPER_FMT)
+        head_fmt = "<HHHHQIBIIBQ"
+        head_size = struct.calcsize(head_fmt)
+        for _ in range(nfiles):
+            (ln, lt, lff, lfb, length, nb, has_root, r0, r1, r2, dur) = struct.unpack_from(
+                head_fmt, blob, pos
+            )
+            pos += head_size
+            name = blob[pos : pos + ln].decode(); pos += ln
+            ctype = blob[pos : pos + lt].decode(); pos += lt
+            ff = blob[pos : pos + lff].decode(); pos += lff
+            fb = blob[pos : pos + lfb].decode(); pos += lfb
+            blocks = list(struct.unpack_from(f"<{nb}I", blob, pos))
+            pos += 4 * nb
+            handle = FileHandle(fs, name, ctype)
+            handle.length = length
+            handle.blocks = blocks
+            handle.root = (r0, r1, r2) if has_root else None
+            handle.duration_us = dur
+            handle.fast_forward = ff
+            handle.fast_backward = fb
+            fs._files[name] = handle
+        # Rebuild the bitmap from the block lists.
+        for handle in fs._files.values():
+            for block in handle.blocks:
+                if fs.allocator._bitmap[block]:
+                    raise StorageError(f"block {block} claimed twice in metadata")
+                fs.allocator._bitmap[block] = 1
+                fs.allocator._used += 1
+        return fs

@@ -1,0 +1,1 @@
+"""Operator tooling: the experiment CLI."""

@@ -1,0 +1,67 @@
+"""Units and conversion helpers used throughout the reproduction.
+
+Conventions (matching the paper):
+
+* time      — seconds (float)
+* sizes     — bytes (int)
+* rates     — bytes/second; the paper's "MByte/sec" means 10**6 bytes/sec
+* bit rates — the paper's "Mbit/sec" means 10**6 bits/sec
+
+Block and page sizes, on the other hand, are powers of two ("256 KByte
+blocks" are 256 KiB), which is how the MSU file system lays data out.
+"""
+
+from __future__ import annotations
+
+KB = 1_000  # 10**3 bytes (decimal, for rates)
+MB = 1_000_000  # 10**6 bytes (decimal, for rates; the paper's "MByte")
+KIB = 1024  # binary kilobyte (for block/page sizes)
+MIB = 1024 * 1024
+
+MS = 1e-3  # milliseconds in seconds
+US = 1e-6  # microseconds in seconds
+
+#: The MSU file-system block / IB-tree data-page size (paper: "256 KByte").
+BLOCK_SIZE = 256 * KIB
+
+#: IB-tree internal-page size (paper: "28 KByte internal pages").
+INTERNAL_PAGE_SIZE = 28 * KIB
+
+#: Keys per IB-tree internal page (paper: "1024 keys").
+INTERNAL_PAGE_KEYS = 1024
+
+#: MPEG-1 video nominal stream rate (paper: "1.5 Mbit/sec").
+MPEG1_RATE = 1_500_000 // 8  # 187_500 bytes/sec
+
+#: Constant-rate experiment packet size (paper: "four KByte FDDI packets").
+CBR_PACKET_SIZE = 4 * KIB
+
+
+def mbit_per_s(mbits: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return mbits * 1e6 / 8.0
+
+
+def kbit_per_s(kbits: float) -> float:
+    """Convert kilobits/second to bytes/second."""
+    return kbits * 1e3 / 8.0
+
+
+def mbyte_per_s(mbytes: float) -> float:
+    """Convert the paper's MByte/sec (10**6 B/s) to bytes/second."""
+    return mbytes * 1e6
+
+
+def to_mbyte_per_s(rate_bps: float) -> float:
+    """Convert bytes/second to the paper's MByte/sec units."""
+    return rate_bps / 1e6
+
+
+def ms(value: float) -> float:
+    """Milliseconds → seconds."""
+    return value * MS
+
+
+def us(value: float) -> float:
+    """Microseconds → seconds."""
+    return value * US

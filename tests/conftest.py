@@ -1,0 +1,19 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator per test."""
+    return Simulator()
+
+
+def run_process(sim: Simulator, gen, limit: float = 1e6):
+    """Drive ``gen`` to completion and return its value (test helper)."""
+    proc = sim.process(gen)
+    return sim.run_until_event(proc, limit=limit)

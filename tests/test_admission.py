@@ -1,0 +1,158 @@
+"""Admission control: placement, accounting, release invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionControl
+from repro.core.database import AdminDatabase, ContentEntry
+from repro.media.content import ContentType
+from repro.units import BLOCK_SIZE, MPEG1_RATE
+
+MPEG = ContentType("mpeg1", MPEG1_RATE, MPEG1_RATE)
+
+
+def build_db(n_msus=1, disks_per_msu=2, free_blocks=1000):
+    db = AdminDatabase()
+    for i in range(n_msus):
+        db.register_msu(
+            f"msu{i}", [(f"msu{i}.sd{d}", free_blocks) for d in range(disks_per_msu)]
+        )
+    return db
+
+
+class TestPlaceRead:
+    def test_allocates_disk_and_msu_bandwidth(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        alloc = admission.place_read(entry, MPEG)
+        assert alloc is not None
+        assert db.disk("msu0", "msu0.sd0").bandwidth_used == MPEG1_RATE
+        assert db.msus["msu0"].delivery_used == MPEG1_RATE
+
+    def test_disk_bandwidth_cap_respected(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        capacity = db.disk("msu0", "msu0.sd0").bandwidth_capacity
+        granted = 0
+        while admission.place_read(entry, MPEG) is not None:
+            granted += 1
+        assert granted == int(capacity // MPEG1_RATE)
+
+    def test_msu_delivery_cap_respected(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entries = [
+            ContentEntry("a", "mpeg1", "msu0", "msu0.sd0"),
+            ContentEntry("b", "mpeg1", "msu0", "msu0.sd1"),
+        ]
+        granted = 0
+        while True:
+            alloc = admission.place_read(entries[granted % 2], MPEG)
+            if alloc is None:
+                break
+            granted += 1
+        capacity = db.msus["msu0"].delivery_capacity
+        assert granted == int(capacity // MPEG1_RATE)
+
+    def test_down_msu_not_used(self):
+        db = build_db()
+        db.mark_msu_down("msu0")
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        assert admission.place_read(entry, MPEG) is None
+
+    def test_release_returns_bandwidth(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        alloc = admission.place_read(entry, MPEG)
+        admission.release(alloc)
+        assert db.disk("msu0", "msu0.sd0").bandwidth_used == 0.0
+        assert db.msus["msu0"].delivery_used == 0.0
+
+
+class TestPlaceRecord:
+    def test_space_estimated_from_storage_rate(self):
+        admission = AdmissionControl(build_db(), BLOCK_SIZE)
+        blocks = admission.estimate_blocks(MPEG, 60.0)
+        expected = int(MPEG1_RATE * 60 / BLOCK_SIZE) + 1
+        assert blocks in (expected, expected + 1)
+
+    def test_space_reserved_on_disk(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        alloc = admission.place_record(MPEG, 60.0)
+        assert alloc is not None
+        disk = db.disk(alloc.msu_name, alloc.disk_id)
+        assert disk.free_blocks == 1000 - alloc.reserved_blocks
+
+    def test_insufficient_space_rejects(self):
+        db = build_db(free_blocks=3)
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        assert admission.place_record(MPEG, 3600.0) is None
+
+    def test_least_loaded_disk_chosen(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        first = admission.place_record(MPEG, 10.0)
+        second = admission.place_record(MPEG, 10.0)
+        assert first.disk_id != second.disk_id  # load balancing
+
+    def test_msu_pinning_for_groups(self):
+        db = build_db(n_msus=3)
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        alloc = admission.place_record(MPEG, 10.0, msu_name="msu2")
+        assert alloc.msu_name == "msu2"
+
+    def test_release_returns_unused_space(self):
+        """§2.2: overestimated recordings give the space back."""
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        alloc = admission.place_record(MPEG, 60.0)
+        admission.release(alloc, blocks_used=4)
+        disk = db.disk(alloc.msu_name, alloc.disk_id)
+        assert disk.free_blocks == 1000 - 4
+
+    def test_release_msu_zeroes_accounting(self):
+        db = build_db()
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        admission.place_read(entry, MPEG)
+        admission.release_msu("msu0")
+        assert db.msus["msu0"].delivery_used == 0.0
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(st.sampled_from(["read", "record", "release"]), max_size=60),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_never_negative_or_oversubscribed(self, ops, seed):
+        import random
+
+        rng = random.Random(seed)
+        db = build_db(n_msus=2)
+        admission = AdmissionControl(db, BLOCK_SIZE)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        live = []
+        for op in ops:
+            if op == "read":
+                alloc = admission.place_read(entry, MPEG)
+                if alloc:
+                    live.append((alloc, 0))
+            elif op == "record":
+                alloc = admission.place_record(MPEG, rng.uniform(1, 120))
+                if alloc:
+                    live.append((alloc, rng.randint(0, alloc.reserved_blocks)))
+            elif live:
+                alloc, used = live.pop(rng.randrange(len(live)))
+                admission.release(alloc, blocks_used=used)
+            for state in db.msus.values():
+                assert 0 <= state.delivery_used <= state.delivery_capacity + 1e-6
+                for disk in state.disks.values():
+                    assert 0 <= disk.bandwidth_used <= disk.bandwidth_capacity + 1e-6
+                    assert 0 <= disk.free_blocks <= 1000

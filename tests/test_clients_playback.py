@@ -1,0 +1,63 @@
+"""Client playout-buffer model (§2.2.1's jitter-smoothing argument)."""
+
+import pytest
+
+from repro.clients import PlayoutBuffer
+
+
+def steady_arrivals(rate, packet, duration, jitter_fn=lambda i: 0.0):
+    """Packets of ``packet`` bytes at the nominal rate with jitter."""
+    interval = packet / rate
+    n = int(duration / interval)
+    return [(i * interval + jitter_fn(i), packet) for i in range(n)]
+
+
+class TestPlayout:
+    def test_smooth_stream_never_underflows(self):
+        buffer = PlayoutBuffer(capacity_bytes=200_000, rate=187_500, startup_delay=1.0)
+        report = buffer.evaluate(steady_arrivals(187_500, 4096, 30.0))
+        assert report.underflows == 0
+        assert report.overflow_bytes == 0
+
+    def test_paper_buffer_holds_over_a_second(self):
+        """"A 200 KByte buffer will hold more than one second of
+        1.5 Mbit/sec video."""
+        assert 200_000 / 187_500 > 1.0
+
+    def test_msu_worst_case_jitter_smoothed(self):
+        """150 ms of server jitter (§2.2.1 worst case) rides easily on a
+        one-second startup delay."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        buffer = PlayoutBuffer(capacity_bytes=200_000, rate=187_500, startup_delay=1.0)
+        report = buffer.evaluate(
+            steady_arrivals(187_500, 4096, 30.0, lambda i: float(rng.uniform(0, 0.15)))
+        )
+        assert report.underflows == 0
+
+    def test_second_long_stall_underflows_small_delay(self):
+        arrivals = steady_arrivals(187_500, 4096, 10.0)
+        # A 1.5-second gap mid-stream with only 0.5 s of startup buffering.
+        stalled = [
+            (t + 1.5 if t > 5.0 else t, n) for t, n in arrivals
+        ]
+        buffer = PlayoutBuffer(capacity_bytes=200_000, rate=187_500, startup_delay=0.5)
+        report = buffer.evaluate(stalled)
+        assert report.underflows >= 1
+        assert report.stall_seconds > 0
+
+    def test_overflow_counted_when_buffer_tiny(self):
+        buffer = PlayoutBuffer(capacity_bytes=8_192, rate=187_500, startup_delay=2.0)
+        report = buffer.evaluate(steady_arrivals(187_500, 4096, 10.0))
+        assert report.overflow_bytes > 0
+
+    def test_empty_arrivals(self):
+        report = PlayoutBuffer().evaluate([])
+        assert report.underflows == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            PlayoutBuffer(rate=-1)

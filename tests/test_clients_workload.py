@@ -1,0 +1,84 @@
+"""Fake MSU and the open-loop request generator (§3.3 machinery)."""
+
+import pytest
+
+from repro.clients import FakeMsu, OpenLoopRequester
+from repro.core.coordinator import Coordinator
+from repro.core.database import ContentEntry
+from repro.net import ControlChannel, Network
+from repro.sim import Simulator
+
+
+def build_world(sim):
+    coordinator = Coordinator(sim)
+    coordinator.db.add_customer("user")
+    fake = FakeMsu(sim, "fake0")
+    chan = ControlChannel(sim, coordinator.name, "fake0", latency=0.001)
+    coordinator.attach_msu(chan)
+    fake.attach_coordinator(chan)
+    sim.run(until=0.01)
+    coordinator.db.add_content(ContentEntry("clip", "mpeg1", "fake0", "fake0.sd0"))
+    return coordinator, fake
+
+
+class TestFakeMsu:
+    def test_hello_registers_disks(self, sim):
+        coordinator, fake = build_world(sim)
+        assert "fake0" in coordinator.db.msus
+        assert len(coordinator.db.msus["fake0"].disks) == 2
+
+    def test_terminates_after_50ms(self, sim):
+        coordinator, fake = build_world(sim)
+        chan = ControlChannel(sim, "cli", coordinator.name, latency=0.001)
+        coordinator.connect_client(chan, "cli")
+        from repro.net import messages as m
+
+        def scenario():
+            chan.send("cli", m.OpenSession("user"))
+            reply = yield chan.recv("cli")
+            chan.send("cli", m.RegisterPort(reply.session_id, "p", "mpeg1", ("cli", 1)))
+            yield chan.recv("cli")
+            chan.send("cli", m.PlayRequest(reply.session_id, "clip", "p"))
+            yield chan.recv("cli")
+            return sim.now
+
+        proc = sim.process(scenario())
+        scheduled_at = sim.run_until_event(proc, limit=5.0)
+        assert fake.streams_handled == 0  # not yet terminated
+        sim.run(until=scheduled_at + 0.2)
+        assert fake.streams_handled == 1
+        assert coordinator.db.msus["fake0"].delivery_used == 0.0
+
+
+class TestOpenLoopRequester:
+    def test_sends_requested_total(self, sim):
+        coordinator, fake = build_world(sim)
+        chan = ControlChannel(sim, "gen", coordinator.name, latency=0.001)
+        coordinator.connect_client(chan, "gen")
+        requester = OpenLoopRequester(
+            sim, chan, "gen", ["clip"], rate_per_second=100.0, total_requests=50
+        )
+        requester.start()
+        sim.run_until_event(requester.done, limit=60.0)
+        sim.run(until=sim.now + 1.0)
+        assert requester.sent == 50
+        assert fake.streams_handled == 50
+        assert requester.failed == 0
+
+    def test_rate_approximately_honored(self, sim):
+        coordinator, fake = build_world(sim)
+        chan = ControlChannel(sim, "gen", coordinator.name, latency=0.001)
+        coordinator.connect_client(chan, "gen")
+        requester = OpenLoopRequester(
+            sim, chan, "gen", ["clip"], rate_per_second=50.0, total_requests=200,
+            seed=3,
+        )
+        requester.start()
+        start = sim.now
+        sim.run_until_event(requester.done, limit=60.0)
+        elapsed = sim.now - start
+        assert elapsed == pytest.approx(200 / 50.0, rel=0.3)
+
+    def test_bad_parameters(self, sim):
+        with pytest.raises(ValueError):
+            OpenLoopRequester(sim, None, "g", ["c"], rate_per_second=0, total_requests=5)

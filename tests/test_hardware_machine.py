@@ -1,0 +1,225 @@
+"""Machine assembly, CPU stall model, memory bus, NIC and timer."""
+
+import pytest
+
+from repro.hardware import Machine, MachineParams, MemoryBus
+from repro.hardware.params import ETHERNET_10, FDDI, MemoryParams, TimerParams
+from repro.hardware.timer import SystemTimer
+from repro.sim import Simulator
+from repro.units import CBR_PACKET_SIZE, to_mbyte_per_s
+from tests.conftest import run_process
+
+
+class TestMachine:
+    def test_topology_construction(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(2, 1)))
+        assert len(machine.hbas) == 2
+        assert len(machine.disks) == 3
+        assert len(machine.disks_on(machine.hbas[0])) == 2
+        assert len(machine.disks_on(machine.hbas[1])) == 1
+
+    def test_diskless_machine(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        assert machine.disks == [] and machine.hbas == []
+        assert machine.outstanding_commands() == 0
+
+    def test_nic_registry(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(FDDI)
+        assert machine.nic("fddi0") is nic
+        with pytest.raises(ValueError):
+            machine.add_nic(FDDI)
+
+    def test_outstanding_commands_tracked(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        hba = machine.hbas[0]
+        assert machine.active_hba_count() == 0
+        hba.command_begin()
+        assert machine.active_hba_count() == 1
+        assert machine.outstanding_commands() == 1
+        hba.command_end()
+        assert machine.outstanding_commands() == 0
+
+    def test_command_end_without_begin_rejected(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        with pytest.raises(RuntimeError):
+            machine.hbas[0].command_end()
+
+
+class TestCpuStall:
+    def test_no_stall_below_threshold(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(2,)))
+        machine.hbas[0].command_begin()
+        machine.hbas[0].command_begin()
+        assert machine.cpu.io_stall_time() == 0.0  # one HBA only
+
+    def test_stall_with_two_active_hbas(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1, 1)))
+        for hba in machine.hbas:
+            hba.command_begin()
+        stall = machine.cpu.io_stall_time()
+        assert stall == pytest.approx(machine.params.cpu.io_stall_base)
+
+    def test_stall_grows_with_commands(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(2, 1)))
+        machine.hbas[0].command_begin()
+        machine.hbas[0].command_begin()
+        machine.hbas[1].command_begin()
+        stall = machine.cpu.io_stall_time()
+        p = machine.params.cpu
+        assert stall == pytest.approx(p.io_stall_base + p.io_stall_per_command)
+
+    def test_cpu_execute_accounts_busy_time(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        run_process(sim, machine.cpu.execute(0.25))
+        assert machine.cpu.busy_time == pytest.approx(0.25)
+        assert machine.cpu.utilization(1.0) == pytest.approx(0.25)
+
+    def test_cpu_serializes(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+
+        def worker():
+            yield from machine.cpu.execute(1.0)
+            return sim.now
+
+        p1 = sim.process(worker())
+        p2 = sim.process(worker())
+        sim.run()
+        assert (p1.value, p2.value) == (1.0, 2.0)
+
+
+class TestMemoryBus:
+    def test_transfer_time_matches_rate(self, sim):
+        bus = MemoryBus(sim)
+        run_process(sim, bus.copy(18_000_000))
+        assert sim.now == pytest.approx(1.0)
+
+    def test_rates_differ_by_kind(self, sim):
+        params = MemoryParams()
+        for kind, rate in [("read", 53e6), ("write", 25e6), ("copy", 18e6)]:
+            s = Simulator()
+            bus = MemoryBus(s, params)
+            run_process(s, getattr(bus, kind)(1_000_000))
+            assert s.now == pytest.approx(1_000_000 / rate)
+
+    def test_concurrent_transfers_share_bandwidth(self, sim):
+        bus = MemoryBus(sim)
+
+        def mover():
+            yield from bus.copy(9_000_000)
+            return sim.now
+
+        p1 = sim.process(mover())
+        p2 = sim.process(mover())
+        sim.run()
+        # Two 0.5 s transfers interleaved chunk-wise: both finish ~1 s.
+        assert p1.value == pytest.approx(1.0, rel=0.01)
+        assert p2.value == pytest.approx(1.0, rel=0.01)
+
+    def test_negative_size_rejected(self, sim):
+        bus = MemoryBus(sim)
+        with pytest.raises(ValueError):
+            list(bus.read(-1))
+
+    def test_accounting(self, sim):
+        bus = MemoryBus(sim)
+        run_process(sim, bus.read(1024))
+        assert bus.bytes_moved == 1024
+        assert bus.busy_time > 0
+
+
+class TestNic:
+    def test_fddi_alone_reaches_8_5(self, sim):
+        """The FDDI-only baseline: 8.5 MB/s with 4 KiB UDP (Table 1)."""
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(FDDI)
+
+        def sender():
+            while True:
+                yield from nic.udp_send(CBR_PACKET_SIZE)
+
+        sim.process(sender())
+        sim.run(until=10.0)
+        assert to_mbyte_per_s(nic.throughput(10.0)) == pytest.approx(8.5, abs=0.2)
+
+    def test_ethernet_line_rate_bounds_throughput(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(ETHERNET_10)
+
+        def sender():
+            while True:
+                yield from nic.udp_send(CBR_PACKET_SIZE)
+
+        sim.process(sender())
+        sim.run(until=5.0)
+        assert nic.throughput(5.0) <= ETHERNET_10.line_rate
+
+    def test_enobufs_backoff_counted(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(ETHERNET_10)  # slow line: queue fills
+
+        def sender():
+            for _ in range(200):
+                yield from nic.udp_send(CBR_PACKET_SIZE)
+
+        run_process(sim, sender())
+        assert nic.enobufs_count > 0
+
+    def test_receive_path_counts(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(FDDI)
+        run_process(sim, nic.udp_receive(1024))
+        assert nic.packets_received == 1
+        assert nic.bytes_received == 1024
+
+    def test_on_transmit_callback(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(FDDI)
+        seen = []
+        nic.on_transmit = lambda payload, n: seen.append((payload, n))
+        run_process(sim, nic.udp_send(512, payload="tag"))
+        sim.run()
+        assert seen == [("tag", 512)]
+
+    def test_bad_packet_sizes_rejected(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=()))
+        nic = machine.add_nic(FDDI)
+        with pytest.raises(ValueError):
+            list(nic.udp_send(0))
+        with pytest.raises(ValueError):
+            list(nic.udp_receive(-5))
+
+
+class TestTimer:
+    def test_quantizes_to_granularity(self, sim):
+        timer = SystemTimer(sim, TimerParams(granularity=0.010))
+        assert timer.next_tick_at_or_after(0.0123) == pytest.approx(0.020)
+        assert timer.next_tick_at_or_after(0.020) == pytest.approx(0.020)
+
+    def test_zero_granularity_is_precise(self, sim):
+        timer = SystemTimer(sim, TimerParams(granularity=0.0))
+        assert timer.next_tick_at_or_after(0.0123) == 0.0123
+
+    def test_wait_until_advances_to_tick(self, sim):
+        timer = SystemTimer(sim, TimerParams(granularity=0.010))
+
+        def proc():
+            yield from timer.wait_until(0.014)
+            return sim.now
+
+        assert run_process(sim, proc()) == pytest.approx(0.020)
+
+    def test_wait_until_past_is_noop(self, sim):
+        timer = SystemTimer(sim, TimerParams(granularity=0.010))
+        sim.run(until=1.0)
+
+        def proc():
+            yield from timer.wait_until(0.5)
+            return sim.now
+
+        assert run_process(sim, proc()) == 1.0
+
+    def test_sleep_negative_rejected(self, sim):
+        timer = SystemTimer(sim)
+        with pytest.raises(ValueError):
+            timer.sleep(-1.0)

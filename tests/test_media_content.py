@@ -1,0 +1,67 @@
+"""Content types: the two-rate table and composite typing (§2.2)."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.media import DEFAULT_TYPES, ContentType, ContentTypeRegistry
+from repro.units import MPEG1_RATE
+
+
+@pytest.fixture
+def registry():
+    return ContentTypeRegistry(DEFAULT_TYPES)
+
+
+class TestRegistry:
+    def test_default_types_present(self, registry):
+        assert registry.names() == ["mpeg1", "rtp-video", "seminar", "vat-audio"]
+
+    def test_unknown_type_raises(self, registry):
+        with pytest.raises(TypeMismatchError):
+            registry.get("avi")
+
+    def test_contains(self, registry):
+        assert "mpeg1" in registry
+        assert "avi" not in registry
+
+    def test_define_requires_known_components(self):
+        registry = ContentTypeRegistry()
+        with pytest.raises(TypeMismatchError):
+            registry.define(ContentType("combo", 0, 0, components=("ghost",)))
+
+    def test_composite_may_not_nest(self, registry):
+        with pytest.raises(TypeMismatchError):
+            registry.define(
+                ContentType("nested", 0, 0, components=("seminar",))
+            )
+
+    def test_admin_can_add_types(self, registry):
+        """Clients may not define new types without an administrator
+        (§2.1); `define` is that administrative path."""
+        registry.define(ContentType("jpeg", 1e6, 1e6))
+        assert "jpeg" in registry
+
+
+class TestRates:
+    def test_mpeg_rates_equal(self, registry):
+        mpeg = registry.get("mpeg1")
+        assert mpeg.bandwidth_rate == mpeg.storage_rate == MPEG1_RATE
+        assert not mpeg.variable
+
+    def test_variable_type_bandwidth_above_storage(self, registry):
+        """§2.2: bandwidth near peak, storage near average for VBR."""
+        video = registry.get("rtp-video")
+        assert video.variable
+        assert video.bandwidth_rate > video.storage_rate
+
+
+class TestComposite:
+    def test_seminar_components(self, registry):
+        seminar = registry.get("seminar")
+        assert seminar.is_composite
+        members = registry.atomic_components("seminar")
+        assert sorted(m.name for m in members) == ["rtp-video", "vat-audio"]
+
+    def test_atomic_components_of_atomic_type(self, registry):
+        members = registry.atomic_components("mpeg1")
+        assert [m.name for m in members] == ["mpeg1"]

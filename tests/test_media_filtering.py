@@ -1,0 +1,61 @@
+"""The offline fast-scan filter (§2.3.1)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.media import MpegEncoder, make_fast_backward, make_fast_forward, parse_frames
+
+
+@pytest.fixture(scope="module")
+def bitstream():
+    return MpegEncoder(seed=11).bitstream(20.0)  # 600 frames, 40 GOPs
+
+
+class TestFastForward:
+    def test_selects_every_nth_frame(self, bitstream):
+        filtered, numbers = make_fast_forward(bitstream, step=15)
+        assert numbers == list(range(0, 600, 15))
+
+    def test_selected_frames_are_intra_coded(self, bitstream):
+        filtered, _ = make_fast_forward(bitstream, step=15)
+        assert all(f.ftype == "I" for f in parse_frames(filtered))
+
+    def test_payloads_preserved(self, bitstream):
+        original = parse_frames(bitstream)
+        filtered, numbers = make_fast_forward(bitstream, step=15)
+        for frame, number in zip(parse_frames(filtered), numbers):
+            assert frame.payload == original[number].payload
+
+    def test_step_selecting_inter_frames_rejected(self, bitstream):
+        """Inter-coded frames cannot be decoded standalone (§2.3.1)."""
+        with pytest.raises(ProtocolError):
+            make_fast_forward(bitstream, step=7)
+
+    def test_step_multiple_of_gop_allowed(self, bitstream):
+        filtered, numbers = make_fast_forward(bitstream, step=30)
+        assert numbers == list(range(0, 600, 30))
+
+    def test_bad_step(self, bitstream):
+        with pytest.raises(ValueError):
+            make_fast_forward(bitstream, step=0)
+
+
+class TestFastBackward:
+    def test_frames_reversed(self, bitstream):
+        _, forward = make_fast_forward(bitstream, step=15)
+        _, backward = make_fast_backward(bitstream, step=15)
+        assert backward == list(reversed(forward))
+
+    def test_stream_parses(self, bitstream):
+        filtered, _ = make_fast_backward(bitstream, step=15)
+        frames = parse_frames(filtered)
+        assert frames[0].number == 585
+        assert frames[-1].number == 0
+
+    def test_rate_comparable_to_normal(self, bitstream):
+        """Filtered streams occupy a normal stream's resources: roughly
+        1/step the bytes covering the same content span."""
+        filtered, _ = make_fast_forward(bitstream, step=15)
+        ratio = len(filtered) / len(bitstream)
+        # I frames are ~3x average, so 1/15th of frames ~ 3/15 of bytes.
+        assert 0.1 < ratio < 0.35

@@ -1,0 +1,87 @@
+"""Synthetic MPEG bitstream: structure, rates, packetization."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.media import MpegEncoder, packetize_cbr, parse_frames
+from repro.media.mpeg import GOP_PATTERN, PICTURE_START, SEQUENCE_START
+from repro.units import CBR_PACKET_SIZE, MPEG1_RATE
+
+
+class TestEncoder:
+    def test_gop_pattern_respected(self):
+        frames = MpegEncoder().frames(45)
+        for i, frame in enumerate(frames):
+            assert frame.ftype == GOP_PATTERN[i % len(GOP_PATTERN)]
+
+    def test_i_frames_largest(self):
+        frames = MpegEncoder().frames(150)
+        i_sizes = [len(f.payload) for f in frames if f.ftype == "I"]
+        b_sizes = [len(f.payload) for f in frames if f.ftype == "B"]
+        assert min(i_sizes) > max(b_sizes)
+
+    def test_rate_close_to_nominal(self):
+        duration = 30.0
+        stream = MpegEncoder(seed=2).bitstream(duration)
+        rate = len(stream) / duration
+        assert rate == pytest.approx(MPEG1_RATE, rel=0.05)
+
+    def test_payloads_free_of_start_codes(self):
+        stream = MpegEncoder(seed=3).bitstream(5.0)
+        # Beyond the legitimate start codes, no 00 00 01 may appear.
+        frames = parse_frames(stream)
+        for frame in frames:
+            assert b"\x00\x00\x01" not in frame.payload
+
+    def test_deterministic_for_seed(self):
+        a = MpegEncoder(seed=9).bitstream(2.0)
+        b = MpegEncoder(seed=9).bitstream(2.0)
+        assert a == b
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MpegEncoder(rate=0)
+        with pytest.raises(ValueError):
+            MpegEncoder(gop="BBI")  # must start with I
+        with pytest.raises(ValueError):
+            MpegEncoder(gop="IXB")
+
+
+class TestParse:
+    def test_roundtrip(self):
+        encoder = MpegEncoder(seed=4)
+        frames = encoder.frames(30)
+        stream = SEQUENCE_START + b"".join(f.encode() for f in frames)
+        parsed = parse_frames(stream)
+        assert [(f.number, f.ftype, f.payload) for f in parsed] == [
+            (f.number, f.ftype, f.payload) for f in frames
+        ]
+
+    def test_missing_sequence_header(self):
+        with pytest.raises(ProtocolError):
+            parse_frames(PICTURE_START + b"junk")
+
+    def test_truncated_frame(self):
+        stream = MpegEncoder(seed=5).bitstream(1.0)
+        with pytest.raises(ProtocolError):
+            parse_frames(stream[:-10])
+
+
+class TestPacketize:
+    def test_schedule_is_constant_rate(self):
+        stream = MpegEncoder(seed=6).bitstream(10.0)
+        packets = packetize_cbr(stream, MPEG1_RATE, CBR_PACKET_SIZE)
+        gaps = [
+            b.delivery_us - a.delivery_us for a, b in zip(packets, packets[1:])
+        ]
+        expected = CBR_PACKET_SIZE / MPEG1_RATE * 1e6
+        assert all(abs(g - expected) <= 1 for g in gaps)
+
+    def test_reassembly_recovers_bitstream(self):
+        stream = MpegEncoder(seed=7).bitstream(3.0)
+        packets = packetize_cbr(stream, MPEG1_RATE, CBR_PACKET_SIZE)
+        assert b"".join(p.payload for p in packets) == stream
+
+    def test_bad_parameters(self):
+        with pytest.raises(ProtocolError):
+            packetize_cbr(b"x", 0, 100)

@@ -1,0 +1,80 @@
+"""NV and VAT traffic generators: the Graph 2 workload properties."""
+
+import numpy as np
+import pytest
+
+from repro.media import NvEncoder, VatEncoder
+from repro.media.nv import window_peak_rate
+from repro.units import kbit_per_s
+
+
+class TestNv:
+    @pytest.mark.parametrize("avg_kbit", [650.0, 635.0, 877.0])
+    def test_average_rate_calibrated(self, avg_kbit):
+        encoder = NvEncoder(avg_rate=kbit_per_s(avg_kbit), seed=int(avg_kbit))
+        packets = encoder.packets(60.0)
+        measured = encoder.mean_rate(packets)
+        assert measured == pytest.approx(kbit_per_s(avg_kbit), rel=0.06)
+
+    @pytest.mark.parametrize("avg_kbit", [650.0, 635.0, 877.0])
+    def test_50ms_peaks_in_paper_range(self, avg_kbit):
+        """§3.2.2: peaks of 2.0 to 5.4 Mbit/s over a 50 ms window."""
+        encoder = NvEncoder(avg_rate=kbit_per_s(avg_kbit), seed=int(avg_kbit))
+        peak_mbit = window_peak_rate(encoder.packets(60.0)) * 8 / 1e6
+        assert 2.0 <= peak_mbit <= 5.5
+
+    def test_packets_about_one_kilobyte(self):
+        """§3.2.2: "most of the packets in the streams are about one
+        KByte long"."""
+        packets = NvEncoder(seed=1).packets(30.0)
+        sizes = [len(p.payload) for p in packets]
+        full = sum(1 for s in sizes if s == 1024)
+        assert full / len(sizes) > 0.6
+        assert max(sizes) <= 1024
+
+    def test_frames_burst_back_to_back(self):
+        encoder = NvEncoder(seed=2)
+        packets = encoder.packets(5.0)
+        gaps = np.diff([p.delivery_us for p in packets])
+        # Within a burst the gap is the tiny wire pacing; between frames
+        # it is the frame interval.
+        assert (gaps == encoder.burst_gap_us).sum() > len(gaps) * 0.3
+
+    def test_schedule_monotone(self):
+        packets = NvEncoder(seed=3).packets(10.0)
+        times = [p.delivery_us for p in packets]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        a = NvEncoder(seed=5).packets(3.0)
+        b = NvEncoder(seed=5).packets(3.0)
+        assert a == b
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NvEncoder(avg_rate=0)
+
+
+class TestVat:
+    def test_frame_spacing_is_20ms(self):
+        packets = VatEncoder(seed=1).packets(10.0)
+        gaps = np.diff([p.delivery_us for p in packets])
+        assert all(g % VatEncoder.FRAME_US == 0 for g in gaps)
+
+    def test_payload_is_160_bytes(self):
+        packets = VatEncoder(seed=2).packets(5.0)
+        assert all(len(p.payload) == VatEncoder.FRAME_BYTES for p in packets)
+
+    def test_silence_suppression_creates_gaps(self):
+        packets = VatEncoder(seed=3).packets(60.0)
+        gaps = np.diff([p.delivery_us for p in packets])
+        assert (gaps > VatEncoder.FRAME_US).any()
+
+    def test_rate_below_continuous_pcm(self):
+        packets = VatEncoder(seed=4).packets(60.0)
+        total = sum(len(p.payload) for p in packets)
+        assert total < 8000 * 60  # silence removed
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            VatEncoder(talk_spurt_s=0)

@@ -1,0 +1,104 @@
+"""Coverage of small corners: errors, disk writes, reader helpers."""
+
+import pytest
+
+from repro import errors
+from repro.hardware import Machine, MachineParams
+from repro.sim import Simulator
+from repro.storage import (
+    IBTreeConfig,
+    IBTreeReader,
+    IBTreeWriter,
+    MsuFileSystem,
+    PacketRecord,
+    RawDisk,
+    SpanVolume,
+)
+from repro.units import BLOCK_SIZE
+from tests.conftest import run_process
+
+SMALL = IBTreeConfig(data_page_size=2048, internal_page_size=256, max_keys=8)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_calliope_errors(self):
+        for name in (
+            "AdmissionError", "TypeMismatchError", "UnknownContentError",
+            "UnknownPortError", "StorageError", "OutOfSpaceError",
+            "ProtocolError", "MSUUnavailableError", "VCRError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.CalliopeError)
+
+    def test_out_of_space_is_storage_error(self):
+        assert issubclass(errors.OutOfSpaceError, errors.StorageError)
+
+
+class TestDiskWrites:
+    def test_write_transfer_times_comparable_to_reads(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        disk = machine.disks[0]
+        run_process(sim, disk.transfer(0, BLOCK_SIZE, write=True))
+        write_time = sim.now
+        sim2 = Simulator()
+        machine2 = Machine(sim2, MachineParams(disks_per_hba=(1,)))
+        run_process(sim2, machine2.disks[0].transfer(0, BLOCK_SIZE, write=False))
+        assert write_time == pytest.approx(sim2.now, rel=0.5)
+
+    def test_write_updates_stats(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        disk = machine.disks[0]
+        run_process(sim, disk.transfer(BLOCK_SIZE * 7, BLOCK_SIZE, write=True))
+        assert disk.bytes_transferred == BLOCK_SIZE
+
+
+class TestReaderHelpers:
+    def _pages(self, n=40):
+        writer = IBTreeWriter(SMALL)
+        pages = []
+        for i in range(n):
+            page = writer.feed(PacketRecord(i * 1000, bytes([i % 256]) * 120))
+            if page:
+                pages.append(page)
+        tail, root = writer.finish()
+        pages.extend(tail)
+        return pages
+
+    def test_iter_records_pure_parsing(self):
+        pages = self._pages()
+        fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 64), 2048))
+        handle = fs.create("x")
+        reader = IBTreeReader(handle, SMALL)
+        records = list(reader.iter_records(iter(pages)))
+        assert len(records) == 40
+        assert [r.delivery_us for r in records] == [i * 1000 for i in range(40)]
+
+    def test_scan_empty_file(self, sim):
+        fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 16), 2048))
+        handle = fs.create("empty")
+        out = run_process(sim, IBTreeReader(handle, SMALL).scan())
+        assert out == []
+
+    def test_seek_empty_file(self, sim):
+        fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 16), 2048))
+        handle = fs.create("empty")
+        assert run_process(sim, IBTreeReader(handle, SMALL).seek(0)) is None
+
+
+class TestChannelHooks:
+    def test_on_message_accounting_hook(self, sim):
+        from repro.net import ControlChannel
+
+        channel = ControlChannel(sim, "a", "b", latency=0.001)
+        seen = []
+        channel.on_message = lambda sender, msg: seen.append((sender, msg))
+        channel.send("a", "hello")
+        assert seen == [("a", "hello")]
+
+    def test_close_idempotent(self, sim):
+        from repro.net import ControlChannel
+
+        channel = ControlChannel(sim, "a", "b")
+        channel.close()
+        channel.close()  # no error, no duplicate wakeups beyond the first
+        sim.run()

@@ -1,0 +1,95 @@
+"""Whole-MSU crashes mid-stream: clients notice, recovery works."""
+
+import pytest
+
+from repro.clients import Client
+from repro.core import CalliopeCluster, ClusterConfig
+from repro.media import MpegEncoder, packetize_cbr
+from repro.sim import Simulator
+from repro.storage import IBTreeConfig
+from repro.units import MPEG1_RATE
+
+SMALL = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
+
+
+def build():
+    sim = Simulator()
+    cluster = CalliopeCluster(sim, ClusterConfig(n_msus=1, ibtree_config=SMALL))
+    cluster.coordinator.db.add_customer("user")
+    packets = packetize_cbr(MpegEncoder(seed=1).bitstream(30.0), MPEG1_RATE, 1024)
+    cluster.load_content("movie", "mpeg1", packets)
+    return sim, cluster, packets
+
+
+def start_stream(sim, cluster):
+    client = Client(sim, cluster, "c0")
+
+    def scenario():
+        yield from client.open_session("user")
+        yield from client.register_port("tv", "mpeg1")
+        view = yield from client.play("movie", "tv")
+        yield from client.wait_ready(view)
+        return view
+
+    proc = sim.process(scenario())
+    view = sim.run_until_event(proc, limit=30.0)
+    sim.run(until=sim.now + 2.0)
+    return client, view
+
+
+class TestCrash:
+    def test_delivery_stops_dead(self):
+        sim, cluster, _ = build()
+        client, view = start_stream(sim, cluster)
+        cluster.fail_msu(0, crash=True)
+        sim.run(until=sim.now + 0.2)
+        frozen = client.ports["tv"].stats.packets
+        sim.run(until=sim.now + 5.0)
+        assert client.ports["tv"].stats.packets == frozen
+
+    def test_client_sees_vcr_channel_break(self):
+        sim, cluster, _ = build()
+        client, view = start_stream(sim, cluster)
+        assert not view.done_event.triggered
+        cluster.fail_msu(0, crash=True)
+        sim.run(until=sim.now + 0.5)
+        assert view.closed
+        assert view.done_event.triggered  # the break ends the session
+
+    def test_coordinator_marks_down_and_releases(self):
+        sim, cluster, _ = build()
+        client, view = start_stream(sim, cluster)
+        cluster.fail_msu(0, crash=True)
+        sim.run(until=sim.now + 0.5)
+        state = cluster.coordinator.db.msus["msu0"]
+        assert not state.available
+        assert state.delivery_used == 0.0
+
+    def test_reboot_and_replay_from_surviving_disks(self):
+        sim, cluster, packets = build()
+        client, view = start_stream(sim, cluster)
+        mid_packets = client.ports["tv"].stats.packets
+        cluster.fail_msu(0, crash=True)
+        sim.run(until=sim.now + 0.5)
+        cluster.rejoin_msu(0)
+        sim.run(until=sim.now + 0.5)
+
+        def replay():
+            yield from client.register_port("tv2", "mpeg1")
+            view2 = yield from client.play("movie", "tv2")
+            yield from client.wait_done(view2)
+
+        proc = sim.process(replay())
+        sim.run(until=sim.now + 90.0)
+        assert proc.ok
+        assert client.ports["tv2"].stats.packets == len(packets)
+        assert mid_packets > 0  # the first attempt really was mid-stream
+
+    def test_crash_is_idempotent_with_partition(self):
+        sim, cluster, _ = build()
+        client, view = start_stream(sim, cluster)
+        cluster.fail_msu(0)  # partition first
+        sim.run(until=sim.now + 0.2)
+        cluster.msus[0].crash()  # then the machine dies too
+        sim.run(until=sim.now + 0.2)
+        assert not cluster.coordinator.db.msus["msu0"].available

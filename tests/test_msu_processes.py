@@ -1,0 +1,236 @@
+"""Disk process duty cycle and the network process (IOP) pacing."""
+
+import pytest
+
+from repro.core.msu.disk_process import DiskProcess
+from repro.core.msu.network_process import NetworkProcess
+from repro.core.msu.streams import PlayStream, RecordStream, StreamState
+from repro.hardware import Machine, MachineParams
+from repro.hardware.params import FDDI
+from repro.net import Host, Network
+from repro.net.protocols import RawProtocol
+from repro.sim import Simulator
+from repro.storage import (
+    IBTreeConfig,
+    IBTreeWriter,
+    MsuFileSystem,
+    PacketRecord,
+    RawDisk,
+    SpanVolume,
+)
+
+CONFIG = IBTreeConfig(data_page_size=4096, internal_page_size=512, max_keys=8)
+
+
+def build_fs(sim, with_drive=True):
+    machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+    raw = RawDisk(machine.disks[0]) if with_drive else RawDisk(None, capacity=4096 * 512)
+    return MsuFileSystem(SpanVolume(raw, CONFIG.data_page_size)), machine
+
+
+def load_file(fs, name, npackets, gap_us=25_000, size=900):
+    handle = fs.create(name, "mpeg1")
+    writer = IBTreeWriter(CONFIG)
+    t = 0
+    for i in range(npackets):
+        page = writer.feed(PacketRecord(t, bytes([i % 256]) * size))
+        t += gap_us
+        if page is not None:
+            fs.append_block_sync(handle, page)
+    pages, root = writer.finish()
+    for page in pages:
+        fs.append_block_sync(handle, page)
+    handle.root = root
+    handle.duration_us = t
+    return handle
+
+
+def make_play(handle, stream_id=1, group=1):
+    return PlayStream(
+        stream_id, group, handle, RawProtocol(), 187_500.0,
+        ("client", 5000), CONFIG,
+    )
+
+
+class TestDiskProcess:
+    def test_fills_both_buffers(self, sim):
+        fs, _ = build_fs(sim)
+        handle = load_file(fs, "m", 40)
+        proc = DiskProcess(sim, fs, "d0")
+        stream = make_play(handle)
+        proc.add_play(stream)
+        sim.run(until=2.0)
+        assert stream.double_buffered
+        assert proc.pages_read == 2
+
+    def test_round_robin_across_streams(self, sim):
+        fs, _ = build_fs(sim)
+        handle = load_file(fs, "m", 60)
+        proc = DiskProcess(sim, fs, "d0")
+        streams = [make_play(handle, stream_id=i) for i in range(4)]
+        loads = []
+        proc.on_page_loaded = lambda s: loads.append(s.stream_id)
+        for stream in streams:
+            proc.add_play(stream)
+        sim.run(until=3.0)
+        # One page per stream per cycle: first four loads hit four streams.
+        assert sorted(loads[:4]) == [0, 1, 2, 3]
+
+    def test_record_pages_written(self, sim):
+        fs, _ = build_fs(sim)
+        handle = fs.create("rec", "")
+        proc = DiskProcess(sim, fs, "d0")
+        stream = RecordStream(9, 9, handle, RawProtocol(), CONFIG)
+        for i in range(40):
+            stream.accept(b"z" * 900, now=float(i) * 0.01)
+        proc.add_record(stream)
+        sim.run(until=3.0)
+        assert proc.pages_written >= 1
+        assert handle.nblocks == proc.pages_written
+
+    def test_record_drain_callback(self, sim):
+        fs, _ = build_fs(sim)
+        handle = fs.create("rec", "")
+        drained = []
+        proc = DiskProcess(sim, fs, "d0", on_record_drained=drained.append)
+        stream = RecordStream(9, 9, handle, RawProtocol(), CONFIG)
+        stream.accept(b"z" * 500, now=0.0)
+        stream.begin_finish()
+        proc.add_record(stream)
+        sim.run(until=2.0)
+        assert drained == [stream]
+        assert stream not in proc.record_streams
+
+    def test_remove_stops_service(self, sim):
+        fs, _ = build_fs(sim)
+        handle = load_file(fs, "m", 60)
+        proc = DiskProcess(sim, fs, "d0")
+        stream = make_play(handle)
+        proc.add_play(stream)
+        sim.run(until=1.0)
+        proc.remove(stream)
+        pages = proc.pages_read
+        stream.buffers.clear()
+        sim.run(until=3.0)
+        assert proc.pages_read == pages
+
+
+class _Rig:
+    """A minimal MSU: one disk process + one IOP + a client socket."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.fs, self.machine = build_fs(sim)
+        self.nic = self.machine.add_nic(FDDI)
+        self.net = Network(sim, latency=0.0)
+        self.host = Host(sim, self.net, "msu", machine=self.machine, nic=self.nic)
+        self.client = Host(sim, self.net, "client")
+        self.client_sock = self.client.bind(5000)
+        self.socket = self.host.bind(4000)
+        self.done = []
+        self.iop = NetworkProcess(
+            sim, self.socket, self.machine.timer, on_stream_done=self.done.append
+        )
+        self.disk = DiskProcess(
+            sim, self.fs, "d0", on_page_loaded=lambda s: self.iop.wakeup.set()
+        )
+        self.iop.disk_kick = lambda s: self.disk.wakeup.set()
+
+    def play(self, handle, stream_id=1, group=1):
+        stream = make_play(handle, stream_id, group)
+        self.disk.add_play(stream)
+        self.iop.add_play(stream)
+        return stream
+
+
+class TestNetworkProcess:
+    def test_stream_plays_to_completion(self, sim):
+        rig = _Rig(sim)
+        handle = load_file(rig.fs, "m", 30)
+        stream = rig.play(handle)
+        sim.run(until=5.0)
+        assert rig.done == [stream]
+        assert stream.packets_sent == 30
+        assert rig.client_sock.received == 30
+
+    def test_lateness_recorded_per_packet(self, sim):
+        rig = _Rig(sim)
+        handle = load_file(rig.fs, "m", 30)
+        rig.play(handle)
+        sim.run(until=5.0)
+        assert len(rig.iop.collector) == 30
+        assert rig.iop.collector.max_lateness_ms() < 100
+
+    def test_pacing_close_to_schedule(self, sim):
+        rig = _Rig(sim)
+        handle = load_file(rig.fs, "m", 30, gap_us=40_000)
+        stream = rig.play(handle)
+        arrivals = []
+        rig.client_sock.notify = lambda: arrivals.append(sim.now)
+        sim.run(until=5.0)
+        spans = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        # Nominal 40 ms gaps, quantized by the 10 ms timer.
+        assert all(0.0 <= s <= 0.08 for s in spans)
+        assert sum(spans) / len(spans) == pytest.approx(0.040, abs=0.01)
+
+    def test_group_members_anchor_together(self, sim):
+        rig = _Rig(sim)
+        a = load_file(rig.fs, "a", 20)
+        b = load_file(rig.fs, "b", 20)
+        sa = rig.play(a, stream_id=1, group=7)
+        sb = rig.play(b, stream_id=2, group=7)
+        sim.run(until=4.0)
+        assert sa.anchor == sb.anchor
+
+    def test_single_member_group_starts_alone(self, sim):
+        rig = _Rig(sim)
+        a = load_file(rig.fs, "a", 200)
+        sa = rig.play(a, stream_id=1, group=7)
+        sim.run(until=2.0)
+        assert sa.state is StreamState.PLAYING
+        assert sa.packets_sent > 0
+
+    def test_hold_and_release_starts(self, sim):
+        rig = _Rig(sim)
+        handle = load_file(rig.fs, "m", 20)
+        rig.iop.hold_starts = True
+        stream = rig.play(handle)
+        sim.run(until=2.0)
+        assert stream.state is StreamState.LOADING
+        assert rig.iop.all_loaded()
+        rig.iop.release_starts()
+        sim.run(until=5.0)
+        assert stream.state is StreamState.DONE
+
+    def test_release_with_stagger_shifts_anchor(self, sim):
+        rig = _Rig(sim)
+        a = load_file(rig.fs, "a", 20)
+        b = load_file(rig.fs, "b", 20)
+        rig.iop.hold_starts = True
+        sa = rig.play(a, stream_id=1, group=1)
+        sb = rig.play(b, stream_id=2, group=2)
+        sim.run(until=2.0)
+        rig.iop.release_starts({1: 0.0, 2: 0.5})
+        assert sb.anchor - sa.anchor == pytest.approx(0.5)
+
+    def test_recording_ingest(self, sim):
+        rig = _Rig(sim)
+        handle = rig.fs.create("rec", "")
+        stream = RecordStream(5, 5, handle, RawProtocol(), CONFIG)
+        rec_sock = rig.host.bind(4500)
+        rig.iop.add_record(stream, rec_sock)
+        rig.iop.disk_kick = lambda s: rig.disk.wakeup.set()
+        rig.disk.add_record(stream)
+
+        def source():
+            for i in range(25):
+                yield from rig.client_sock.send(("msu", 4500), b"m" * 800)
+                yield sim.timeout(0.02)
+
+        sim.process(source())
+        sim.run(until=3.0)
+        assert stream.packets_received == 25
+        stream.begin_finish()
+        rig.disk.wakeup.set()
+        sim.run(until=6.0)
+        assert handle.nblocks >= 1

@@ -1,0 +1,128 @@
+"""The MSU's SPSC shared-memory queue and the coalescing Signal."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.msu.queues import Signal, SpscQueue
+from repro.sim import Simulator
+from tests.conftest import run_process
+
+
+class TestSpscQueue:
+    def test_fifo(self, sim):
+        queue = SpscQueue(sim, capacity=4)
+        for i in range(4):
+            queue.put(i)
+        assert [queue.try_get() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_capacity_enforced(self, sim):
+        queue = SpscQueue(sim, capacity=2)
+        assert queue.try_put("a") and queue.try_put("b")
+        assert not queue.try_put("c")
+        assert queue.full
+        with pytest.raises(OverflowError):
+            queue.put("c")
+
+    def test_empty_get_returns_none(self, sim):
+        queue = SpscQueue(sim, capacity=2)
+        assert queue.try_get() is None
+
+    def test_wraparound(self, sim):
+        queue = SpscQueue(sim, capacity=3)
+        for round_no in range(5):
+            for i in range(3):
+                queue.put((round_no, i))
+            for i in range(3):
+                assert queue.try_get() == (round_no, i)
+
+    def test_len(self, sim):
+        queue = SpscQueue(sim, capacity=5)
+        queue.put(1)
+        queue.put(2)
+        assert len(queue) == 2
+        queue.try_get()
+        assert len(queue) == 1
+
+    def test_wait_wakes_consumer(self, sim):
+        queue = SpscQueue(sim, capacity=4)
+
+        def consumer():
+            while queue.try_get() is None:
+                yield queue.wait()
+            return sim.now
+
+        def producer():
+            yield sim.timeout(2.0)
+            queue.put("x")
+
+        sim.process(producer())
+        assert run_process(sim, consumer()) == 2.0
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            SpscQueue(sim, capacity=0)
+
+    @given(ops=st.lists(st.one_of(st.integers(0, 100), st.none()), max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_deque(self, ops):
+        from collections import deque
+
+        sim = Simulator()
+        queue = SpscQueue(sim, capacity=8)
+        reference = deque()
+        for op in ops:
+            if op is None:
+                assert queue.try_get() == (reference.popleft() if reference else None)
+            else:
+                ok = queue.try_put(op)
+                assert ok == (len(reference) < 8)
+                if ok:
+                    reference.append(op)
+            assert len(queue) == len(reference)
+
+
+class TestSignal:
+    def test_set_wakes_waiter(self, sim):
+        signal = Signal(sim)
+
+        def waiter():
+            yield signal.wait()
+            return sim.now
+
+        def setter():
+            yield sim.timeout(1.5)
+            signal.set()
+
+        sim.process(setter())
+        assert run_process(sim, waiter()) == 1.5
+
+    def test_set_before_wait_is_remembered(self, sim):
+        signal = Signal(sim)
+        signal.set()
+
+        def waiter():
+            yield signal.wait()
+            return sim.now
+
+        assert run_process(sim, waiter()) == 0.0
+
+    def test_multiple_sets_coalesce(self, sim):
+        signal = Signal(sim)
+        signal.set()
+        signal.set()
+        signal.set()
+
+        def waiter():
+            yield signal.wait()  # pending flag consumed here
+            second = signal.wait()
+            assert not second.triggered  # no stored-up extra wakeups
+            return True
+
+        assert run_process(sim, waiter())
+
+    def test_reuses_pending_event(self, sim):
+        signal = Signal(sim)
+        first = signal.wait()
+        second = signal.wait()
+        assert first is second

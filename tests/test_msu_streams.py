@@ -1,0 +1,161 @@
+"""PlayStream / RecordStream state machines."""
+
+import pytest
+
+from repro.core.msu.streams import (
+    LoadedPage,
+    PlayStream,
+    RecordStream,
+    StreamState,
+)
+from repro.net.protocols import RawProtocol, RtpProtocol
+from repro.net.rtp import RtpHeader
+from repro.sim import Simulator
+from repro.storage import IBTreeConfig, MsuFileSystem, PacketRecord, RawDisk, SpanVolume
+
+CONFIG = IBTreeConfig(data_page_size=2048, internal_page_size=256, max_keys=8)
+
+
+def make_play(sim):
+    fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 64), 2048))
+    handle = fs.create("movie", "mpeg1")
+    handle.duration_us = 1_000_000
+    handle.blocks = [2, 3, 4]  # pretend three pages exist
+    return PlayStream(1, 1, handle, RawProtocol(), 187_500.0, ("client", 5000), CONFIG)
+
+
+def records(*times):
+    return [PacketRecord(t, b"p") for t in times]
+
+
+class TestBuffers:
+    def test_wants_two_buffers(self, sim):
+        stream = make_play(sim)
+        assert stream.wants_page()
+        stream.attach_page(stream.epoch, 0, records(0, 10))
+        assert stream.wants_page()
+        stream.attach_page(stream.epoch, 1, records(20, 30))
+        assert not stream.wants_page()
+        assert stream.double_buffered
+
+    def test_front_pops_exhausted_pages(self, sim):
+        stream = make_play(sim)
+        stream.attach_page(stream.epoch, 0, records(0))
+        stream.attach_page(stream.epoch, 1, records(10))
+        page = stream.front()
+        page.advance()
+        nxt = stream.front()
+        assert nxt is not page
+        assert nxt.records[0].delivery_us == 10
+        assert stream.refill_wanted
+
+    def test_stale_epoch_pages_dropped(self, sim):
+        stream = make_play(sim)
+        old_epoch = stream.epoch
+        stream.flush_buffers()
+        stream.attach_page(old_epoch, 0, records(0))
+        assert stream.front() is None
+
+    def test_skip_on_page_positions_mid_page(self, sim):
+        stream = make_play(sim)
+        stream.skip_on_page = (0, 2)
+        stream.attach_page(stream.epoch, 0, records(0, 10, 20, 30))
+        assert stream.peek_record().delivery_us == 20
+        assert stream.skip_on_page is None
+
+    def test_at_end(self, sim):
+        stream = make_play(sim)
+        stream.next_page = 3
+        assert stream.at_end
+
+
+class TestScheduleControl:
+    def test_start_anchors_first_record_now(self, sim):
+        stream = make_play(sim)
+        stream.attach_page(stream.epoch, 0, records(100_000))
+        sim.run(until=5.0)
+        stream.start(sim.now, 100_000)
+        assert stream.state is StreamState.PLAYING
+        assert stream.deadline(stream.peek_record()) == pytest.approx(5.0)
+
+    def test_pause_resume_shifts_anchor(self, sim):
+        stream = make_play(sim)
+        stream.attach_page(stream.epoch, 0, records(0, 500_000))
+        stream.start(0.0, 0)
+        stream.pause(1.0)
+        assert stream.state is StreamState.PAUSED
+        stream.resume(4.0)
+        # 3 seconds of pause push every deadline 3 seconds later.
+        assert stream.deadline(PacketRecord(500_000, b"")) == pytest.approx(3.5)
+
+    def test_resume_without_pause_is_safe(self, sim):
+        stream = make_play(sim)
+        stream.attach_page(stream.epoch, 0, records(0))
+        stream.start(0.0, 0)
+        stream.resume(9.0)
+        assert stream.state is StreamState.PLAYING
+
+    def test_deadline_before_start_rejected(self, sim):
+        stream = make_play(sim)
+        with pytest.raises(RuntimeError):
+            stream.deadline(PacketRecord(0, b""))
+
+    def test_flush_bumps_epoch(self, sim):
+        stream = make_play(sim)
+        epoch = stream.epoch
+        stream.flush_buffers()
+        assert stream.epoch == epoch + 1
+
+
+class TestRecordStream:
+    def _make(self, protocol=None):
+        fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 64), 2048))
+        handle = fs.create("rec", "")
+        return RecordStream(1, 1, handle, protocol or RawProtocol(), CONFIG)
+
+    def test_accept_assigns_arrival_relative_times(self, sim):
+        stream = self._make()
+        stream.accept(b"a" * 100, now=10.0)
+        stream.accept(b"b" * 100, now=10.5)
+        assert stream.packets_received == 2
+        assert stream.last_delivery_us == 500_000
+
+    def test_full_page_lands_in_pending(self, sim):
+        stream = self._make()
+        for i in range(30):
+            stream.accept(b"x" * 150, now=float(i))
+        assert len(stream.pending_pages) >= 1
+
+    def test_rtp_timestamps_drive_schedule(self, sim):
+        stream = self._make(RtpProtocol())
+        first = RtpHeader(26, 0, 0, 1).pack() + b"v"
+        second = RtpHeader(26, 1, 45_000, 1).pack() + b"v"
+        stream.accept(first, now=0.0)
+        stream.accept(second, now=0.9)  # jittered arrival
+        assert stream.last_delivery_us == 500_000  # clean media clock
+
+    def test_begin_finish_emits_trailer(self, sim):
+        stream = self._make()
+        stream.accept(b"x" * 50, now=0.0)
+        stream.begin_finish()
+        assert stream.finishing
+        assert len(stream.pending_pages) >= 1
+        stream.pending_pages.clear()
+        assert stream.drained
+
+    def test_begin_finish_idempotent(self, sim):
+        stream = self._make()
+        stream.accept(b"x" * 50, now=0.0)
+        stream.begin_finish()
+        pages = len(stream.pending_pages)
+        stream.begin_finish()
+        assert len(stream.pending_pages) == pages
+
+    def test_non_monotonic_protocol_times_clamped(self, sim):
+        stream = self._make()
+        stream.accept(b"a", now=1.0)
+        stream.accept(b"b", now=2.0)
+        # Arrival goes backwards relative to start (clock skew): clamp.
+        stream.context["first_arrival_us"] = 10**9
+        stream.accept(b"c", now=2.5)
+        assert stream.last_delivery_us == 1_000_000

@@ -1,0 +1,158 @@
+"""VCR engine: position math, seeks, fast-scan file switching."""
+
+import pytest
+
+from repro.core.msu.streams import PlayStream, RateVariant, StreamState
+from repro.core.msu.vcr import (
+    content_fraction,
+    entry_position_us,
+    seek_stream,
+    switch_variant,
+)
+from repro.errors import VCRError
+from repro.net.protocols import RawProtocol
+from repro.sim import Simulator
+from repro.storage import (
+    IBTreeConfig,
+    IBTreeWriter,
+    MsuFileSystem,
+    PacketRecord,
+    RawDisk,
+    SpanVolume,
+)
+from tests.conftest import run_process
+
+CONFIG = IBTreeConfig(data_page_size=2048, internal_page_size=256, max_keys=8)
+
+
+def build_world(sim):
+    fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 1024), 2048))
+
+    def load(name, npackets, gap_us):
+        handle = fs.create(name, "mpeg1")
+        writer = IBTreeWriter(CONFIG)
+        t = 0
+        for i in range(npackets):
+            page = writer.feed(PacketRecord(t, bytes([i % 256]) * 300))
+            t += gap_us
+            if page is not None:
+                fs.append_block_sync(handle, page)
+        pages, root = writer.finish()
+        for page in pages:
+            fs.append_block_sync(handle, page)
+        handle.root = root
+        handle.duration_us = t - gap_us
+        return handle
+
+    normal = load("movie", 300, 20_000)  # ~6 s of content
+    ff = load("movie.ff", 20, 20_000)  # every 15th frame
+    fb = load("movie.fb", 20, 20_000)
+    normal.fast_forward = "movie.ff"
+    normal.fast_backward = "movie.fb"
+    return fs, normal
+
+
+def make_stream(handle):
+    return PlayStream(1, 1, handle, RawProtocol(), 187_500.0, ("c", 1), CONFIG)
+
+
+class TestPositionMath:
+    def test_content_fraction_normal(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        stream.position_us = normal.duration_us // 2
+        assert content_fraction(stream) == pytest.approx(0.5, abs=0.01)
+
+    def test_content_fraction_backward_is_flipped(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        stream.variant = RateVariant.FAST_BACKWARD
+        stream.handle = fs.open("movie.fb")
+        stream.position_us = 0
+        assert content_fraction(stream) == pytest.approx(1.0)
+
+    def test_entry_position_roundtrip(self, sim):
+        fs, normal = build_world(sim)
+        ff = fs.open("movie.ff")
+        pos = entry_position_us(ff, RateVariant.FAST_FORWARD, 0.25)
+        assert pos == pytest.approx(0.25 * ff.duration_us, abs=1)
+        back = entry_position_us(ff, RateVariant.FAST_BACKWARD, 0.25)
+        assert back == pytest.approx(0.75 * ff.duration_us, abs=1)
+
+    def test_fraction_clamped(self, sim):
+        fs, normal = build_world(sim)
+        assert entry_position_us(normal, RateVariant.NORMAL, 2.0) == normal.duration_us
+        assert entry_position_us(normal, RateVariant.NORMAL, -1.0) == 0
+
+
+class TestSeek:
+    def test_seek_sets_skip_position(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        run_process(sim, seek_stream(stream, 3_000_000))
+        assert stream.state is StreamState.LOADING
+        assert stream.skip_on_page is not None
+        page_index, record_index = stream.skip_on_page
+        assert stream.next_page == page_index
+
+    def test_seek_past_end_parks_at_eof(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        run_process(sim, seek_stream(stream, normal.duration_us + 10**6))
+        assert stream.next_page == normal.nblocks
+        assert stream.at_end
+
+    def test_seek_flushes_buffers(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        stream.attach_page(stream.epoch, 0, [PacketRecord(0, b"x")])
+        epoch = stream.epoch
+        run_process(sim, seek_stream(stream, 1_000_000))
+        assert stream.epoch == epoch + 1
+        assert not stream.buffers
+
+
+class TestSwitch:
+    def test_switch_to_fast_forward_maps_position(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        stream.position_us = normal.duration_us // 2
+        run_process(sim, switch_variant(stream, fs, RateVariant.FAST_FORWARD))
+        assert stream.variant is RateVariant.FAST_FORWARD
+        assert stream.handle.name == "movie.ff"
+        # Post-seek position lands near the middle of the ff file.
+        page_index, record_index = stream.skip_on_page
+        assert 0 <= page_index < stream.handle.nblocks
+
+    def test_switch_back_to_normal(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        stream.position_us = normal.duration_us // 4
+        run_process(sim, switch_variant(stream, fs, RateVariant.FAST_FORWARD))
+        stream.position_us = stream.handle.duration_us // 4
+        run_process(sim, switch_variant(stream, fs, RateVariant.NORMAL))
+        assert stream.handle is normal
+        assert stream.variant is RateVariant.NORMAL
+
+    def test_backward_entry_is_reversed(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        stream.position_us = 0  # at content start
+        run_process(sim, switch_variant(stream, fs, RateVariant.FAST_BACKWARD))
+        fb = fs.open("movie.fb")
+        # Content fraction 0 -> fb position near its END.
+        assert stream.next_page >= fb.nblocks - 2
+
+    def test_switch_without_companion_raises(self, sim):
+        fs, _ = build_world(sim)
+        bare = fs.create("bare", "mpeg1")
+        bare.duration_us = 100
+        stream = make_stream(bare)
+        with pytest.raises(VCRError):
+            run_process(sim, switch_variant(stream, fs, RateVariant.FAST_FORWARD))
+
+    def test_switch_to_same_variant_noop(self, sim):
+        fs, normal = build_world(sim)
+        stream = make_stream(normal)
+        run_process(sim, switch_variant(stream, fs, RateVariant.NORMAL))
+        assert stream.handle is normal

@@ -1,0 +1,90 @@
+"""MSU protocol-extension modules: delivery-time derivation (§2.3.2)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import RtpHeader, VatHeader, default_registry
+from repro.net.protocols import RawProtocol, RtpProtocol, VatProtocol
+from repro.storage.ibtree import KIND_CONTROL, KIND_DATA
+
+
+class TestRegistry:
+    def test_defaults_installed(self):
+        registry = default_registry()
+        assert registry.names() == ["raw", "rtp", "vat"]
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(ProtocolError):
+            default_registry().get("mystery")
+
+    def test_extensible(self):
+        """§2.3.2: new protocols "can be added to the system easily"."""
+
+        class H261(RawProtocol):
+            name = "h261"
+
+        registry = default_registry()
+        registry.install(H261())
+        assert registry.get("h261").name == "h261"
+
+
+class TestRawProtocol:
+    def test_delivery_from_arrival_relative_to_start(self):
+        module = RawProtocol()
+        ctx = module.new_context()
+        assert module.delivery_time_us(b"x", 5_000_000, ctx) == 0
+        assert module.delivery_time_us(b"x", 5_400_000, ctx) == 400_000
+
+    def test_single_port(self):
+        assert RawProtocol().playback_ports() == 1
+
+    def test_everything_is_data(self):
+        module = RawProtocol()
+        assert module.classify(b"anything", module.new_context()) == KIND_DATA
+
+
+class TestRtpProtocol:
+    def _packet(self, ts):
+        return RtpHeader(26, 0, ts, 1).pack() + b"video"
+
+    def test_delivery_from_timestamp_ignores_network_jitter(self):
+        """§2.3.2: the sender timestamp "does not include the effects of
+        network-induced jitter"."""
+        module = RtpProtocol()
+        ctx = module.new_context()
+        # Arrivals are jittered; timestamps are clean 90 kHz ticks.
+        t0 = module.delivery_time_us(self._packet(0), 1_000_000, ctx)
+        t1 = module.delivery_time_us(self._packet(9_000), 1_173_000, ctx)
+        assert (t0, t1) == (0, 100_000)  # exactly the media clock spacing
+
+    def test_two_ports(self):
+        assert RtpProtocol().playback_ports() == 2
+
+    def test_control_messages_classified(self):
+        module = RtpProtocol()
+        ctx = module.new_context()
+        assert module.classify(self._packet(0), ctx) == KIND_DATA
+        assert module.classify(b"RTCP-ish", ctx) == KIND_CONTROL
+
+    def test_control_message_times_use_arrival(self):
+        module = RtpProtocol()
+        ctx = module.new_context()
+        module.delivery_time_us(self._packet(0), 100, ctx)
+        assert module.delivery_time_us(b"ctl", 600, ctx) == 500
+
+    def test_backwards_timestamp_rejected(self):
+        module = RtpProtocol()
+        ctx = module.new_context()
+        module.delivery_time_us(self._packet(90_000), 0, ctx)
+        with pytest.raises(ProtocolError):
+            module.delivery_time_us(self._packet(0), 10, ctx)
+
+
+class TestVatProtocol:
+    def test_delivery_from_8khz_timestamp(self):
+        module = VatProtocol()
+        ctx = module.new_context()
+        first = VatHeader(0, 1, 1, 800).pack() + b"a" * 160
+        second = VatHeader(0, 1, 1, 960).pack() + b"a" * 160
+        assert module.delivery_time_us(first, 0, ctx) == 0
+        assert module.delivery_time_us(second, 99_999, ctx) == 20_000

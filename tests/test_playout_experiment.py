@@ -1,0 +1,22 @@
+"""E14: the client playout-quality experiment."""
+
+import pytest
+
+from repro.experiments.playout import format_playout, run_playout
+
+
+class TestPlayoutExperiment:
+    def test_inside_capacity_no_stalls(self):
+        points = run_playout(stream_counts=(20,), duration=15.0)
+        assert points[0].underflowing_streams == 0
+        assert points[0].server_within_50ms > 0.99
+
+    def test_beyond_capacity_stalls(self):
+        points = run_playout(stream_counts=(26,), duration=25.0)
+        assert points[0].underflowing_streams > 0
+        assert points[0].total_stall_seconds > 0
+
+    def test_format_contains_rows(self):
+        points = run_playout(stream_counts=(20,), duration=10.0)
+        text = format_playout(points)
+        assert "20" in text and "stall" in text

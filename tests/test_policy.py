@@ -1,0 +1,78 @@
+"""Duty-cycle slot arithmetic and slot admission (§2.2.1)."""
+
+import pytest
+
+from repro.core.policy import DutyCycleModel, SlotAdmission
+from repro.errors import AdmissionError
+from repro.units import MPEG1_RATE
+
+
+class TestDutyCycleModel:
+    def test_cycle_is_block_transmit_time(self):
+        model = DutyCycleModel()
+        cycle = model.cycle_length(MPEG1_RATE)
+        assert cycle == pytest.approx(256 * 1024 / MPEG1_RATE)
+
+    def test_slots_consistent_with_measured_capacity(self):
+        """§2.2.1 math vs §3.2.1 measurement: the duty cycle supports at
+        least the 11-12 streams per disk that Graph 1 actually ran, and
+        the binding constraint is the delivery path, not the disks."""
+        model = DutyCycleModel()
+        per_disk = model.slots(MPEG1_RATE)
+        assert 11 <= per_disk <= 14
+        assert 2 * per_disk >= 24  # disks outlast the send path
+
+    def test_service_time_grows_with_concurrency(self):
+        light = DutyCycleModel(expected_concurrency=1, nic_active=False)
+        heavy = DutyCycleModel(expected_concurrency=3, nic_active=True)
+        assert heavy.block_service_time() > light.block_service_time()
+
+    def test_slower_streams_get_more_slots(self):
+        model = DutyCycleModel()
+        assert model.slots(MPEG1_RATE / 2) >= 2 * model.slots(MPEG1_RATE) - 1
+
+    def test_startup_bound_scales_with_striping(self):
+        """§2.3.3: a striped duty cycle covers all N disks, so the VCR
+        startup bound is N times as long."""
+        model = DutyCycleModel()
+        base = model.startup_delay_bound(MPEG1_RATE)
+        striped = model.startup_delay_bound(MPEG1_RATE, striped_disks=4)
+        assert striped == pytest.approx(4 * base)
+
+    def test_bad_parameters(self):
+        model = DutyCycleModel()
+        with pytest.raises(ValueError):
+            model.cycle_length(0)
+        with pytest.raises(ValueError):
+            model.startup_delay_bound(MPEG1_RATE, striped_disks=0)
+
+    def test_expected_seek_below_full_stroke(self):
+        model = DutyCycleModel()
+        full = model.disk.seek_min + model.disk.seek_max_extra
+        assert model.disk.seek_min < model.expected_seek_time() < full
+
+
+class TestSlotAdmission:
+    def test_admits_up_to_capacity(self):
+        admission = SlotAdmission(DutyCycleModel(), MPEG1_RATE)
+        for _ in range(admission.capacity):
+            admission.admit()
+        assert admission.free_slots == 0
+        with pytest.raises(AdmissionError):
+            admission.admit()
+
+    def test_release_reopens_slot(self):
+        admission = SlotAdmission(DutyCycleModel(), MPEG1_RATE)
+        slot = admission.admit("stream-1")
+        admission.release(slot)
+        assert admission.free_slots == admission.capacity
+
+    def test_release_unknown_slot_rejected(self):
+        admission = SlotAdmission(DutyCycleModel(), MPEG1_RATE)
+        with pytest.raises(AdmissionError):
+            admission.release(7)
+
+    def test_slots_are_unique(self):
+        admission = SlotAdmission(DutyCycleModel(), MPEG1_RATE)
+        slots = [admission.admit() for _ in range(admission.capacity)]
+        assert len(set(slots)) == len(slots)

@@ -1,0 +1,135 @@
+"""Cross-cutting property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.msu.vcr import content_fraction, entry_position_us
+from repro.core.msu.streams import PlayStream, RateVariant
+from repro.hardware.params import TimerParams
+from repro.hardware.timer import SystemTimer
+from repro.media.mpeg import MpegEncoder, packetize_cbr
+from repro.net.protocols import RawProtocol
+from repro.sim import Simulator
+from repro.storage import IBTreeConfig, MsuFileSystem, RawDisk, SpanVolume
+
+
+class TestTimerProperties:
+    @given(
+        granularity_ms=st.floats(0.1, 100.0),
+        target=st.floats(0.0, 1000.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_tick_at_or_after_target_within_one_granularity(
+        self, granularity_ms, target
+    ):
+        sim = Simulator()
+        timer = SystemTimer(sim, TimerParams(granularity=granularity_ms / 1000.0))
+        tick = timer.next_tick_at_or_after(target)
+        g = granularity_ms / 1000.0
+        assert tick >= target - 1e-9 * max(1.0, target)
+        assert tick - target < g + 1e-6
+        # Ticks are multiples of the granularity.
+        assert abs(tick / g - round(tick / g)) < 1e-6
+
+    @given(target=st.floats(0.0, 1000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_granularity_identity(self, target):
+        timer = SystemTimer(Simulator(), TimerParams(granularity=0.0))
+        assert timer.next_tick_at_or_after(target) == target
+
+
+class TestVcrPositionProperties:
+    def _stream(self, duration_us, variant=RateVariant.NORMAL):
+        fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=2048 * 16), 2048))
+        handle = fs.create("x", "mpeg1")
+        handle.duration_us = duration_us
+        stream = PlayStream(
+            1, 1, handle, RawProtocol(), 187_500.0, ("c", 1),
+            IBTreeConfig(data_page_size=2048, internal_page_size=256, max_keys=8),
+        )
+        stream.variant = variant
+        return stream, handle
+
+    @given(
+        duration=st.integers(1, 10**9),
+        position=st.integers(0, 10**9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_content_fraction_in_unit_interval(self, duration, position):
+        stream, _ = self._stream(duration)
+        stream.position_us = min(position, duration)
+        fraction = content_fraction(stream)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(
+        duration=st.integers(1, 10**9),
+        fraction=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_entry_position_within_file(self, duration, fraction):
+        _, handle = self._stream(duration)
+        for variant in RateVariant:
+            position = entry_position_us(handle, variant, fraction)
+            assert 0 <= position <= duration
+
+    @given(duration=st.integers(100, 10**9), position=st.integers(0, 10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_backward_flips_fraction(self, duration, position):
+        stream, handle = self._stream(duration, RateVariant.FAST_BACKWARD)
+        stream.position_us = min(position, duration)
+        forward_equivalent = 1.0 - min(1.0, stream.position_us / duration)
+        assert content_fraction(stream) == pytest.approx(
+            forward_equivalent, abs=1e-6
+        )
+
+
+class TestPacketizeProperties:
+    @given(
+        nbytes=st.integers(1, 200_000),
+        packet_size=st.integers(64, 8192),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reassembly_and_schedule(self, nbytes, packet_size, seed):
+        rng = np.random.default_rng(seed)
+        blob = rng.integers(0, 256, nbytes, dtype=np.uint8).tobytes()
+        packets = packetize_cbr(blob, 187_500.0, packet_size)
+        # Exact reassembly.
+        assert b"".join(p.payload for p in packets) == blob
+        # Non-decreasing, evenly spaced schedule.
+        times = [p.delivery_us for p in packets]
+        assert times == sorted(times)
+        assert times[0] == 0
+        # All but the last packet are full-size.
+        assert all(len(p.payload) == packet_size for p in packets[:-1])
+
+
+class TestDeterminismProperties:
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_mpeg_encoder_deterministic(self, seed):
+        a = MpegEncoder(seed=seed).bitstream(1.0)
+        b = MpegEncoder(seed=seed).bitstream(1.0)
+        assert a == b
+
+    @given(
+        delays=st.lists(st.floats(0.001, 5.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_replays_identically(self, delays):
+        def run():
+            sim = Simulator()
+            log = []
+
+            def worker(i, delay):
+                yield sim.timeout(delay)
+                log.append((round(sim.now, 9), i))
+
+            for i, delay in enumerate(delays):
+                sim.process(worker(i, delay))
+            sim.run()
+            return log
+
+        assert run() == run()

@@ -1,0 +1,113 @@
+"""Edge cases of AllOf/AnyOf and event failure propagation."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator
+from tests.conftest import run_process
+
+
+class TestAllOfFailures:
+    def test_first_failure_fails_the_condition(self, sim):
+        ok = sim.timeout(2.0, "fine")
+        bad = sim.event()
+        sim.schedule(1.0, bad.fail, RuntimeError("member died"))
+
+        def proc():
+            try:
+                yield AllOf(sim, [ok, bad])
+            except RuntimeError as err:
+                return (sim.now, str(err))
+
+        assert run_process(sim, proc()) == (1.0, "member died")
+
+    def test_failure_after_success_ignored(self, sim):
+        fast = sim.timeout(1.0, "a")
+        slow = sim.timeout(2.0, "b")
+
+        def proc():
+            values = yield AllOf(sim, [fast, slow])
+            return values
+
+        assert run_process(sim, proc()) == ["a", "b"]
+
+    def test_all_of_with_already_fired_events(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+
+        def proc():
+            values = yield AllOf(sim, [done, sim.timeout(1.0, "late")])
+            return values
+
+        assert run_process(sim, proc()) == ["early", "late"]
+
+
+class TestAnyOfFailures:
+    def test_failure_wins_the_race(self, sim):
+        slow = sim.timeout(5.0)
+        bad = sim.event()
+        sim.schedule(1.0, bad.fail, ValueError("lost it"))
+
+        def proc():
+            try:
+                yield AnyOf(sim, [slow, bad])
+            except ValueError:
+                return sim.now
+
+        assert run_process(sim, proc()) == 1.0
+
+    def test_later_events_ignored_after_winner(self, sim):
+        a = sim.timeout(1.0, "a")
+        b = sim.timeout(2.0, "b")
+
+        def proc():
+            index, value = yield AnyOf(sim, [a, b])
+            yield sim.timeout(5.0)  # b fires meanwhile; nothing breaks
+            return (index, value)
+
+        assert run_process(sim, proc()) == (0, "a")
+
+    def test_any_of_with_already_fired_event(self, sim):
+        done = sim.event()
+        done.succeed(42)
+        sim.run()
+
+        def proc():
+            index, value = yield AnyOf(sim, [sim.timeout(9.0), done])
+            return (index, value, sim.now)
+
+        assert run_process(sim, proc()) == (1, 42, 0.0)
+
+
+class TestEventFailurePropagation:
+    def test_process_sees_failed_event_as_exception(self, sim):
+        bad = sim.event()
+        sim.schedule(0.5, bad.fail, KeyError("nope"))
+
+        def proc():
+            try:
+                yield bad
+            except KeyError:
+                return "caught"
+
+        assert run_process(sim, proc()) == "caught"
+
+    def test_uncaught_event_failure_fails_process(self, sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("boom"))
+
+        def proc():
+            yield bad
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.triggered and not process.ok
+
+    def test_ok_property(self, sim):
+        good = sim.event()
+        assert not good.ok  # pending
+        good.succeed()
+        assert good.ok
+        bad = sim.event()
+        bad.fail(ValueError())
+        assert not bad.ok

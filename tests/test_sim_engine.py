@@ -1,0 +1,301 @@
+"""Unit tests for the DES kernel: events, timeouts, processes."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+from tests.conftest import run_process
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_fail_delivers_exception(self, sim):
+        ev = sim.event()
+        ev.succeed if False else None
+        err = ValueError("boom")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e._exc))
+        ev.fail(err)
+        sim.run()
+        assert seen == [err]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+        with pytest.raises(RuntimeError):
+            ev.fail(ValueError())
+
+    def test_fail_requires_exception_instance(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_callback_after_trigger_still_runs(self, sim):
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+    def test_value_raises_stored_exception(self, sim):
+        ev = sim.event()
+        ev.fail(KeyError("k"))
+        with pytest.raises(KeyError):
+            _ = ev.value
+
+
+class TestTimeout:
+    def test_fires_at_exact_time(self, sim):
+        fired = []
+        t = sim.timeout(2.5)
+        t.add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately_in_order(self, sim):
+        order = []
+        sim.timeout(0.0).add_callback(lambda e: order.append("a"))
+        sim.timeout(0.0).add_callback(lambda e: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_timeout_value_passthrough(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        assert run_process(sim, proc()) == "hello"
+
+
+class TestProcess:
+    def test_sequential_timeouts_advance_clock(self, sim):
+        times = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            times.append(sim.now)
+            yield sim.timeout(2.0)
+            times.append(sim.now)
+
+        run_process(sim, proc())
+        assert times == [1.0, 3.0]
+
+    def test_return_value_is_process_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        assert run_process(sim, proc()) == "done"
+
+    def test_join_other_process(self, sim):
+        def child():
+            yield sim.timeout(5.0)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return (sim.now, value)
+
+        assert run_process(sim, parent()) == (5.0, 99)
+
+    def test_exception_propagates_to_joiner(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError as err:
+                return str(err)
+
+        assert run_process(sim, parent()) == "child died"
+
+    def test_failing_process_marks_event_failed(self, sim):
+        def proc():
+            yield sim.timeout(0.5)
+            raise ValueError("oops")
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.triggered and not p.ok
+
+    def test_yielding_non_event_fails(self, sim):
+        def proc():
+            yield "not an event"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.triggered and not p.ok
+
+    def test_immediate_return(self, sim):
+        def proc():
+            return 1
+            yield  # pragma: no cover
+
+        assert run_process(sim, proc()) == 1
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_waiting_process(self, sim):
+        caught = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                caught.append((sim.now, intr.cause))
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(2.0)
+            p.interrupt("stop")
+
+        sim.process(attacker())
+        sim.run()
+        assert caught == [(2.0, "stop")]
+
+    def test_interrupted_wait_does_not_resume_twice(self, sim):
+        resumes = []
+
+        def victim():
+            try:
+                yield sim.timeout(1.0)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+                yield sim.timeout(5.0)
+                resumes.append("after")
+
+        p = sim.process(victim())
+        p.interrupt()
+        sim.run()
+        assert resumes == ["interrupt", "after"]
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def proc():
+            return None
+            yield  # pragma: no cover
+
+        p = sim.process(proc())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_quietly_ends_process(self, sim):
+        def victim():
+            yield sim.timeout(100.0)
+
+        p = sim.process(victim())
+        p.interrupt()
+        sim.run()
+        assert p.triggered and p.ok
+
+
+class TestConditions:
+    def test_all_of_collects_values_in_order(self, sim):
+        def proc():
+            events = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+            values = yield AllOf(sim, events)
+            return (sim.now, values)
+
+        assert run_process(sim, proc()) == (3.0, ["c", "a", "b"])
+
+    def test_all_of_empty(self, sim):
+        def proc():
+            values = yield AllOf(sim, [])
+            return values
+
+        assert run_process(sim, proc()) == []
+
+    def test_any_of_returns_winner(self, sim):
+        def proc():
+            events = [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+            index, value = yield AnyOf(sim, events)
+            return (sim.now, index, value)
+
+        assert run_process(sim, proc()) == (1.0, 1, "fast")
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            AnyOf(sim, [])
+
+
+class TestSimulator:
+    def test_run_until_time_advances_clock(self, sim):
+        sim.timeout(1.0)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_run_until_past_rejected(self, sim):
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_schedule_order_stable_at_same_time(self, sim):
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_schedule_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_peek_reports_next_event_time(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4.0)
+        assert sim.peek() == 4.0
+
+    def test_run_until_event_detects_deadlock(self, sim):
+        ev = sim.event()
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run_until_event(ev)
+
+    def test_run_until_event_respects_limit(self, sim):
+        ev = sim.event()
+        sim.schedule(100.0, ev.succeed)
+        with pytest.raises(RuntimeError, match="limit"):
+            sim.run_until_event(ev, limit=10.0)
+
+    def test_determinism_two_runs_identical(self):
+        def build():
+            s = Simulator()
+            log = []
+
+            def worker(name, delay):
+                for _ in range(5):
+                    yield s.timeout(delay)
+                    log.append((s.now, name))
+
+            for i, d in enumerate([0.3, 0.7, 0.3]):
+                s.process(worker(f"w{i}", d))
+            s.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,190 @@
+"""Unit and property tests for Resource, PriorityResource and Store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PriorityResource, Resource, Simulator, Store
+from tests.conftest import run_process
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        r3 = res.request()
+        assert not r3.triggered
+        assert res.in_use == 2
+        assert res.queue_length == 1
+
+    def test_release_wakes_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        third = res.request()
+        res.release(first)
+        sim.run()
+        assert second.triggered and not third.triggered
+
+    def test_release_unknown_request_rejected(self, sim):
+        res = Resource(sim, capacity=1)
+        other = Resource(sim, capacity=1)
+        req = other.request()
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    def test_release_waiting_request_cancels_it(self, sim):
+        res = Resource(sim, capacity=1)
+        holder = res.request()
+        waiter = res.request()
+        res.release(waiter)  # cancel the queued claim
+        res.release(holder)
+        sim.run()
+        assert res.in_use == 0 and res.queue_length == 0
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_mutual_exclusion_in_processes(self, sim):
+        res = Resource(sim, capacity=1)
+        active = [0]
+        peak = [0]
+
+        def worker():
+            req = res.request()
+            yield req
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield sim.timeout(1.0)
+            active[0] -= 1
+            res.release(req)
+
+        for _ in range(5):
+            sim.process(worker())
+        sim.run()
+        assert peak[0] == 1
+        assert sim.now == 5.0
+
+
+class TestPriorityResource:
+    def test_lowest_priority_first(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        holder = res.request()
+        order = []
+        reqs = []
+        for prio in [5.0, 1.0, 3.0]:
+            req = res.request(priority=prio)
+            req.add_callback(lambda e, p=prio: order.append(p))
+            reqs.append(req)
+        res.release(holder)
+        sim.run()
+        for _ in range(3):
+            granted = next(r for r in reqs if r.triggered and r in res._holders)
+            res.release(granted)
+            sim.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_tie_breaks_fifo(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        holder = res.request()
+        order = []
+        a = res.request(priority=1.0)
+        b = res.request(priority=1.0)
+        a.add_callback(lambda e: order.append("a"))
+        b.add_callback(lambda e: order.append("b"))
+        res.release(holder)
+        sim.run()
+        res.release(a)
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_cancel_waiting(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        holder = res.request()
+        waiter = res.request(priority=2.0)
+        res.release(waiter)
+        assert res.queue_length == 0
+        res.release(holder)
+
+
+class TestStore:
+    def test_fifo_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return (sim.now, item)
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("x")
+
+        sim.process(producer())
+        assert run_process(sim, consumer()) == (3.0, "x")
+
+    def test_getters_fifo(self, sim):
+        store = Store(sim)
+        g1, g2 = store.get(), store.get()
+        store.put("a")
+        store.put("b")
+        assert g1.value == "a" and g2.value == "b"
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(5)
+        assert store.try_get() == 5
+
+    def test_cancel_pending_get(self, sim):
+        store = Store(sim)
+        getter = store.get()
+        store.cancel(getter)
+        store.put("x")
+        # the cancelled getter must not swallow the item
+        assert store.try_get() == "x"
+
+    def test_len_counts_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestResourceProperties:
+    @given(
+        holds=st.lists(
+            st.tuples(st.floats(0.01, 2.0), st.integers(0, 3)), min_size=1, max_size=20
+        ),
+        capacity=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_exceeds_capacity(self, holds, capacity):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        active = [0]
+        peak = [0]
+
+        def worker(duration, start_slot):
+            yield sim.timeout(start_slot * 0.1)
+            req = res.request()
+            yield req
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield sim.timeout(duration)
+            active[0] -= 1
+            res.release(req)
+
+        for duration, slot in holds:
+            sim.process(worker(duration, slot))
+        sim.run()
+        assert peak[0] <= capacity
+        assert res.in_use == 0 and res.queue_length == 0

@@ -1,0 +1,140 @@
+"""Bitmap allocator: invariants, reservations, property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfSpaceError, StorageError
+from repro.storage import BitmapAllocator
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_blocks(self):
+        alloc = BitmapAllocator(10)
+        blocks = [alloc.alloc() for _ in range(10)]
+        assert sorted(blocks) == list(range(10))
+
+    def test_full_disk_raises(self):
+        alloc = BitmapAllocator(2)
+        alloc.alloc()
+        alloc.alloc()
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc()
+
+    def test_free_then_realloc(self):
+        alloc = BitmapAllocator(3)
+        block = alloc.alloc()
+        alloc.free(block)
+        assert alloc.free_blocks == 3
+        assert not alloc.is_allocated(block)
+
+    def test_double_free_rejected(self):
+        alloc = BitmapAllocator(3)
+        block = alloc.alloc()
+        alloc.free(block)
+        with pytest.raises(StorageError):
+            alloc.free(block)
+
+    def test_bounds_checked(self):
+        alloc = BitmapAllocator(3)
+        with pytest.raises(StorageError):
+            alloc.free(5)
+        with pytest.raises(ValueError):
+            BitmapAllocator(0)
+
+    def test_alloc_many_rolls_back_on_failure(self):
+        alloc = BitmapAllocator(3)
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc_many(4)
+        assert alloc.used_blocks == 0
+
+    def test_alloc_many(self):
+        alloc = BitmapAllocator(5)
+        blocks = alloc.alloc_many(3)
+        assert len(set(blocks)) == 3
+        assert alloc.used_blocks == 3
+
+
+class TestReservations:
+    def test_reserve_shrinks_free_pool(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(4)
+        assert alloc.free_blocks == 6
+        assert alloc.reserved_blocks == 4
+        reservation.release()
+        assert alloc.free_blocks == 10
+
+    def test_reserve_beyond_free_raises(self):
+        alloc = BitmapAllocator(4)
+        alloc.reserve(3)
+        with pytest.raises(OutOfSpaceError):
+            alloc.reserve(2)
+
+    def test_alloc_against_reservation(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(2)
+        alloc.alloc(reservation)
+        alloc.alloc(reservation)
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc(reservation)
+        assert alloc.used_blocks == 2
+        assert alloc.reserved_blocks == 0
+
+    def test_partial_release_returns_unused(self):
+        """The paper: "If the client overestimates the length of the
+        recording, the unused space will be returned" (§2.2)."""
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(5)
+        alloc.alloc(reservation)
+        reservation.release()
+        assert alloc.used_blocks == 1
+        assert alloc.free_blocks == 9
+        assert alloc.reserved_blocks == 0
+
+    def test_released_reservation_rejects_use(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(2)
+        reservation.release()
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc(reservation)
+
+    def test_negative_reservation_rejected(self):
+        alloc = BitmapAllocator(10)
+        with pytest.raises(ValueError):
+            alloc.reserve(-1)
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.just(("alloc",)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+                st.tuples(st.just("reserve"), st.integers(0, 8)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_accounting_invariants(self, ops):
+        alloc = BitmapAllocator(30)
+        held = []
+        reservations = []
+        for op in ops:
+            if op[0] == "alloc":
+                try:
+                    held.append(alloc.alloc())
+                except OutOfSpaceError:
+                    assert alloc.free_blocks == 0
+            elif op[0] == "free":
+                if op[1] < len(held):
+                    alloc.free(held.pop(op[1] % len(held)))
+            else:
+                try:
+                    reservations.append(alloc.reserve(op[1]))
+                except OutOfSpaceError:
+                    assert alloc.free_blocks < op[1]
+            # Core invariant: used + reserved + free == total, no aliasing.
+            assert alloc.used_blocks + alloc.reserved_blocks + alloc.free_blocks == 30
+            assert alloc.used_blocks == len(held)
+            assert len(set(held)) == len(held)

@@ -1,0 +1,153 @@
+"""The MSU file system: namespace, data path, reservations, persistence."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hardware import Machine, MachineParams
+from repro.sim import Simulator
+from repro.storage import MsuFileSystem, RawDisk, SpanVolume
+from tests.conftest import run_process
+
+BLOCK = 4096  # small blocks keep the tests quick
+
+
+@pytest.fixture
+def fs(sim):
+    raw = RawDisk(None, capacity=BLOCK * 64)
+    return MsuFileSystem(SpanVolume(raw, BLOCK))
+
+
+class TestNamespace:
+    def test_create_open_exists(self, fs):
+        handle = fs.create("a", "mpeg1")
+        assert fs.open("a") is handle
+        assert fs.exists("a")
+        assert not fs.exists("b")
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("a")
+        with pytest.raises(StorageError):
+            fs.create("a")
+
+    def test_empty_name_rejected(self, fs):
+        with pytest.raises(StorageError):
+            fs.create("")
+
+    def test_open_missing_raises(self, fs):
+        with pytest.raises(StorageError):
+            fs.open("ghost")
+
+    def test_delete_frees_blocks(self, sim, fs):
+        handle = fs.create("a")
+        run_process(sim, fs.append_file_block(handle, b"x" * BLOCK))
+        used = fs.allocator.used_blocks
+        fs.delete("a")
+        assert fs.allocator.used_blocks == used - 1
+        assert not fs.exists("a")
+
+    def test_list_files_sorted(self, fs):
+        for name in ("zeta", "alpha", "mid"):
+            fs.create(name)
+        assert [f.name for f in fs.list_files()] == ["alpha", "mid", "zeta"]
+
+    def test_metadata_region_reserved(self, fs):
+        assert fs.allocator.used_blocks == MsuFileSystem.META_BLOCKS
+
+
+class TestDataPath:
+    def test_append_and_read_roundtrip(self, sim, fs):
+        handle = fs.create("a")
+
+        def proc():
+            yield from handle.append_block(b"first" + b"\x00" * (BLOCK - 5))
+            yield from handle.append_block(b"second" + b"\x00" * (BLOCK - 6))
+            one = yield from handle.read_block(0)
+            two = yield from handle.read_block(1)
+            return one[:5], two[:6]
+
+        assert run_process(sim, proc()) == (b"first", b"second")
+        assert handle.nblocks == 2
+
+    def test_short_block_zero_padded(self, sim, fs):
+        handle = fs.create("a")
+
+        def proc():
+            yield from handle.append_block(b"xy")
+            data = yield from handle.read_block(0)
+            return data
+
+        data = run_process(sim, proc())
+        assert data == b"xy" + b"\x00" * (BLOCK - 2)
+
+    def test_oversized_block_rejected(self, sim, fs):
+        handle = fs.create("a")
+        with pytest.raises(StorageError):
+            list(fs.append_file_block(handle, b"x" * (BLOCK + 1)))
+
+    def test_read_out_of_range(self, sim, fs):
+        handle = fs.create("a")
+        with pytest.raises(StorageError):
+            list(fs.read_file_block(handle, 0))
+
+    def test_sync_append_and_read(self, fs):
+        handle = fs.create("a")
+        fs.append_block_sync(handle, b"quick" + b"\x00" * (BLOCK - 5))
+        assert fs.read_block_sync(handle, 0)[:5] == b"quick"
+
+
+class TestReservations:
+    def test_create_with_reservation(self, fs):
+        free_before = fs.allocator.free_blocks
+        fs.create("rec", reserve_blocks=10)
+        assert fs.allocator.free_blocks == free_before - 10
+
+    def test_finish_recording_returns_unused(self, sim, fs):
+        handle = fs.create("rec", reserve_blocks=10)
+        run_process(sim, handle.append_block(b"x" * BLOCK))
+        returned = fs.finish_recording(handle)
+        assert returned == 9
+        assert fs.allocator.reserved_blocks == 0
+
+    def test_finish_twice_is_harmless(self, sim, fs):
+        handle = fs.create("rec", reserve_blocks=2)
+        fs.finish_recording(handle)
+        assert fs.finish_recording(handle) == 0
+
+
+class TestPersistence:
+    def test_sync_and_mount_roundtrip(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        raw = RawDisk(machine.disks[0])
+        volume = SpanVolume(raw, BLOCK)
+        fs = MsuFileSystem(volume)
+        handle = fs.create("movie", "mpeg1")
+        handle.duration_us = 123_456
+        handle.fast_forward = "movie.ff"
+        fs.create("movie.ff", "mpeg1")
+
+        def build():
+            yield from handle.append_block(b"DATA" + b"\x00" * (BLOCK - 4))
+            handle.root = (0, 24, 0)
+            yield from fs.sync_metadata()
+
+        run_process(sim, build())
+
+        def remount():
+            mounted = yield from MsuFileSystem.mount(SpanVolume(raw, BLOCK))
+            return mounted
+
+        mounted = run_process(sim, remount())
+        again = mounted.open("movie")
+        assert again.blocks == handle.blocks
+        assert again.root == (0, 24, 0)
+        assert again.duration_us == 123_456
+        assert again.fast_forward == "movie.ff"
+        assert mounted.allocator.used_blocks == fs.allocator.used_blocks
+        data = run_process(sim, again.read_block(0))
+        assert data[:4] == b"DATA"
+
+    def test_mount_bad_magic_rejected(self, sim):
+        raw = RawDisk(None, capacity=BLOCK * 16)
+        volume = SpanVolume(raw, BLOCK)
+        with pytest.raises(StorageError):
+            run_process(sim, MsuFileSystem.mount(volume))

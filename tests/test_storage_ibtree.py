@@ -1,0 +1,265 @@
+"""IB-tree: page formats, round trips, seeks, integration invariants."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.sim import Simulator
+from repro.storage import (
+    IBTreeConfig,
+    IBTreeReader,
+    IBTreeWriter,
+    MsuFileSystem,
+    PacketRecord,
+    RawDisk,
+    SpanVolume,
+)
+from repro.storage.ibtree import KIND_CONTROL, KIND_DATA
+from tests.conftest import run_process
+
+#: Small geometry so trees get deep quickly in tests.
+SMALL = IBTreeConfig(data_page_size=2048, internal_page_size=256, max_keys=8)
+
+
+def store_stream(records, config=SMALL):
+    """Write records through the IB-tree into an in-memory file system."""
+    sim = Simulator()
+    fs = MsuFileSystem(SpanVolume(RawDisk(None, capacity=config.data_page_size * 4096),
+                                  config.data_page_size))
+    handle = fs.create("stream")
+    writer = IBTreeWriter(config)
+
+    def build():
+        for record in records:
+            page = writer.feed(record)
+            if page is not None:
+                yield from handle.append_block(page)
+        pages, root = writer.finish()
+        for page in pages:
+            yield from handle.append_block(page)
+        handle.root = root
+
+    run_process(sim, build())
+    return sim, handle
+
+
+def make_records(n, seed=0, max_size=200):
+    rng = np.random.default_rng(seed)
+    t = 0
+    out = []
+    for _ in range(n):
+        t += int(rng.integers(0, 40_000))
+        size = int(rng.integers(1, max_size))
+        payload = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+        out.append(PacketRecord(t, payload))
+    return out
+
+
+class TestConfig:
+    def test_too_many_keys_rejected(self):
+        with pytest.raises(ValueError):
+            IBTreeConfig(data_page_size=2048, internal_page_size=64, max_keys=100)
+
+    def test_internal_page_must_fit_data_page(self):
+        with pytest.raises(ValueError):
+            IBTreeConfig(data_page_size=512, internal_page_size=512, max_keys=4)
+
+    def test_production_defaults(self):
+        config = IBTreeConfig()
+        assert config.data_page_size == 256 * 1024
+        assert config.internal_page_size == 28 * 1024
+        assert config.max_keys == 1024
+
+
+class TestWriter:
+    def test_decreasing_keys_rejected(self):
+        writer = IBTreeWriter(SMALL)
+        writer.feed(PacketRecord(100, b"a"))
+        with pytest.raises(StorageError):
+            writer.feed(PacketRecord(99, b"b"))
+
+    def test_equal_keys_allowed(self):
+        writer = IBTreeWriter(SMALL)
+        writer.feed(PacketRecord(100, b"a"))
+        writer.feed(PacketRecord(100, b"b"))  # burst packets share times
+
+    def test_oversized_packet_rejected(self):
+        writer = IBTreeWriter(SMALL)
+        with pytest.raises(StorageError):
+            writer.feed(PacketRecord(0, b"x" * 4096))
+
+    def test_single_page_file_has_no_root(self):
+        _, handle = store_stream(make_records(3, max_size=50))
+        assert handle.nblocks == 1
+        assert handle.root is None
+
+    def test_multi_page_file_has_root(self):
+        _, handle = store_stream(make_records(300))
+        assert handle.nblocks > 1
+        assert handle.root is not None
+        page, offset, level = handle.root
+        assert 0 <= page < handle.nblocks
+
+    def test_pages_are_exactly_page_sized(self):
+        records = make_records(200)
+        writer = IBTreeWriter(SMALL)
+        pages = []
+        for record in records:
+            page = writer.feed(record)
+            if page:
+                pages.append(page)
+        tail, _ = writer.finish()
+        pages.extend(tail)
+        assert all(len(p) == SMALL.data_page_size for p in pages)
+
+    def test_packets_written_counter(self):
+        writer = IBTreeWriter(SMALL)
+        for record in make_records(25):
+            writer.feed(record)
+        assert writer.packets_written == 25
+
+
+class TestRoundTrip:
+    def test_scan_returns_everything_in_order(self):
+        records = make_records(500, seed=3)
+        sim, handle = store_stream(records)
+        reader = IBTreeReader(handle, SMALL)
+        out = run_process(sim, reader.scan())
+        assert len(out) == len(records)
+        assert [r.delivery_us for r in out] == [r.delivery_us for r in records]
+        assert all(a.payload == b.payload for a, b in zip(out, records))
+
+    def test_kinds_preserved(self):
+        records = [
+            PacketRecord(0, b"data", KIND_DATA),
+            PacketRecord(10, b"ctrl", KIND_CONTROL),
+            PacketRecord(20, b"data2", KIND_DATA),
+        ]
+        sim, handle = store_stream(records)
+        out = run_process(sim, IBTreeReader(handle, SMALL).scan())
+        assert [r.kind for r in out] == [KIND_DATA, KIND_CONTROL, KIND_DATA]
+
+    def test_parse_page_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            IBTreeReader.parse_page(b"\x00" * 64)
+
+
+class TestSeek:
+    def test_seek_finds_first_at_or_after(self):
+        records = make_records(400, seed=5)
+        sim, handle = store_stream(records)
+        reader = IBTreeReader(handle, SMALL)
+        times = [r.delivery_us for r in records]
+        for target in [0, times[10], times[10] + 1, times[200], times[-1]]:
+            position = run_process(sim, reader.seek(target))
+            assert position is not None
+            page_index, entry_index = position
+            page = run_process(sim, handle.read_block(page_index))
+            record = IBTreeReader.parse_page(page)[entry_index]
+            expected = min(t for t in times if t >= target)
+            assert record.delivery_us == expected
+
+    def test_seek_past_end_returns_none(self):
+        records = make_records(100, seed=6)
+        sim, handle = store_stream(records)
+        reader = IBTreeReader(handle, SMALL)
+        assert run_process(sim, reader.seek(records[-1].delivery_us + 1)) is None
+
+    def test_seek_in_single_page_file(self):
+        records = make_records(3, seed=7, max_size=40)
+        sim, handle = store_stream(records)
+        position = run_process(sim, IBTreeReader(handle, SMALL).seek(0))
+        assert position == (0, 0)
+
+    def test_seek_costs_simulated_reads(self):
+        """Seeks traverse internal pages as real block reads (§2.2.1)."""
+        sim = Simulator()
+        from repro.hardware import Machine, MachineParams
+
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        config = SMALL
+        fs = MsuFileSystem(SpanVolume(RawDisk(machine.disks[0]), config.data_page_size))
+        handle = fs.create("s")
+        writer = IBTreeWriter(config)
+
+        def build():
+            for record in make_records(400, seed=8):
+                page = writer.feed(record)
+                if page:
+                    yield from handle.append_block(page)
+            pages, root = writer.finish()
+            for page in pages:
+                yield from handle.append_block(page)
+            handle.root = root
+
+        run_process(sim, build())
+        before = sim.now
+        run_process(sim, IBTreeReader(handle, config).seek(10_000))
+        assert sim.now > before  # the descent paid for disk reads
+
+
+class TestIntegration:
+    def test_internal_pages_embedded_in_data_pages(self):
+        """Full internal pages ride inside data pages (§2.2.1)."""
+        records = make_records(2000, seed=9)
+        sim, handle = store_stream(records)
+        embedded = 0
+        for i in range(handle.nblocks):
+            page = run_process(sim, handle.read_block(i))
+            _, _, _, internal_off, internal_len = struct.unpack_from("<4sHIII", page, 0)
+            if internal_len:
+                embedded += 1
+                assert internal_len == SMALL.internal_page_size
+        assert embedded >= 1
+
+    def test_embedded_pages_skipped_on_scan(self):
+        records = make_records(2000, seed=10)
+        sim, handle = store_stream(records)
+        out = run_process(sim, IBTreeReader(handle, SMALL).scan())
+        assert len(out) == len(records)
+
+
+class TestProperties:
+    @given(
+        deltas=st.lists(st.integers(0, 50_000), min_size=1, max_size=300),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_schedule(self, deltas, seed):
+        rng = np.random.default_rng(seed)
+        t = 0
+        records = []
+        for delta in deltas:
+            t += delta
+            size = int(rng.integers(1, 120))
+            records.append(
+                PacketRecord(t, rng.integers(0, 256, size, dtype=np.uint8).tobytes())
+            )
+        sim, handle = store_stream(records)
+        out = run_process(sim, IBTreeReader(handle, SMALL).scan())
+        assert [(r.delivery_us, r.payload) for r in out] == [
+            (r.delivery_us, r.payload) for r in records
+        ]
+
+    @given(
+        n=st.integers(1, 250),
+        probe=st.integers(0, 2_000_000),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_seek_matches_linear_search(self, n, probe, seed):
+        records = make_records(n, seed=seed)
+        sim, handle = store_stream(records)
+        position = run_process(sim, IBTreeReader(handle, SMALL).seek(probe))
+        after = [r.delivery_us for r in records if r.delivery_us >= probe]
+        if not after:
+            assert position is None
+        else:
+            page_index, entry_index = position
+            page = run_process(sim, handle.read_block(page_index))
+            record = IBTreeReader.parse_page(page)[entry_index]
+            assert record.delivery_us == after[0]

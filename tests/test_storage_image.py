@@ -1,0 +1,103 @@
+"""SparseImage and RawDisk: real bytes behind simulated timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.hardware import Machine, MachineParams
+from repro.sim import Simulator
+from repro.storage import RawDisk, SparseImage
+from tests.conftest import run_process
+
+
+class TestSparseImage:
+    def test_unwritten_reads_zero(self):
+        image = SparseImage(1000)
+        assert image.read(0, 10) == b"\x00" * 10
+
+    def test_roundtrip(self):
+        image = SparseImage(1000)
+        image.write(100, b"hello")
+        assert image.read(100, 5) == b"hello"
+        assert image.read(99, 7) == b"\x00hello\x00"
+
+    def test_cross_page_write(self):
+        image = SparseImage(300_000, page_size=1024)
+        data = bytes(range(256)) * 20  # spans several pages
+        image.write(1000, data)
+        assert image.read(1000, len(data)) == data
+
+    def test_bounds_checked(self):
+        image = SparseImage(100)
+        with pytest.raises(StorageError):
+            image.write(90, b"x" * 20)
+        with pytest.raises(StorageError):
+            image.read(-1, 5)
+        with pytest.raises(ValueError):
+            image.read(0, -5)
+
+    def test_resident_bytes_grow_lazily(self):
+        image = SparseImage(10_000_000, page_size=4096)
+        assert image.resident_bytes == 0
+        image.write(0, b"x")
+        assert image.resident_bytes == 4096
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 9000), st.binary(min_size=1, max_size=600)),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_bytearray(self, writes):
+        image = SparseImage(10_000, page_size=256)
+        reference = bytearray(10_000)
+        for offset, data in writes:
+            data = data[: 10_000 - offset]
+            if not data:
+                continue
+            image.write(offset, data)
+            reference[offset : offset + len(data)] = data
+        assert image.read(0, 10_000) == bytes(reference)
+
+
+class TestRawDisk:
+    def test_requires_drive_or_capacity(self):
+        with pytest.raises(ValueError):
+            RawDisk(None)
+
+    def test_driveless_disk_is_instant(self, sim):
+        raw = RawDisk(None, capacity=10_000)
+
+        def proc():
+            yield from raw.write(0, b"abc")
+            data = yield from raw.read(0, 3)
+            return data
+
+        assert run_process(sim, proc()) == b"abc"
+        assert sim.now == 0.0
+
+    def test_simulated_disk_costs_time_and_stores_bytes(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        raw = RawDisk(machine.disks[0])
+
+        def proc():
+            yield from raw.write(4096, b"payload")
+            data = yield from raw.read(4096, 7)
+            return data
+
+        assert run_process(sim, proc()) == b"payload"
+        assert sim.now > 0.0
+
+    def test_sync_paths_cost_no_time(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        raw = RawDisk(machine.disks[0])
+        raw.write_sync(0, b"admin")
+        assert raw.read_sync(0, 5) == b"admin"
+        assert sim.now == 0.0
+
+    def test_capacity_cannot_exceed_drive(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        with pytest.raises(StorageError):
+            RawDisk(machine.disks[0], capacity=machine.disks[0].params.capacity_bytes * 2)

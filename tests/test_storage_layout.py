@@ -1,0 +1,89 @@
+"""Volume layouts: span (per-disk) and striped mappings."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import RawDisk, SpanVolume, StripedVolume
+from tests.conftest import run_process
+
+BLOCK = 1024
+
+
+def disks(n, blocks_each=16):
+    return [RawDisk(None, capacity=BLOCK * blocks_each) for _ in range(n)]
+
+
+class TestSpanVolume:
+    def test_identity_mapping(self):
+        (raw,) = disks(1)
+        vol = SpanVolume(raw, BLOCK)
+        assert vol.nblocks == 16
+        disk, offset = vol.locate(5)
+        assert disk is raw and offset == 5 * BLOCK
+
+    def test_roundtrip(self, sim):
+        vol = SpanVolume(disks(1)[0], BLOCK)
+
+        def proc():
+            yield from vol.write_block(3, b"abc")
+            data = yield from vol.read_block(3)
+            return data
+
+        assert run_process(sim, proc())[:3] == b"abc"
+
+    def test_bounds(self, sim):
+        vol = SpanVolume(disks(1)[0], BLOCK)
+        with pytest.raises(StorageError):
+            list(vol.read_block(16))
+        with pytest.raises(StorageError):
+            list(vol.write_block(2, b"x" * (BLOCK + 1)))
+
+
+class TestStripedVolume:
+    def test_round_robin_mapping(self):
+        raws = disks(3)
+        vol = StripedVolume(raws, BLOCK)
+        assert vol.nblocks == 48
+        for i in range(9):
+            disk, offset = vol.locate(i)
+            assert disk is raws[i % 3]
+            assert offset == (i // 3) * BLOCK
+
+    def test_consecutive_blocks_on_adjacent_disks(self):
+        """§2.3.3: "lay out a file so that consecutive blocks are on
+        'adjacent' disks"."""
+        raws = disks(2)
+        vol = StripedVolume(raws, BLOCK)
+        sequence = [vol.disk_of(i) for i in range(6)]
+        assert sequence == [raws[0], raws[1], raws[0], raws[1], raws[0], raws[1]]
+
+    def test_roundtrip_across_disks(self, sim):
+        vol = StripedVolume(disks(2), BLOCK)
+
+        def proc():
+            for i in range(4):
+                yield from vol.write_block(i, bytes([i]) * 8)
+            out = []
+            for i in range(4):
+                data = yield from vol.read_block(i)
+                out.append(data[0])
+            return out
+
+        assert run_process(sim, proc()) == [0, 1, 2, 3]
+
+    def test_sync_paths(self):
+        vol = StripedVolume(disks(2), BLOCK)
+        vol.write_block_sync(3, b"sync")
+        assert vol.read_block_sync(3)[:4] == b"sync"
+
+    def test_capacity_is_min_disk_times_n(self):
+        raws = [
+            RawDisk(None, capacity=BLOCK * 10),
+            RawDisk(None, capacity=BLOCK * 20),
+        ]
+        vol = StripedVolume(raws, BLOCK)
+        assert vol.nblocks == 20  # limited by the smaller disk
+
+    def test_empty_volume_rejected(self):
+        with pytest.raises(ValueError):
+            StripedVolume([], BLOCK)

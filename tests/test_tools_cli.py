@@ -1,0 +1,39 @@
+"""The experiment CLI."""
+
+import pytest
+
+from repro.tools.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_is_a_choice(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp-drive"])
+
+    def test_duration_flag(self):
+        args = build_parser().parse_args(["table1", "--duration", "5"])
+        assert args.duration == 5.0
+
+
+class TestMain:
+    def test_list_prints_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["memorypath", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "theoretical" in out and "7.50" in out
+
+    def test_runs_scalability(self, capsys):
+        assert main(["scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "Coordinator CPU" in out
