@@ -1,0 +1,25 @@
+"""Benchmark E16 — interval/prefix caching on the disk-bound VoD workload."""
+
+from benchmarks.conftest import publish
+from repro.experiments.cache import format_cache, run_cache
+
+
+def test_bench_cache(benchmark):
+    points = benchmark.pedantic(run_cache, rounds=1)
+    off, on = points
+    publish(
+        benchmark, "cache", format_cache(points),
+        peak_off=off.concurrent_peak,
+        peak_on=on.concurrent_peak,
+        hit_ratio=on.snapshot.hit_ratio,
+        slots_saved=on.snapshot.slots_saved,
+        cache_admitted=on.cache_admitted,
+    )
+    # The acceptance bar: the same disk sustains >=20% more concurrent
+    # streams with the cache on, and the gain really came from the cache.
+    assert not off.cache_enabled and on.cache_enabled
+    assert on.concurrent_peak >= 1.2 * off.concurrent_peak
+    assert on.snapshot.hit_ratio > 0.0
+    assert on.snapshot.slots_saved > 0
+    assert on.cache_admitted > 0
+    assert on.blocking_probability < off.blocking_probability

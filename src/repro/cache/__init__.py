@@ -1,0 +1,31 @@
+"""MSU-resident buffer cache: interval + prefix caching (extension).
+
+The paper ships without a block cache ("an LRU block cache would impair
+performance because there is not enough data locality or sharing",
+§2.3.3) — true for a general LRU cache, but the VoD experiments show
+Zipf popularity concentrating demand on a few hot titles, exactly the
+regime *interval caching* exploits: a trailing viewer of a title re-reads
+the pages a leading viewer just read, so retaining the leader's pages in
+a bounded memory pool until the follower consumes them turns the
+follower's disk duty-cycle slots into memory copies.  A *prefix cache*
+complements it by pinning the first blocks of hot titles, covering the
+follower's catch-up gap (the pages between its start and the point where
+the leader's retained pages begin).
+
+This is the departure-from-the-paper subsystem described by the interval
+caching literature (Jayarekha & Nair; Nair & Jayarekha — see PAPERS.md).
+"""
+
+from repro.cache.interval import IntervalCache
+from repro.cache.manager import CacheConfig, CacheSnapshot, MsuPageCache
+from repro.cache.pool import BufferPool
+from repro.cache.prefix import PrefixCache
+
+__all__ = [
+    "BufferPool",
+    "IntervalCache",
+    "PrefixCache",
+    "CacheConfig",
+    "CacheSnapshot",
+    "MsuPageCache",
+]

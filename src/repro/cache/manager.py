@@ -1,0 +1,152 @@
+"""The MSU's page cache: one pool, two policies, one stats surface.
+
+:class:`MsuPageCache` is what the disk processes talk to.  A lookup
+consults the prefix cache first (pinned pages are never evicted by
+passing viewers), then the interval cache; a miss falls through to the
+disk and the read-back page is offered to the interval cache for any
+trailing viewers.  Hits cost a memory copy, not a duty-cycle disk slot —
+``slots_saved`` counts exactly the freed slots, which is the quantity the
+Coordinator's popularity-aware admission banks on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cache.interval import IntervalCache
+from repro.cache.pool import BufferPool
+from repro.cache.prefix import PrefixCache
+from repro.units import MIB
+
+__all__ = ["CacheConfig", "CacheSnapshot", "MsuPageCache"]
+
+Key = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Sizing and reporting knobs for one MSU's page cache."""
+
+    #: Shared memory budget for retained + pinned pages.
+    pool_bytes: int = 32 * MIB
+    #: Pinned opening pages per hot title (prefix cache budget).
+    prefix_pages: int = 16
+    #: Deliverable bytes/sec the cache path can sustain — what the MSU
+    #: advertises to the Coordinator for cache-covered admission.  The
+    #: memory path is far faster than a disk, so the MSU's delivery-path
+    #: budget is normally what binds; this default matches it (§3.2.1).
+    bandwidth: float = 4.2e6
+    #: Memory-copy throughput for a cache hit (bytes/sec); a 256 KiB page
+    #: costs ~3 ms, milliseconds cheaper than a disk slot's seek+transfer.
+    copy_rate: float = 80e6
+    #: Seconds between cache-served-bandwidth reports to the Coordinator.
+    report_period: float = 1.0
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """One moment's cache statistics (reported to the Coordinator)."""
+
+    hits: int
+    misses: int
+    prefix_hits: int
+    interval_hits: int
+    bytes_served: int
+    slots_saved: int
+    pool_used: int
+    pool_peak: int
+    pool_capacity: int
+    pinned_pages: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        return self.pool_used / self.pool_capacity if self.pool_capacity else 0.0
+
+
+class MsuPageCache:
+    """Interval + prefix caching behind one bounded pool."""
+
+    def __init__(self, config: CacheConfig = CacheConfig()):
+        self.config = config
+        self.pool = BufferPool(config.pool_bytes)
+        self.interval = IntervalCache(self.pool)
+        self.prefix = PrefixCache(self.pool, config.prefix_pages)
+        self.misses = 0
+        self.bytes_served = 0
+
+    # -- disk-process interface ----------------------------------------------
+
+    def lookup(self, key: Key, index: int, stream_id: int) -> Optional[bytes]:
+        """The cached page, or None (the caller then spends a disk slot)."""
+        data = self.prefix.lookup(key, index)
+        if data is not None:
+            # Keep the interval tracker's position fresh so pages the
+            # prefix covers are not retained for this stream again.
+            self.interval.observe(key, stream_id, index + 1)
+        else:
+            data = self.interval.lookup(key, index, stream_id)
+        if data is None:
+            self.misses += 1
+            return None
+        self.bytes_served += len(data)
+        return data
+
+    def fill(self, key: Key, index: int, data: bytes, producer_id: int) -> bool:
+        """Offer a disk-read page for retention (leader feeding followers)."""
+        return self.interval.fill(key, index, data, producer_id)
+
+    def forget_stream(self, stream_id: int) -> None:
+        """A stream left its disk's duty cycle."""
+        self.interval.forget_stream(stream_id)
+
+    def invalidate(self, key: Key) -> None:
+        """A file was deleted: drop its retained and pinned pages."""
+        self.interval.invalidate(key)
+        self.prefix.unpin(key)
+
+    def copy_time(self, nbytes: int) -> float:
+        """Simulated seconds to copy a cache hit to the stream buffer."""
+        return nbytes / self.config.copy_rate if self.config.copy_rate else 0.0
+
+    # -- admin interface -----------------------------------------------------------
+
+    def pin_prefix(self, key: Key, index: int, data: bytes) -> bool:
+        """Pin one opening page of a hot title (PinPrefix handling)."""
+        return self.prefix.pin(key, index, data)
+
+    def clear(self) -> None:
+        """Lose everything (MSU crash: cache memory does not survive)."""
+        self.interval = IntervalCache(self.pool)
+        self.prefix = PrefixCache(self.pool, self.config.prefix_pages)
+        self.pool.used = 0
+
+    # -- statistics -------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.prefix.hits + self.interval.hits
+
+    @property
+    def slots_saved(self) -> int:
+        """Duty-cycle read slots that never reached a disk."""
+        return self.hits
+
+    def snapshot(self) -> CacheSnapshot:
+        return CacheSnapshot(
+            hits=self.hits,
+            misses=self.misses,
+            prefix_hits=self.prefix.hits,
+            interval_hits=self.interval.hits,
+            bytes_served=self.bytes_served,
+            slots_saved=self.slots_saved,
+            pool_used=self.pool.used,
+            pool_peak=self.pool.peak,
+            pool_capacity=self.pool.capacity,
+            pinned_pages=self.prefix.pinned_pages,
+        )

@@ -1,0 +1,52 @@
+"""A bounded byte pool shared by every cache on one MSU.
+
+The pool does no storage of its own: the interval and prefix caches keep
+the page bytes, and account every retained page here so the MSU's cache
+memory stays within the configured budget.  Occupancy statistics feed the
+cache experiment's report (pool occupancy is the cost axis of interval
+caching: retained bytes track the leader/follower gap).
+"""
+
+from __future__ import annotations
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Byte-accounting for a fixed cache memory budget."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError(f"negative pool capacity: {capacity_bytes}")
+        self.capacity = capacity_bytes
+        self.used = 0
+        self.peak = 0
+        self.denied = 0  # reservations refused for lack of space
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the pool currently holding retained pages."""
+        return self.used / self.capacity if self.capacity else 0.0
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Claim ``nbytes`` if they fit; False (and counted) otherwise."""
+        if nbytes < 0:
+            raise ValueError(f"negative reservation: {nbytes}")
+        if self.used + nbytes > self.capacity:
+            self.denied += 1
+            return False
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+        return True
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool."""
+        if nbytes < 0 or nbytes > self.used:
+            raise ValueError(
+                f"release({nbytes}) with {self.used} bytes outstanding"
+            )
+        self.used -= nbytes

@@ -1,0 +1,73 @@
+"""Prefix caching: pin the opening blocks of hot titles.
+
+A new viewer of a popular title always starts at page 0, so the first N
+pages see the most re-reads of the whole file.  Pinning them serves two
+purposes: admission latency drops (the opening buffers need no disk
+slot), and a trailing viewer's catch-up gap — the pages between its start
+position and the beginning of the leader's retained interval — is covered
+from memory, letting interval caching take over without the follower ever
+touching the disk.
+
+The Coordinator drives pinning from the admin database's per-title
+request counts (popularity-aware admission); the cache itself only
+stores what it is told to pin, bounded by the shared pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache.pool import BufferPool
+
+__all__ = ["PrefixCache"]
+
+Key = Tuple[str, str]
+
+
+class PrefixCache:
+    """Pinned opening pages per title, bounded by the shared pool."""
+
+    def __init__(self, pool: BufferPool, max_pages_per_title: int = 16):
+        if max_pages_per_title < 0:
+            raise ValueError(f"negative prefix length: {max_pages_per_title}")
+        self.pool = pool
+        self.max_pages_per_title = max_pages_per_title
+        self._pinned: Dict[Key, Dict[int, bytes]] = {}
+        self.hits = 0
+        self.pinned_pages = 0
+
+    def pin(self, key: Key, index: int, data: bytes) -> bool:
+        """Pin page ``index`` of ``key``; False when budget or pool deny it."""
+        pages = self._pinned.setdefault(key, {})
+        if index in pages:
+            return True
+        if len(pages) >= self.max_pages_per_title:
+            return False
+        if not self.pool.try_reserve(len(data)):
+            return False
+        pages[index] = data
+        self.pinned_pages += 1
+        return True
+
+    def lookup(self, key: Key, index: int) -> Optional[bytes]:
+        """The pinned page, if this index is part of the title's prefix."""
+        data = self._pinned.get(key, {}).get(index)
+        if data is not None:
+            self.hits += 1
+        return data
+
+    def is_pinned(self, key: Key, index: int) -> bool:
+        """Whether the page is already pinned (pin planning, no hit count)."""
+        return index in self._pinned.get(key, {})
+
+    def pinned_count(self, key: Key) -> int:
+        """How many pages of this title's prefix are pinned."""
+        return len(self._pinned.get(key, {}))
+
+    def unpin(self, key: Key) -> int:
+        """Release a title's whole prefix (delete path); returns pages freed."""
+        pages = self._pinned.pop(key, {})
+        for data in pages.values():
+            self.pool.release(len(data))
+        self.pinned_pages -= len(pages)
+        return len(pages)

@@ -32,6 +32,11 @@ class Allocation:
     disk_id: str
     bandwidth: float
     reserved_blocks: int = 0
+    #: Content the stream plays (release decrements its active count).
+    content_name: str = ""
+    #: True when the grant charges the MSU's cache budget instead of the
+    #: disk's raw bandwidth (an interval-cache leader covers the stream).
+    cache_covered: bool = False
 
 
 class AdmissionControl:
@@ -45,6 +50,9 @@ class AdmissionControl:
         self.admitted = 0
         self.queued = 0
         self.rejected = 0
+        #: Admissions served from an MSU page cache rather than a disk
+        #: slot (the popularity-aware second chance of place_read).
+        self.cache_admitted = 0
 
     # -- placement ----------------------------------------------------------
 
@@ -60,9 +68,18 @@ class AdmissionControl:
         with replicas present the least-loaded feasible copy is used.
         ``msu_pin`` restricts placement to one MSU — composite members
         must share a machine (§2.2).
+
+        When no copy has raw disk bandwidth left, a *cache-covered*
+        second chance applies (extension): a location where the title is
+        already playing has an interval-cache leader whose retained pages
+        can serve a trailing stream, so the grant charges the MSU's
+        advertised cache bandwidth instead of the exhausted disk.  This
+        is what lets popular content exceed its home disk's duty-cycle
+        capacity without a replica.
         """
         rate = ctype.bandwidth_rate
         best = None
+        best_cached = None
         for msu_name, disk_id in entry.locations():
             if msu_pin is not None and msu_name != msu_pin:
                 continue
@@ -72,19 +89,39 @@ class AdmissionControl:
             disk = state.disks.get(disk_id)
             if disk is None:
                 continue
-            if disk.bandwidth_free() < rate or state.delivery_free() < rate:
+            if state.delivery_free() < rate:
                 continue
-            load = disk.bandwidth_used / disk.bandwidth_capacity
-            if best is None or load < best[0]:
-                best = (load, state, disk)
+            if disk.bandwidth_free() >= rate:
+                load = disk.bandwidth_used / disk.bandwidth_capacity
+                if best is None or load < best[0]:
+                    best = (load, state, disk)
+            elif (
+                state.cache_free() >= rate
+                and entry.active_at((msu_name, disk_id)) > 0
+            ):
+                cache_load = state.cache_used / state.cache_capacity
+                if best_cached is None or cache_load < best_cached[0]:
+                    best_cached = (cache_load, state, disk)
+        cache_covered = False
         if best is None:
-            return None
+            if best_cached is None:
+                return None
+            best = best_cached
+            cache_covered = True
         _, state, disk = best
-        disk.bandwidth_used += rate
+        if cache_covered:
+            state.cache_used += rate
+            self.cache_admitted += 1
+        else:
+            disk.bandwidth_used += rate
         state.delivery_used += rate
         state.active_streams += 1
         self.admitted += 1
-        return Allocation(state.name, disk.disk_id, rate)
+        entry.note_active((state.name, disk.disk_id), +1)
+        return Allocation(
+            state.name, disk.disk_id, rate,
+            content_name=entry.name, cache_covered=cache_covered,
+        )
 
     def place_record(
         self,
@@ -131,14 +168,23 @@ class AdmissionControl:
 
     def release(self, alloc: Allocation, blocks_used: int = 0) -> None:
         """Return a stream's resources (and a recording's unused space)."""
+        if alloc.content_name:
+            entry = self.db.contents.get(alloc.content_name)
+            if entry is not None:
+                entry.note_active((alloc.msu_name, alloc.disk_id), -1)
         state = self.db.msus.get(alloc.msu_name)
         if state is None:
             return
         state.delivery_used = max(0.0, state.delivery_used - alloc.bandwidth)
         state.active_streams = max(0, state.active_streams - 1)
+        if alloc.cache_covered:
+            state.cache_used = max(0.0, state.cache_used - alloc.bandwidth)
         disk = state.disks.get(alloc.disk_id)
         if disk is not None:
-            disk.bandwidth_used = max(0.0, disk.bandwidth_used - alloc.bandwidth)
+            if not alloc.cache_covered:
+                disk.bandwidth_used = max(
+                    0.0, disk.bandwidth_used - alloc.bandwidth
+                )
             if alloc.reserved_blocks:
                 unused = max(0, alloc.reserved_blocks - blocks_used)
                 disk.free_blocks += unused
@@ -150,5 +196,7 @@ class AdmissionControl:
             return
         state.delivery_used = 0.0
         state.active_streams = 0
+        state.cache_used = 0.0
         for disk in state.disks.values():
             disk.bandwidth_used = 0.0
+        self.db.clear_active(msu_name)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.manager import CacheConfig
 from repro.core.coordinator import Coordinator
 from repro.core.msu.msu import Msu
 from repro.errors import CalliopeError
@@ -42,6 +43,9 @@ class ClusterConfig:
     #: Build striped MSUs (the §2.3.3 alternative layout) instead of the
     #: paper's per-disk file systems.
     striped_msus: bool = False
+    #: Give every MSU an interval/prefix page cache (extension); None
+    #: reproduces the paper's deliberate no-cache design (§2.3.3).
+    cache: Optional[CacheConfig] = None
     seed: int = 42
 
 
@@ -73,6 +77,7 @@ class CalliopeCluster:
                 ibtree_config=config.ibtree_config,
                 client_channel_factory=self._make_vcr_channel,
                 striped=config.striped_msus,
+                cache_config=config.cache,
             )
             channel = ControlChannel(
                 sim, self.coordinator.name, msu.name,

@@ -66,6 +66,11 @@ class Coordinator:
     SCHEDULE_CPU = ms(0.3)
     #: CPU to process one stream-termination notification.
     TERMINATION_CPU = ms(0.5)
+    #: Requests after which a title counts as hot enough to pin its
+    #: prefix in the home MSU's page cache (popularity-aware admission).
+    PREFIX_HOT_REQUESTS = 3
+    #: Opening pages to pin per hot title.
+    PREFIX_PIN_PAGES = 16
 
     def __init__(
         self,
@@ -90,6 +95,8 @@ class Coordinator:
         self._next_stream = 1
         self.requests_handled = 0
         self.terminations_handled = 0
+        self.prefix_hot_requests = self.PREFIX_HOT_REQUESTS
+        self.prefix_pin_pages = self.PREFIX_PIN_PAGES
         #: Optional structured event log (repro.metrics.tracing.Tracer).
         self.tracer = None
 
@@ -120,9 +127,11 @@ class Coordinator:
             if isinstance(msg, m.MsuHello):
                 msu_name = msg.msu_name
                 self._msu_channels[msu_name] = channel
-                self.db.register_msu(msu_name, list(msg.disks))
+                self.db.register_msu(msu_name, list(msg.disks), msg.cache_bps)
                 self._trace("msu-up", msu_name, f"disks={len(msg.disks)}")
                 self._retry_queue()
+            elif isinstance(msg, m.CacheReport):
+                self._cache_report(msg)
             elif isinstance(msg, m.StreamTerminated):
                 yield from self.machine.cpu.execute(self.TERMINATION_CPU)
                 self.terminations_handled += 1
@@ -130,6 +139,18 @@ class Coordinator:
                             f"stream={msg.stream_id} reason={msg.reason}")
                 self._stream_terminated(msg)
                 self._retry_queue()
+
+    def _cache_report(self, msg: m.CacheReport) -> None:
+        """Fold an MSU's cache statistics into its resource record."""
+        state = self.db.msus.get(msg.msu_name)
+        if state is None:
+            return
+        state.cache_hits = msg.hits
+        state.cache_misses = msg.misses
+        state.cache_bytes_served = msg.bytes_served
+        state.cache_slots_saved = msg.slots_saved
+        state.cache_pool_used = msg.pool_used
+        state.cache_pool_capacity = msg.pool_capacity
 
     def _msu_failed(self, msu_name: str) -> None:
         """A broken MSU connection takes it out of scheduling (§2.2)."""
@@ -260,9 +281,40 @@ class Coordinator:
             pairs.append((comp_entry, match))
         return pairs
 
-    def _play(self, msg: m.PlayRequest, channel: ControlChannel) -> Generator:
+    def _maybe_pin_prefix(self, entry: ContentEntry) -> None:
+        """Ask a hot title's home MSU to pin its prefix (extension).
+
+        Fired once per title, the first time its demand crosses the hot
+        threshold; a no-op for MSUs that advertised no cache bandwidth.
+        """
+        if entry.prefix_pinned or not entry.msu_name:
+            return
+        if entry.demand < self.prefix_hot_requests:
+            return
+        state = self.db.msus.get(entry.msu_name)
+        if state is None or state.cache_capacity <= 0:
+            return
+        msu_channel = self._msu_channels.get(entry.msu_name)
+        if msu_channel is None:
+            return
+        entry.prefix_pinned = True
+        msu_channel.send(
+            self.name,
+            m.PinPrefix(entry.name, entry.disk_id, self.prefix_pin_pages),
+            nbytes=m.WIRE_BYTES,
+        )
+        self._trace("prefix-pin", entry.name,
+                    f"msu={entry.msu_name} pages={self.prefix_pin_pages}")
+
+    def _play(
+        self, msg: m.PlayRequest, channel: ControlChannel, fresh: bool = True
+    ) -> Generator:
         session = self.sessions.get(msg.session_id)
-        entry = self.db.content(msg.content_name)
+        if fresh:  # retries of a queued request are not new demand
+            entry = self.db.note_request(msg.content_name)
+        else:
+            entry = self.db.content(msg.content_name)
+        self._maybe_pin_prefix(entry)
         port = session.port(msg.port_name)
         if port.type_name != entry.type_name:
             raise TypeMismatchError(
@@ -304,6 +356,7 @@ class Coordinator:
                     group.group_id, stream_id, comp_entry.name, alloc.disk_id,
                     ctype.protocol, ctype.bandwidth_rate, ctype.variable,
                     tuple(comp_port.address), session.client_host, group_size=size,
+                    cached=alloc.cache_covered,
                 ),
                 nbytes=m.WIRE_BYTES,
             )
@@ -429,7 +482,7 @@ class Coordinator:
     def _retry_one(self, req: _QueuedRequest) -> Generator:
         try:
             if req.kind == "play":
-                reply = yield from self._play(req.message, req.channel)
+                reply = yield from self._play(req.message, req.channel, fresh=False)
             else:
                 reply = yield from self._record(req.message, req.channel)
         except Exception as err:

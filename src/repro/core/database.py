@@ -41,6 +41,35 @@ class ContentEntry:
     replicas: Tuple[Tuple[str, str], ...] = ()
     #: Cumulative play requests (drives replication decisions).
     play_count: int = 0
+    #: Cumulative play *demand* — every request, including ones that were
+    #: queued or blocked.  Drives prefix pinning and replication: unmet
+    #: demand is precisely what those policies should relieve.
+    request_count: int = 0
+    #: Whether the Coordinator already asked the home MSU to pin this
+    #: title's prefix in its page cache.
+    prefix_pinned: bool = False
+    #: (msu, disk) -> currently playing stream count.  A location with an
+    #: active stream has a *leader* whose pages the interval cache can
+    #: retain for a trailing viewer (cache-covered admission).
+    active: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def demand(self) -> int:
+        """Popularity signal: admitted plays or raw requests, whichever
+        is larger (requests include demand that admission turned away)."""
+        return max(self.play_count, self.request_count)
+
+    def active_at(self, location: Tuple[str, str]) -> int:
+        """Streams currently playing this title from ``location``."""
+        return self.active.get(location, 0)
+
+    def note_active(self, location: Tuple[str, str], delta: int) -> None:
+        """Adjust the active-stream count at one location."""
+        count = self.active.get(location, 0) + delta
+        if count > 0:
+            self.active[location] = count
+        else:
+            self.active.pop(location, None)
 
     def locations(self) -> List[Tuple[str, str]]:
         """Every (msu, disk) holding a copy, primary first."""
@@ -82,9 +111,23 @@ class MsuState:
     delivery_capacity: float = 4.2e6
     delivery_used: float = 0.0
     active_streams: int = 0
+    #: Bytes/sec the MSU's page cache can serve (0 = no cache installed);
+    #: advertised in MsuHello, consumed by cache-covered admissions.
+    cache_capacity: float = 0.0
+    cache_used: float = 0.0
+    #: Latest CacheReport figures (zeros until the first report lands).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_served: int = 0
+    cache_slots_saved: int = 0
+    cache_pool_used: int = 0
+    cache_pool_capacity: int = 0
 
     def delivery_free(self) -> float:
         return self.delivery_capacity - self.delivery_used
+
+    def cache_free(self) -> float:
+        return self.cache_capacity - self.cache_used
 
 
 class AdminDatabase:
@@ -125,15 +168,33 @@ class AdminDatabase:
         """(name, type) pairs for the table of contents, name-sorted."""
         return [(n, self.contents[n].type_name) for n in sorted(self.contents)]
 
+    def note_request(self, name: str) -> ContentEntry:
+        """Count one play request against a title (admitted or not)."""
+        entry = self.content(name)
+        entry.request_count += 1
+        return entry
+
+    def top_requested(self, n: int = 10) -> List[ContentEntry]:
+        """The ``n`` most-demanded atomic titles, hottest first."""
+        entries = [
+            e for e in self.contents.values() if not e.components and e.msu_name
+        ]
+        entries.sort(key=lambda e: e.demand, reverse=True)
+        return entries[:n]
+
     # -- resources ------------------------------------------------------------
 
-    def register_msu(self, name: str, disks: List[Tuple[str, int]]) -> MsuState:
+    def register_msu(
+        self, name: str, disks: List[Tuple[str, int]], cache_bps: float = 0.0
+    ) -> MsuState:
         """Add or re-activate an MSU (MsuHello handling, §2.2)."""
         state = self.msus.get(name)
         if state is None:
             state = MsuState(name)
             self.msus[name] = state
         state.available = True
+        state.cache_capacity = cache_bps
+        state.cache_used = 0.0
         for disk_id, free_blocks in disks:
             disk = state.disks.get(disk_id)
             if disk is None:
@@ -146,6 +207,14 @@ class AdminDatabase:
         """Take a failed MSU out of the scheduling database (§2.2)."""
         if name in self.msus:
             self.msus[name].available = False
+        self.clear_active(name)
+
+    def clear_active(self, msu_name: str) -> None:
+        """Forget active-stream counts on one MSU (its streams died)."""
+        for entry in self.contents.values():
+            for location in list(entry.active):
+                if location[0] == msu_name:
+                    del entry.active[location]
 
     def available_msus(self) -> List[MsuState]:
         return [s for s in self.msus.values() if s.available]

@@ -7,12 +7,19 @@ paper's MSU "services the customers for each disk in a round-robin
 fashion, resulting in random seeks between disk transfers" — there is no
 head scheduling here (that is the elevator experiment's job, at the
 hardware layer).
+
+With a page cache installed (the interval/prefix extension), the duty
+cycle consults the cache before committing a read slot: a hit costs a
+memory copy instead of a seek-plus-transfer, freeing that slot for
+another stream — which is how a disk serves more concurrent viewers than
+its raw bandwidth allows.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Generator, List, Optional
 
+from repro.cache.manager import MsuPageCache
 from repro.core.msu.queues import Signal
 from repro.core.msu.streams import PlayStream, RecordStream
 from repro.sim import Simulator
@@ -32,6 +39,7 @@ class DiskProcess:
         disk_id: str,
         on_page_loaded: Optional[Callable] = None,
         on_record_drained: Optional[Callable] = None,
+        cache: Optional[MsuPageCache] = None,
     ):
         self.sim = sim
         self.fs = fs
@@ -43,7 +51,10 @@ class DiskProcess:
         self.on_page_loaded = on_page_loaded
         #: Called with (stream,) when a finishing recording is fully on disk.
         self.on_record_drained = on_record_drained
-        self.pages_read = 0
+        #: Shared MSU page cache; None reproduces the paper's no-cache MSU.
+        self.cache = cache
+        self.pages_read = 0  # pages that actually spent a disk slot
+        self.pages_from_cache = 0  # pages served by the cache instead
         self.pages_written = 0
         self.cycles = 0
         self._proc = sim.process(self.run(), name=f"diskproc:{disk_id}")
@@ -53,6 +64,13 @@ class DiskProcess:
     def add_play(self, stream: PlayStream) -> None:
         """Admit a playback stream to this disk's duty cycle."""
         self.play_streams.append(stream)
+        if self.cache is not None:
+            # Make the stream's position visible immediately so a leader's
+            # next page is already retained for it.
+            self.cache.interval.observe(
+                (self.disk_id, stream.handle.name),
+                stream.stream_id, stream.next_page,
+            )
         self.wakeup.set()
 
     def add_record(self, stream: RecordStream) -> None:
@@ -64,6 +82,8 @@ class DiskProcess:
         """Drop a stream (slot freed for others)."""
         if stream in self.play_streams:
             self.play_streams.remove(stream)
+            if self.cache is not None:
+                self.cache.forget_stream(stream.stream_id)
         if stream in self.record_streams:
             self.record_streams.remove(stream)
 
@@ -79,10 +99,24 @@ class DiskProcess:
                 epoch = stream.epoch
                 page_index = stream.next_page
                 stream.next_page += 1
-                buf = yield from self.fs.read_file_block(stream.handle, page_index)
+                buf = None
+                key = (self.disk_id, stream.handle.name)
+                if self.cache is not None:
+                    buf = self.cache.lookup(key, page_index, stream.stream_id)
+                if buf is not None:
+                    self.pages_from_cache += 1
+                    delay = self.cache.copy_time(len(buf))
+                    if delay > 0:
+                        yield self.sim.timeout(delay)
+                else:
+                    buf = yield from self.fs.read_file_block(
+                        stream.handle, page_index
+                    )
+                    self.pages_read += 1
+                    if self.cache is not None:
+                        self.cache.fill(key, page_index, buf, stream.stream_id)
                 records = IBTreeReader.parse_page(buf)
                 stream.attach_page(epoch, page_index, records)
-                self.pages_read += 1
                 did_work = True
                 if self.on_page_loaded is not None:
                     self.on_page_loaded(stream)

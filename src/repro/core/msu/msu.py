@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Set
 
+from repro.cache.manager import CacheConfig, MsuPageCache
 from repro.core.msu.disk_process import DiskProcess
 from repro.core.msu.network_process import NetworkProcess
 from repro.core.msu.streams import PlayStream, RateVariant, RecordStream, StreamState
@@ -73,6 +74,7 @@ class Msu:
         ibtree_config: IBTreeConfig = IBTreeConfig(),
         client_channel_factory: Optional[Callable] = None,
         striped: bool = False,
+        cache_config: Optional[CacheConfig] = None,
     ):
         self.sim = sim
         self.name = name
@@ -95,6 +97,9 @@ class Msu:
         # whose consecutive blocks land on "adjacent" disks, served by a
         # single duty cycle covering all disks.
         self.striped = striped
+        # Optional interval/prefix page cache (extension): one pool shared
+        # by every disk process; None reproduces the paper's no-cache MSU.
+        self.cache = MsuPageCache(cache_config) if cache_config is not None else None
         self.filesystems: Dict[str, MsuFileSystem] = {}
         self.disk_processes: Dict[str, DiskProcess] = {}
         if striped:
@@ -108,6 +113,7 @@ class Msu:
                 sim, fs, disk_id,
                 on_page_loaded=self._on_page_loaded,
                 on_record_drained=self._on_record_drained,
+                cache=self.cache,
             )
         else:
             for drive in self.machine.disks:
@@ -118,6 +124,7 @@ class Msu:
                     sim, fs, drive.name,
                     on_page_loaded=self._on_page_loaded,
                     on_record_drained=self._on_record_drained,
+                    cache=self.cache,
                 )
         self.data_socket = self.host.bind(self.DATA_PORT)
         self.iop = NetworkProcess(
@@ -133,6 +140,7 @@ class Msu:
         self.streams_served = 0
         #: Optional structured event log (repro.metrics.tracing.Tracer).
         self.tracer = None
+        self._cache_report_proc = None
 
     def _trace(self, category: str, subject, detail: str = "") -> None:
         if self.tracer is not None:
@@ -157,8 +165,16 @@ class Msu:
             (disk_id, fs.allocator.free_blocks)
             for disk_id, fs in sorted(self.filesystems.items())
         )
-        channel.send(self.name, m.MsuHello(self.name, disks), nbytes=m.WIRE_BYTES)
+        cache_bps = self.cache.config.bandwidth if self.cache is not None else 0.0
+        channel.send(
+            self.name, m.MsuHello(self.name, disks, cache_bps=cache_bps),
+            nbytes=m.WIRE_BYTES,
+        )
         self.sim.process(self._control_loop(), name=f"{self.name}.ctl")
+        if self.cache is not None:
+            self._cache_report_proc = self.sim.process(
+                self._cache_report_loop(channel), name=f"{self.name}.cachereport"
+            )
 
     def _control_loop(self) -> Generator:
         channel = self.coordinator_channel
@@ -171,10 +187,58 @@ class Msu:
                 self._schedule_read(msg)
             elif isinstance(msg, m.ScheduleRecord):
                 self._schedule_record(msg)
+            elif isinstance(msg, m.PinPrefix):
+                if self.cache is not None:
+                    self.sim.process(
+                        self._pin_prefix(msg), name=f"{self.name}.pin"
+                    )
             elif isinstance(msg, m.DeleteFile):
                 fs = self.filesystems.get(msg.disk_id)
                 if fs is not None and fs.exists(msg.content_name):
                     fs.delete(msg.content_name)
+                    if self.cache is not None:
+                        self.cache.invalidate((msg.disk_id, msg.content_name))
+
+    # -- page-cache plumbing (extension) ----------------------------------------------
+
+    def _pin_prefix(self, msg: m.PinPrefix) -> Generator:
+        """Read a hot title's opening pages into the prefix cache.
+
+        The reads go through the file system like any other disk access,
+        so pinning contends with (and is paced by) the duty cycle — a
+        one-time cost paid when the Coordinator declares the title hot.
+        """
+        fs = self.filesystems.get(msg.disk_id)
+        if fs is None or not fs.exists(msg.content_name):
+            return
+        handle = fs.open(msg.content_name)
+        key = (msg.disk_id, msg.content_name)
+        pinned = 0
+        for index in range(min(msg.pages, handle.nblocks)):
+            if self.cache.prefix.is_pinned(key, index):
+                continue
+            data = yield from fs.read_file_block(handle, index)
+            if not self.cache.pin_prefix(key, index, data):
+                break
+            pinned += 1
+        self._trace("prefix-pin", msg.content_name, f"pages={pinned}")
+
+    def _cache_report_loop(self, channel: ControlChannel) -> Generator:
+        """Periodically report cache-served bandwidth to the Coordinator."""
+        period = self.cache.config.report_period
+        while self.up and channel.open:
+            yield self.sim.timeout(period)
+            if not self.up or not channel.open:
+                return
+            snap = self.cache.snapshot()
+            channel.send(
+                self.name,
+                m.CacheReport(
+                    self.name, snap.hits, snap.misses, snap.bytes_served,
+                    snap.slots_saved, snap.pool_used, snap.pool_capacity,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
 
     # -- scheduling (RPCs from the Coordinator) --------------------------------------
 
@@ -395,6 +459,10 @@ class Msu:
                 disk_proc._proc.interrupt("crash")
         if self.iop._proc.is_alive:
             self.iop._proc.interrupt("crash")
+        if self._cache_report_proc is not None and self._cache_report_proc.is_alive:
+            self._cache_report_proc.interrupt("crash")
+        if self.cache is not None:
+            self.cache.clear()  # cache memory does not survive a power cut
         self.groups.clear()
         self._stream_disk.clear()
         self._stream_group.clear()

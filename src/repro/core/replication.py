@@ -54,16 +54,19 @@ class ReplicationManager:
     # -- policy ----------------------------------------------------------
 
     def _hot_entries(self) -> List[ContentEntry]:
+        # Demand counts every request, including queued/blocked ones: the
+        # titles admission turned away are exactly the ones replication
+        # (and prefix pinning) should relieve.
         db = self.cluster.coordinator.db
         hot = [
             entry
             for entry in db.contents.values()
             if not entry.components
             and entry.msu_name
-            and entry.play_count >= self.hot_play_count
+            and entry.demand >= self.hot_play_count
             and len(entry.locations()) <= self.max_replicas
         ]
-        return sorted(hot, key=lambda e: e.play_count, reverse=True)
+        return sorted(hot, key=lambda e: e.demand, reverse=True)
 
     def _home_disk_loaded(self, entry: ContentEntry) -> bool:
         db = self.cluster.coordinator.db

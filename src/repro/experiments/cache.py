@@ -1,0 +1,186 @@
+"""Experiment E16 (extension) — interval/prefix caching vs. the no-cache MSU.
+
+The paper rejects a block cache outright ("not enough data locality or
+sharing", §2.3.3), but its own sizing story — Zipf popularity, thousands
+of viewers, a handful of hot titles — is the textbook case for *interval
+caching*: a trailing viewer re-reads exactly the pages a leading viewer
+of the same title just read.  This experiment replays the vod_load
+workload on a deliberately disk-bound installation (one disk per MSU, so
+raw bandwidth admits ~12 MPEG-1 streams) twice: once as the paper built
+it, once with the interval+prefix page cache enabled.
+
+With the cache on, the Coordinator's popularity-aware admission grants
+trailing viewers of hot titles a *cache-covered* slot once the disk's raw
+bandwidth is exhausted, and the MSU's duty cycle serves them from memory
+— so the same disk sustains substantially more concurrent streams (the
+delivery path becomes the binding resource, as it should be), blocking
+drops, and the report shows where the gain came from: hit ratio, pool
+occupancy and duty-cycle slots saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.manager import CacheConfig, CacheSnapshot
+from repro.clients.client import Client
+from repro.clients.population import ViewerPopulation
+from repro.core.cluster import CalliopeCluster, ClusterConfig
+from repro.media.mpeg import MpegEncoder, packetize_cbr
+from repro.metrics.probes import CounterProbe
+from repro.metrics.report import format_cache_summary
+from repro.sim import Simulator
+from repro.storage.ibtree import IBTreeConfig
+from repro.units import MIB, MPEG1_RATE
+
+__all__ = ["CachePoint", "run_cache", "format_cache"]
+
+_CONFIG = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
+
+
+@dataclass(frozen=True)
+class CachePoint:
+    """One configuration's outcome (cache on or off)."""
+
+    cache_enabled: bool
+    offered_erlangs: float
+    arrivals: int
+    admitted: int
+    blocked_or_abandoned: int
+    blocking_probability: float
+    concurrent_peak: int
+    cache_admitted: int
+    pages_read: int  # duty-cycle slots actually spent on the disk
+    pages_from_cache: int  # slots the cache absorbed
+    snapshot: Optional[CacheSnapshot]
+    #: Mean cache-served pages/sec across the run (CounterProbe windows).
+    hit_rate_per_s: float
+
+
+def _run_once(
+    cache_config: Optional[CacheConfig],
+    offered: float,
+    mean_watch_seconds: float,
+    duration: float,
+    n_titles: int,
+    seed: int,
+) -> CachePoint:
+    sim = Simulator()
+    cluster = CalliopeCluster(
+        sim,
+        ClusterConfig(
+            n_msus=1,
+            disks_per_hba=(1,),  # disk-bound on purpose: one disk, ~12 streams
+            ibtree_config=_CONFIG,
+            cache=cache_config,
+        ),
+    )
+    cluster.coordinator.db.add_customer("user")
+    length = mean_watch_seconds * 6.0
+    packets = packetize_cbr(
+        MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024
+    )
+    titles = []
+    for t in range(n_titles):
+        name = f"title{t}"
+        cluster.load_content(name, "mpeg1", packets, disk_index=0)
+        titles.append(name)
+    sim.run(until=0.01)
+    msu = cluster.msus[0]
+    probe = None
+    if msu.cache is not None:
+        probe = CounterProbe(
+            sim, lambda: msu.cache.slots_saved, period=5.0, name="cache-hits"
+        )
+    client = Client(sim, cluster, "audience")
+    population = ViewerPopulation(
+        sim, client, titles,
+        arrival_rate=offered / mean_watch_seconds,
+        mean_watch_seconds=mean_watch_seconds,
+        queue_patience=2.0,
+        seed=seed,
+    )
+    population.start()
+    sim.run(until=duration)
+    population.stop()
+    sim.run(until=duration + 30.0)  # drain in-flight viewers
+    if probe is not None:
+        probe.stop()
+    stats = population.stats
+    disk_proc = next(iter(msu.disk_processes.values()))
+    return CachePoint(
+        cache_enabled=cache_config is not None,
+        offered_erlangs=offered,
+        arrivals=stats.arrivals,
+        admitted=stats.admitted,
+        blocked_or_abandoned=stats.blocked + stats.abandoned,
+        blocking_probability=stats.blocking_probability,
+        concurrent_peak=stats.concurrent_peak,
+        cache_admitted=cluster.coordinator.admission.cache_admitted,
+        pages_read=disk_proc.pages_read,
+        pages_from_cache=disk_proc.pages_from_cache,
+        snapshot=msu.cache.snapshot() if msu.cache is not None else None,
+        hit_rate_per_s=probe.mean_rate() if probe is not None else 0.0,
+    )
+
+
+def run_cache(
+    offered_erlangs: float = 20.0,
+    mean_watch_seconds: float = 8.0,
+    duration: float = 200.0,
+    n_titles: int = 8,
+    pool_bytes: int = 32 * MIB,
+    prefix_pages: int = 16,
+    seed: int = 14,
+) -> List[CachePoint]:
+    """The same Zipf VoD workload without and with the page cache."""
+    disabled = _run_once(
+        None, offered_erlangs, mean_watch_seconds, duration, n_titles, seed
+    )
+    enabled = _run_once(
+        CacheConfig(pool_bytes=pool_bytes, prefix_pages=prefix_pages),
+        offered_erlangs, mean_watch_seconds, duration, n_titles, seed,
+    )
+    return [disabled, enabled]
+
+
+def format_cache(points: List[CachePoint]) -> str:
+    """Render the on/off comparison plus the cache's own metrics."""
+    lines = [
+        "Interval/prefix caching on the disk-bound Zipf VoD workload "
+        "(one MSU, one disk)",
+        f"{'cache':>8} | {'arrivals':>8} | {'admitted':>8} | {'denied':>6} | "
+        f"{'P(block)':>8} | {'peak':>4} | {'disk pages':>10} | {'cache pages':>11}",
+    ]
+    for p in points:
+        label = "on" if p.cache_enabled else "off"
+        lines.append(
+            f"{label:>8} | {p.arrivals:>8} | {p.admitted:>8} | "
+            f"{p.blocked_or_abandoned:>6} | {p.blocking_probability:>8.3f} | "
+            f"{p.concurrent_peak:>4} | {p.pages_read:>10} | {p.pages_from_cache:>11}"
+        )
+    off = next((p for p in points if not p.cache_enabled), None)
+    on = next((p for p in points if p.cache_enabled), None)
+    if off is not None and on is not None and off.concurrent_peak:
+        gain = (on.concurrent_peak - off.concurrent_peak) / off.concurrent_peak
+        lines.append(
+            f"concurrent streams per disk: {off.concurrent_peak} -> "
+            f"{on.concurrent_peak} ({gain * 100.0:+.0f}%), "
+            f"{on.cache_admitted} admissions were cache-covered"
+        )
+    if on is not None and on.snapshot is not None:
+        for name, value in format_cache_summary(on.snapshot):
+            lines.append(f"  {name:<26} {value:>10.1f}")
+        lines.append(f"  {'cache-served pages/sec':<26} {on.hit_rate_per_s:>10.1f}")
+    lines.append(
+        "(the paper's no-cache stance (§2.3.3) holds for uniform access;"
+        " under Zipf popularity, trailing viewers of hot titles re-read"
+        " the leader's pages, and interval caching turns those duty-cycle"
+        " disk slots into memory copies)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual calibration aid
+    print(format_cache(run_cache()))

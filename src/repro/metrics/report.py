@@ -6,7 +6,7 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.metrics.lateness import LatenessCdf
 
-__all__ = ["format_cdf_table", "quantile_summary"]
+__all__ = ["format_cdf_table", "quantile_summary", "format_cache_summary"]
 
 
 def format_cdf_table(
@@ -37,4 +37,21 @@ def quantile_summary(cdf: LatenessCdf) -> List[Tuple[str, float]]:
         ("within 50 ms (%)", cdf.fraction_within(50) * 100.0),
         ("within 150 ms (%)", cdf.fraction_within(150) * 100.0),
         ("max lateness (ms)", cdf.max_late_ms),
+    ]
+
+
+def format_cache_summary(snapshot) -> List[Tuple[str, float]]:
+    """Key figures of one MSU page cache (a CacheSnapshot-like object).
+
+    The three quantities the cache experiment reports: how often a read
+    slot was saved, how full the pool ran, and how many slots that saved
+    in absolute terms.
+    """
+    return [
+        ("hit ratio (%)", snapshot.hit_ratio * 100.0),
+        ("pool occupancy peak (%)",
+         100.0 * snapshot.pool_peak / snapshot.pool_capacity
+         if snapshot.pool_capacity else 0.0),
+        ("disk slots saved", float(snapshot.slots_saved)),
+        ("pinned prefix pages", float(snapshot.pinned_pages)),
     ]

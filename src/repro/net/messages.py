@@ -30,6 +30,8 @@ __all__ = [
     "ScheduleRead",
     "ScheduleRecord",
     "StreamTerminated",
+    "PinPrefix",
+    "CacheReport",
     "StreamReady",
     "VcrCommand",
     "EndOfStream",
@@ -162,6 +164,9 @@ class MsuHello:
 
     msu_name: str
     disks: Tuple[Tuple[str, int], ...]  # (disk id, free blocks)
+    #: Bytes/sec the MSU's page cache can serve (0 = no cache); the
+    #: Coordinator admits cache-covered streams against this budget.
+    cache_bps: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -176,6 +181,10 @@ class ScheduleRead:
     display_address: Tuple[str, int]
     client_host: str
     group_size: int = 1
+    #: Admission expects this stream to be served from the MSU's page
+    #: cache (a leader is active on the same content/disk); the disk
+    #: process falls back to disk reads on a miss either way.
+    cached: bool = False
 
 
 @dataclass(frozen=True)
@@ -199,6 +208,37 @@ class DeleteFile:
 
     content_name: str
     disk_id: str
+
+
+@dataclass(frozen=True)
+class PinPrefix:
+    """Coordinator -> MSU: pin a hot title's opening pages in the cache.
+
+    Driven by the admin database's per-title request counts (extension:
+    popularity-aware prefix caching).
+    """
+
+    content_name: str
+    disk_id: str
+    pages: int
+
+
+@dataclass(frozen=True)
+class CacheReport:
+    """MSU -> Coordinator: periodic cache-served-bandwidth report.
+
+    The Coordinator folds this into the MSU's resource record so the
+    administrator (and the metrics report) can see how many duty-cycle
+    disk slots the cache is saving and how full the pool runs.
+    """
+
+    msu_name: str
+    hits: int
+    misses: int
+    bytes_served: int
+    slots_saved: int
+    pool_used: int
+    pool_capacity: int
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ companion files (§2.3.1).
 from __future__ import annotations
 
 import struct
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.storage.allocator import BitmapAllocator, Reservation
@@ -54,12 +54,20 @@ class FileHandle:
         """Number of data pages in the file."""
         return len(self.blocks)
 
-    def read_block(self, index: int) -> Generator:
-        """Read data page ``index`` (simulation process; returns bytes)."""
+    def read_block(self, index: int) -> Generator[Any, Any, bytes]:
+        """Read data page ``index``.
+
+        A simulation process: drive it with ``yield from`` (or
+        ``sim.process``); its generator return value is the page bytes.
+        """
         return self.fs.read_file_block(self, index)
 
-    def append_block(self, data: bytes) -> Generator:
-        """Allocate and write the next data page."""
+    def append_block(self, data: bytes) -> Generator[Any, Any, int]:
+        """Allocate and write the next data page.
+
+        A simulation process: drive it with ``yield from``; its generator
+        return value is the new page's index within the file.
+        """
         return self.fs.append_file_block(self, data)
 
 

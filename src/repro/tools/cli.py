@@ -110,6 +110,12 @@ def _playout(duration: Optional[float]) -> str:
     return format_playout(run_playout(duration=duration or 45.0))
 
 
+def _cache(duration: Optional[float]) -> str:
+    from repro.experiments.cache import format_cache, run_cache
+
+    return format_cache(run_cache(duration=duration or 200.0))
+
+
 def _cluster_scale(duration: Optional[float]) -> str:
     from repro.experiments.cluster_scale import (
         format_cluster_scale,
@@ -133,6 +139,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "striping": (_striping, "§2.3.3 striping trade-off"),
     "replication": (_replication, "§2.3.3 replication alternative (extension)"),
     "vod-load": (_vod_load, "§3.3 offered-load admission sweep (extension)"),
+    "cache": (_cache, "§2.3.3 interval/prefix caching vs. no cache (extension)"),
     "cluster-scale": (_cluster_scale, "abstract/§3.3 scaling by adding MSUs (extension)"),
     "playout": (_playout, "§2.2.1 client playout quality across the cliff (extension)"),
     "recording": (_recording, "§2.3 simultaneous recording capacity (extension)"),

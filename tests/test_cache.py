@@ -1,0 +1,251 @@
+"""The MSU page cache: pool accounting, interval/prefix policy, admission.
+
+Unit tests for the cache subsystem (``repro.cache``), the popularity-aware
+cache-covered placement in admission control, and one short end-to-end run
+showing a single disk sustaining more streams with the cache on.
+"""
+
+import pytest
+
+from repro.cache.interval import IntervalCache
+from repro.cache.manager import CacheConfig, MsuPageCache
+from repro.cache.pool import BufferPool
+from repro.cache.prefix import PrefixCache
+from repro.core.admission import AdmissionControl
+from repro.core.database import AdminDatabase, ContentEntry
+from repro.media.content import ContentType
+from repro.units import BLOCK_SIZE, MPEG1_RATE
+
+KEY = ("sd0", "movie")
+PAGE = b"x" * 1024
+MPEG = ContentType("mpeg1", MPEG1_RATE, MPEG1_RATE)
+
+
+class TestBufferPool:
+    def test_reserve_and_release(self):
+        pool = BufferPool(100)
+        assert pool.try_reserve(60)
+        assert pool.used == 60 and pool.free == 40
+        pool.release(60)
+        assert pool.used == 0 and pool.peak == 60
+
+    def test_denies_over_capacity(self):
+        pool = BufferPool(100)
+        assert pool.try_reserve(100)
+        assert not pool.try_reserve(1)
+        assert pool.denied == 1
+
+    def test_zero_capacity_denies_everything(self):
+        pool = BufferPool(0)
+        assert not pool.try_reserve(1)
+        assert pool.occupancy == 0.0
+
+    def test_over_release_raises(self):
+        pool = BufferPool(100)
+        pool.try_reserve(10)
+        with pytest.raises(ValueError):
+            pool.release(11)
+
+
+class TestIntervalCache:
+    def test_fill_without_trailing_stream_not_retained(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        assert not cache.fill(KEY, 0, PAGE, producer_id=1)
+        assert cache.retained_pages() == 0
+
+    def test_leader_page_retained_for_follower(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)  # follower at the start
+        assert cache.fill(KEY, 3, PAGE, producer_id=1)
+        assert cache.pool.used == len(PAGE)
+        assert cache.lookup(KEY, 3, stream_id=2) == PAGE
+        assert cache.hits == 1
+        # The only claimant consumed it: evicted, pool drained.
+        assert cache.retained_pages() == 0
+        assert cache.pool.used == 0
+
+    def test_page_survives_until_every_claimant_reads(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)
+        cache.observe(KEY, 3, 1)
+        cache.fill(KEY, 5, PAGE, producer_id=1)
+        cache.lookup(KEY, 5, stream_id=2)
+        assert cache.retained_pages() == 1  # stream 3 still owed it
+        cache.lookup(KEY, 5, stream_id=3)
+        assert cache.retained_pages() == 0
+
+    def test_free_rider_does_not_evict_others_claims(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)
+        cache.fill(KEY, 4, PAGE, producer_id=1)
+        # Stream 9 registered late: it may read the page (free ride)
+        # without holding a claim, and stream 2's claim keeps it alive.
+        assert cache.lookup(KEY, 4, stream_id=9) == PAGE
+        assert cache.retained_pages() == 1
+
+    def test_forget_stream_releases_claims_and_pool(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)
+        cache.fill(KEY, 3, PAGE, producer_id=1)
+        cache.forget_stream(2)
+        assert cache.retained_pages() == 0
+        assert cache.pool.used == 0
+        assert cache.evicted == 1
+
+    def test_pool_full_drops_fill(self):
+        cache = IntervalCache(BufferPool(len(PAGE)))
+        cache.observe(KEY, 2, 0)
+        assert cache.fill(KEY, 3, PAGE, producer_id=1)
+        assert not cache.fill(KEY, 4, PAGE, producer_id=1)
+        assert cache.pool.denied == 1
+
+    def test_invalidate_drops_whole_file(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)
+        cache.fill(KEY, 3, PAGE, producer_id=1)
+        cache.invalidate(KEY)
+        assert cache.retained_pages() == 0
+        assert cache.pool.used == 0
+        assert cache.lookup(KEY, 3, stream_id=2) is None
+
+
+class TestPrefixCache:
+    def test_pin_and_lookup(self):
+        cache = PrefixCache(BufferPool(1 << 20), max_pages_per_title=2)
+        assert cache.pin(KEY, 0, PAGE)
+        assert cache.pin(KEY, 1, PAGE)
+        assert not cache.pin(KEY, 2, PAGE)  # per-title budget
+        assert cache.lookup(KEY, 0) == PAGE
+        assert cache.lookup(KEY, 2) is None
+        assert cache.hits == 1
+        assert cache.pinned_count(KEY) == 2
+
+    def test_repin_is_idempotent(self):
+        cache = PrefixCache(BufferPool(1 << 20))
+        assert cache.pin(KEY, 0, PAGE)
+        assert cache.pin(KEY, 0, PAGE)
+        assert cache.pool.used == len(PAGE)
+
+    def test_unpin_returns_pool_bytes(self):
+        cache = PrefixCache(BufferPool(1 << 20))
+        cache.pin(KEY, 0, PAGE)
+        cache.pin(KEY, 1, PAGE)
+        assert cache.unpin(KEY) == 2
+        assert cache.pool.used == 0
+        assert cache.pinned_pages == 0
+
+
+class TestMsuPageCache:
+    def test_prefix_consulted_before_interval(self):
+        cache = MsuPageCache(CacheConfig(pool_bytes=1 << 20))
+        cache.pin_prefix(KEY, 0, PAGE)
+        assert cache.lookup(KEY, 0, stream_id=2) == PAGE
+        assert cache.prefix.hits == 1 and cache.interval.hits == 0
+        assert cache.slots_saved == 1
+
+    def test_miss_counted(self):
+        cache = MsuPageCache(CacheConfig(pool_bytes=1 << 20))
+        assert cache.lookup(KEY, 7, stream_id=2) is None
+        assert cache.misses == 1
+        assert cache.snapshot().hit_ratio == 0.0
+
+    def test_fill_then_hit_roundtrip(self):
+        cache = MsuPageCache(CacheConfig(pool_bytes=1 << 20))
+        cache.interval.observe(KEY, 2, 0)  # add_play registers the follower
+        cache.fill(KEY, 0, PAGE, producer_id=1)
+        assert cache.lookup(KEY, 0, stream_id=2) == PAGE
+        assert cache.bytes_served == len(PAGE)
+
+    def test_clear_drops_pages_and_pool(self):
+        cache = MsuPageCache(CacheConfig(pool_bytes=1 << 20))
+        cache.pin_prefix(KEY, 0, PAGE)
+        cache.clear()
+        assert cache.pool.used == 0
+        assert cache.lookup(KEY, 0, stream_id=2) is None
+
+    def test_copy_time(self):
+        cache = MsuPageCache(CacheConfig(copy_rate=1e6))
+        assert cache.copy_time(1000) == pytest.approx(1e-3)
+
+
+class TestCacheCoveredAdmission:
+    def build(self, cache_bps=4.2e6):
+        db = AdminDatabase()
+        db.register_msu("msu0", [("msu0.sd0", 1000)], cache_bps=cache_bps)
+        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+        db.add_content(entry)
+        return db, AdmissionControl(db, BLOCK_SIZE), entry
+
+    def exhaust_disk(self, admission, entry):
+        allocs = []
+        while True:
+            alloc = admission.place_read(entry, MPEG)
+            if alloc is None or alloc.cache_covered:
+                assert alloc is None
+                break
+            allocs.append(alloc)
+        return allocs
+
+    def test_second_chance_when_disk_exhausted(self):
+        db, admission, entry = self.build()
+        disk = db.disk("msu0", "msu0.sd0")
+        raw = int(disk.bandwidth_capacity // MPEG1_RATE)
+        for _ in range(raw):
+            alloc = admission.place_read(entry, MPEG)
+            assert alloc is not None and not alloc.cache_covered
+        covered = admission.place_read(entry, MPEG)
+        assert covered is not None and covered.cache_covered
+        assert admission.cache_admitted == 1
+        assert db.msus["msu0"].cache_used == MPEG1_RATE
+        assert disk.bandwidth_used == pytest.approx(raw * MPEG1_RATE)
+
+    def test_no_second_chance_without_active_leader(self):
+        db, admission, entry = self.build()
+        disk = db.disk("msu0", "msu0.sd0")
+        disk.bandwidth_used = disk.bandwidth_capacity  # exhausted, idle
+        assert entry.active_at(("msu0", "msu0.sd0")) == 0
+        assert admission.place_read(entry, MPEG) is None
+
+    def test_no_second_chance_without_cache(self):
+        db, admission, entry = self.build(cache_bps=0.0)
+        disk = db.disk("msu0", "msu0.sd0")
+        raw = int(disk.bandwidth_capacity // MPEG1_RATE)
+        for _ in range(raw):
+            assert admission.place_read(entry, MPEG) is not None
+        assert admission.place_read(entry, MPEG) is None
+
+    def test_release_refunds_cache_not_disk(self):
+        db, admission, entry = self.build()
+        disk = db.disk("msu0", "msu0.sd0")
+        raw_allocs = []
+        while disk.bandwidth_free() >= MPEG1_RATE:
+            raw_allocs.append(admission.place_read(entry, MPEG))
+        covered = admission.place_read(entry, MPEG)
+        used_before = disk.bandwidth_used
+        admission.release(covered)
+        assert db.msus["msu0"].cache_used == 0.0
+        assert disk.bandwidth_used == used_before  # disk untouched
+        for alloc in raw_allocs:
+            admission.release(alloc)
+        assert disk.bandwidth_used == 0.0
+        assert entry.active == {}
+
+    def test_delivery_cap_still_binds_cache_grants(self):
+        db, admission, entry = self.build(cache_bps=1e12)
+        state = db.msus["msu0"]
+        granted = 0
+        while admission.place_read(entry, MPEG) is not None:
+            granted += 1
+        assert granted == int(state.delivery_capacity // MPEG1_RATE)
+
+
+class TestEndToEnd:
+    def test_cache_lifts_single_disk_concurrency(self):
+        from repro.experiments.cache import run_cache
+
+        off, on = run_cache(duration=60.0)
+        assert on.concurrent_peak >= 1.2 * off.concurrent_peak
+        assert on.snapshot.hit_ratio > 0.2
+        assert on.snapshot.slots_saved > 0
+        assert on.cache_admitted > 0
+        assert on.pages_from_cache == on.snapshot.slots_saved

@@ -103,6 +103,41 @@ class TestReservations:
         with pytest.raises(ValueError):
             alloc.reserve(-1)
 
+    def test_double_release_does_not_over_credit(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(4)
+        reservation.release()
+        reservation.release()  # idempotent: nothing left to return
+        assert alloc.free_blocks == 10
+        assert alloc.reserved_blocks == 0
+
+    def test_zero_length_reservation(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(0)
+        assert alloc.free_blocks == 10
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc(reservation)  # nothing was promised
+        reservation.release()
+        assert alloc.free_blocks == 10
+        assert alloc.reserved_blocks == 0
+
+    def test_consume_after_release_raises(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(2)
+        reservation.release()
+        with pytest.raises(StorageError):
+            reservation.consume()
+
+    def test_release_after_full_consumption(self):
+        alloc = BitmapAllocator(10)
+        reservation = alloc.reserve(2)
+        alloc.alloc(reservation)
+        alloc.alloc(reservation)
+        reservation.release()  # nothing unconsumed to return
+        assert alloc.used_blocks == 2
+        assert alloc.free_blocks == 8
+        assert alloc.reserved_blocks == 0
+
 
 class TestProperties:
     @given(

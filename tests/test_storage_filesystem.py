@@ -151,3 +151,52 @@ class TestPersistence:
         volume = SpanVolume(raw, BLOCK)
         with pytest.raises(StorageError):
             run_process(sim, MsuFileSystem.mount(volume))
+
+    def test_remount_full_namespace_roundtrip(self, sim):
+        """Unmount/remount with several files, deletes and all metadata.
+
+        The remounted file system must agree on the namespace (including
+        a deletion made before the sync), every stream-metadata field
+        (root, ff *and* fb companions, duration), the allocator's free
+        pool — and keep allocating without colliding with stored blocks.
+        """
+        raw = RawDisk(None, capacity=BLOCK * 64)
+        fs = MsuFileSystem(SpanVolume(raw, BLOCK))
+        movie = fs.create("movie", "mpeg1")
+        movie.root = (1, 16, 2)
+        movie.duration_us = 987_654
+        movie.fast_forward = "movie.ff"
+        movie.fast_backward = "movie.fb"
+        fs.create("movie.ff", "mpeg1")
+        fs.create("movie.fb", "mpeg1")
+        fs.create("scratch")
+
+        def build():
+            for i in range(3):
+                yield from movie.append_block(bytes([65 + i]) * BLOCK)
+            yield from fs.append_file_block(fs.open("scratch"), b"z" * BLOCK)
+            fs.delete("scratch")
+            yield from fs.sync_metadata()
+
+        run_process(sim, build())
+        mounted = run_process(sim, MsuFileSystem.mount(SpanVolume(raw, BLOCK)))
+
+        assert [f.name for f in mounted.list_files()] == [
+            "movie", "movie.fb", "movie.ff"
+        ]
+        again = mounted.open("movie")
+        assert again.blocks == movie.blocks
+        assert again.length == movie.length
+        assert again.root == (1, 16, 2)
+        assert again.duration_us == 987_654
+        assert again.fast_forward == "movie.ff"
+        assert again.fast_backward == "movie.fb"
+        assert mounted.allocator.used_blocks == fs.allocator.used_blocks
+        assert mounted.allocator.free_blocks == fs.allocator.free_blocks
+        for i in range(3):
+            data = run_process(sim, again.read_block(i))
+            assert data == bytes([65 + i]) * BLOCK
+        # New allocations on the remounted volume avoid stored extents.
+        fresh = mounted.create("new")
+        run_process(sim, fresh.append_block(b"n" * BLOCK))
+        assert fresh.blocks[0] not in again.blocks
