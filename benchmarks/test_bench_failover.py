@@ -1,0 +1,37 @@
+"""Benchmark E17 — MSU failover: heartbeat detection and stream migration."""
+
+from benchmarks.conftest import publish
+from repro.experiments.failover import format_failover, run_failover
+
+
+def test_bench_failover(benchmark):
+    points = benchmark.pedantic(run_failover, rounds=1)
+    with_replicas, single_copy = points
+    publish(
+        benchmark, "failover", format_failover(points),
+        victims_replicated=with_replicas.victim_streams,
+        resumed_replicated=with_replicas.resumed,
+        resumed_within_budget=with_replicas.resumed_within_budget,
+        detection_budget_s=with_replicas.detection_budget_s,
+        max_resume_gap_s=with_replicas.max_resume_gap_s,
+        time_to_full_capacity_s=with_replicas.time_to_full_capacity_s,
+        victims_single_copy=single_copy.victim_streams,
+        queued_resumes=single_copy.queued_resumes,
+        served_after_recovery=single_copy.served_after_recovery,
+    )
+    # The acceptance bar: with replicas, >=80% of the dead MSU's streams
+    # resume on survivors within the heartbeat timeout plus one duty
+    # cycle; without replicas nothing resumes during the outage — every
+    # ticket parks on the queue and is served once the MSU recovers.
+    assert with_replicas.victim_streams > 0
+    assert with_replicas.resumed >= 0.8 * with_replicas.victim_streams
+    assert (
+        with_replicas.resumed_within_budget
+        >= 0.8 * with_replicas.victim_streams
+    )
+    assert with_replicas.max_resume_gap_s <= with_replicas.detection_budget_s
+    assert single_copy.victim_streams > 0
+    assert single_copy.resumed_within_budget == 0
+    assert single_copy.resumed_before_recovery == 0
+    assert single_copy.queued_resumes > 0
+    assert single_copy.served_after_recovery == single_copy.victim_streams

@@ -8,13 +8,17 @@ again, it contacts the Coordinator and is restored."
 
 The example runs a two-MSU installation, crashes one mid-stream, shows
 requests for its content parking in the scheduling queue while the other
-MSU keeps serving, then rejoins the failed MSU and watches the queue drain.
+MSU keeps serving, then rejoins the failed MSU and watches the queue
+drain.  A second act goes past the paper: the MSU *hangs* silently (no
+TCP break), the heartbeat monitor declares it dead, and the stream it
+was serving migrates to a replica mid-play (DESIGN.md §7).
 
 Run:  python examples/fault_tolerance.py
 """
 
 from repro.clients import Client
 from repro.core import CalliopeCluster, ClusterConfig
+from repro.core.replication import ReplicationManager
 from repro.media import MpegEncoder, packetize_cbr
 from repro.sim import Simulator
 from repro.units import CBR_PACKET_SIZE, MPEG1_RATE
@@ -66,6 +70,20 @@ def main():
         yield from client.wait_ready(news)
         print(f"t={sim.now:5.1f}  news playing from {news.msu_name}")
         yield sim.timeout(5.0)
+
+        # -- act two: a silent hang, caught by heartbeats ----------------
+        print(f"t={sim.now:5.1f}  replicating 'news' to msu1 ...")
+        ReplicationManager(cluster).replicate(
+            "news", "msu1", cluster.msus[1].disk_ids()[0]
+        )
+        print(f"t={sim.now:5.1f}  msu0 hangs silently (no TCP break) ...")
+        cluster.hang_msu(0)
+        yield sim.timeout(3.0)
+        monitor = cluster.coordinator.monitor
+        print(f"t={sim.now:5.1f}  heartbeat monitor says msu0 is "
+              f"{monitor.state('msu0')!r}; news now playing from "
+              f"{news.msu_name} (migrations={news.migrations})")
+        yield sim.timeout(2.0)
         client.quit(news.group_id)
         client.quit(view.group_id)
 

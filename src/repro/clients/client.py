@@ -78,6 +78,11 @@ class GroupView:
         #: Set when the client gave up on a queued request before it was
         #: scheduled: the group is quit the moment control arrives.
         self.abandoned = False
+        #: Times this group was moved to another MSU by failover.
+        self.migrations = 0
+        #: Set by quit(): a broken VCR channel is then expected, not a
+        #: failure worth waiting out reconnect retries for.
+        self.quit_requested = False
 
     def record_addresses(self) -> Dict[str, Tuple[str, int]]:
         """content name -> MSU address to send recorded media to."""
@@ -91,10 +96,22 @@ class GroupView:
 class Client:
     """One client program and its display ports."""
 
-    def __init__(self, sim: Simulator, cluster: CalliopeCluster, name: str):
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: CalliopeCluster,
+        name: str,
+        reconnect_retries: int = 0,
+        reconnect_backoff: float = 0.5,
+    ):
         self.sim = sim
         self.cluster = cluster
         self.name = name
+        #: How many backoff rounds to wait for a replacement VCR channel
+        #: after a break before declaring the group done (0 reproduces
+        #: the pre-failover behavior: any break ends the group).
+        self.reconnect_retries = reconnect_retries
+        self.reconnect_backoff = reconnect_backoff
         self.host = Host(sim, cluster.delivery_net, name)
         self.channel = cluster.connect_client(name)
         cluster.register_vcr_listener(name, self._on_vcr_channel)
@@ -123,9 +140,20 @@ class Client:
                         event.fail(CalliopeError("coordinator connection closed"))
                 self._pending_rpcs.clear()
                 return
+            if isinstance(reply, m.StreamMigrated):
+                self._on_migrated(reply)
+                continue
             event = self._pending_rpcs.pop(getattr(reply, "request_id", 0), None)
             if event is not None and not event.triggered:
                 event.succeed(reply)
+
+    def _on_migrated(self, notice: m.StreamMigrated) -> None:
+        """Failover moved one of our groups; note the new home MSU."""
+        view = self.groups.get(notice.group_id)
+        if view is None:
+            return
+        view.msu_name = notice.msu_name
+        view.migrations += 1
 
     def _send_rpc(self, message) -> Event:
         event = Event(self.sim, name=f"rpc{message.request_id}")
@@ -152,9 +180,22 @@ class Client:
             self.quit(group_id)
 
     def _vcr_listener(self, view: GroupView) -> Generator:
+        channel = view.channel
         while True:
-            msg = yield view.channel.recv(self.name)
+            msg = yield channel.recv(self.name)
             if msg is None:
+                if (
+                    self.reconnect_retries > 0
+                    and not view.quit_requested
+                    and not view.done_event.triggered
+                ):
+                    # Failover may be migrating the group: wait (with
+                    # backoff) for a replacement channel before giving up.
+                    self.sim.process(
+                        self._await_reconnect(view, channel),
+                        name=f"{self.name}.reconnect{view.group_id}",
+                    )
+                    return
                 view.closed = True
                 if not view.done_event.triggered:
                     view.done_event.succeed()
@@ -175,6 +216,26 @@ class Client:
                     and not view.done_event.triggered
                 ):
                     view.done_event.succeed()
+
+    def _await_reconnect(self, view: GroupView, old_channel) -> Generator:
+        """Retry loop: has a migrated MSU replaced our VCR channel yet?
+
+        The cluster hands replacement channels to :meth:`_on_vcr_channel`
+        (which spawns a fresh listener), so this only needs to notice the
+        swap — or give up after the configured retries and declare the
+        group done, as an unrecovered break always did.
+        """
+        backoff = self.reconnect_backoff
+        for _ in range(self.reconnect_retries):
+            yield self.sim.timeout(backoff)
+            backoff *= 2.0
+            if view.quit_requested or view.done_event.triggered:
+                return
+            if view.channel is not old_channel and view.channel.open:
+                return  # migrated: the new channel's listener took over
+        view.closed = True
+        if not view.done_event.triggered:
+            view.done_event.succeed()
 
     # -- session -----------------------------------------------------------------
 
@@ -375,6 +436,9 @@ class Client:
 
     def quit(self, group_id: int) -> None:
         """Terminate a group (§2.1's "quit")."""
+        view = self.groups.get(group_id)
+        if view is not None:
+            view.quit_requested = True
         self.vcr(group_id, m.VCR_QUIT)
 
     def wait_ready(self, view: GroupView) -> Generator:

@@ -54,6 +54,26 @@ class AdmissionControl:
         #: slot (the popularity-aware second chance of place_read).
         self.cache_admitted = 0
 
+    # -- queueing -----------------------------------------------------------
+
+    def enqueue(self, request) -> None:
+        """Park a request, keeping the queue sorted by priority band.
+
+        ``request.priority`` (default normal) orders the queue: resume
+        tickets of interrupted streams drain first, then degraded-mode
+        single-copy requests, then everything else.  Within a band the
+        order stays FIFO, which is the paper's behavior when no failure
+        is in progress (every request is then normal priority).
+        """
+        priority = getattr(request, "priority", 2)
+        index = len(self.queue)
+        for i, queued in enumerate(self.queue):
+            if getattr(queued, "priority", 2) > priority:
+                index = i
+                break
+        self.queue.insert(index, request)
+        self.queued += 1
+
     # -- placement ----------------------------------------------------------
 
     def place_read(

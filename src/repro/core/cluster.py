@@ -15,6 +15,7 @@ from repro.cache.manager import CacheConfig
 from repro.core.coordinator import Coordinator
 from repro.core.msu.msu import Msu
 from repro.errors import CalliopeError
+from repro.failover import FailoverConfig
 from repro.hardware.params import MachineParams
 from repro.media.content import ContentType
 from repro.media.filtering import make_fast_backward, make_fast_forward
@@ -46,6 +47,9 @@ class ClusterConfig:
     #: Give every MSU an interval/prefix page cache (extension); None
     #: reproduces the paper's deliberate no-cache design (§2.3.3).
     cache: Optional[CacheConfig] = None
+    #: Heartbeat detection + stream migration (extension); None
+    #: reproduces the paper's TCP-break-only failure handling (§2.2).
+    failover: Optional[FailoverConfig] = field(default_factory=FailoverConfig)
     seed: int = 42
 
 
@@ -58,7 +62,11 @@ class CalliopeCluster:
         self.intra_net = Network(sim, "intra", latency=config.intra_latency)
         self.delivery_net = Network(sim, "delivery", latency=config.delivery_latency)
         self.coordinator = Coordinator(
-            sim, types=config.types, block_size=config.ibtree_config.data_page_size
+            sim, types=config.types, block_size=config.ibtree_config.data_page_size,
+            failover=config.failover,
+        )
+        heartbeat_period = (
+            config.failover.heartbeat.period if config.failover is not None else 0.0
         )
         self.msus: List[Msu] = []
         self._client_channels: Dict[str, ControlChannel] = {}
@@ -78,6 +86,7 @@ class CalliopeCluster:
                 client_channel_factory=self._make_vcr_channel,
                 striped=config.striped_msus,
                 cache_config=config.cache,
+                heartbeat_period=heartbeat_period,
             )
             channel = ControlChannel(
                 sim, self.coordinator.name, msu.name,
@@ -135,9 +144,22 @@ class CalliopeCluster:
                 msu.coordinator_channel.close()
             msu.up = False
 
+    def hang_msu(self, index: int) -> None:
+        """Freeze an MSU silently (failure injection).
+
+        Unlike :meth:`fail_msu`, no connection breaks: the Coordinator
+        learns of the loss only through missed heartbeats — the failure
+        mode the failover subsystem's detector exists for.
+        """
+        self.msus[index].hang()
+
     def rejoin_msu(self, index: int) -> None:
         """Reconnect a failed MSU; it says hello and is rescheduled."""
         msu = self.msus[index]
+        # A hung MSU's old control connection may still be open; retire it
+        # before the fresh hello so its late break is recognizably stale.
+        if msu.coordinator_channel is not None and msu.coordinator_channel.open:
+            msu.coordinator_channel.close()
         msu.reboot()
         channel = ControlChannel(
             self.sim, self.coordinator.name, msu.name,
@@ -146,6 +168,10 @@ class CalliopeCluster:
         self.coordinator.attach_msu(channel)
         msu.up = True
         msu.attach_coordinator(channel)
+
+    def recover(self, index: int) -> None:
+        """Bring a failed MSU back (alias for :meth:`rejoin_msu`)."""
+        self.rejoin_msu(index)
 
     # -- administrative helpers -----------------------------------------------------
 

@@ -22,6 +22,15 @@ from repro.core.admission import AdmissionControl, Allocation
 from repro.core.database import AdminDatabase, ContentEntry
 from repro.core.sessions import DisplayPort, Session, SessionTable
 from repro.errors import TypeMismatchError
+from repro.failover import (
+    PRIORITY_NORMAL,
+    PRIORITY_RESUME,
+    FailoverConfig,
+    HeartbeatMonitor,
+    StreamMeta,
+    StreamMigrator,
+    play_priority,
+)
 from repro.hardware.machine import Machine
 from repro.hardware.params import ETHERNET_10, MachineParams
 from repro.media.content import DEFAULT_TYPES, ContentType, ContentTypeRegistry
@@ -44,6 +53,9 @@ class GroupRecord:
     allocations: Dict[int, Allocation] = field(default_factory=dict)
     #: stream_id -> (content name, type name) for recordings in progress.
     recordings: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    #: stream_id -> playback identity, kept so the failover migrator can
+    #: re-place the group on a replica after an MSU failure.
+    streams: Dict[int, StreamMeta] = field(default_factory=dict)
     live = True
 
 
@@ -51,10 +63,12 @@ class GroupRecord:
 class _QueuedRequest:
     """A request parked until resources free up (§2.2)."""
 
-    kind: str  # "play" or "record"
+    kind: str  # "play", "record" or "resume"
     session_id: int
     message: object
-    channel: ControlChannel
+    channel: Optional[ControlChannel]
+    #: Degraded-mode band (repro.failover.degraded); lower drains first.
+    priority: int = PRIORITY_NORMAL
 
 
 class Coordinator:
@@ -79,6 +93,7 @@ class Coordinator:
         machine_params: Optional[MachineParams] = None,
         block_size: int = BLOCK_SIZE,
         name: str = "coordinator",
+        failover: Optional[FailoverConfig] = None,
     ):
         self.sim = sim
         self.name = name
@@ -91,6 +106,23 @@ class Coordinator:
         self.sessions = SessionTable()
         self.groups: Dict[int, GroupRecord] = {}
         self._msu_channels: Dict[str, ControlChannel] = {}
+        self._session_channels: Dict[int, ControlChannel] = {}
+        self.failover = failover
+        #: Heartbeat failure detector; None falls back to the paper's
+        #: broken-connection signal only.
+        self.monitor: Optional[HeartbeatMonitor] = None
+        #: Stream migrator; None means failed streams just queue.
+        self.migrator: Optional[StreamMigrator] = None
+        if failover is not None:
+            self.monitor = HeartbeatMonitor(
+                sim, failover.heartbeat, on_dead=self._heartbeat_dead
+            )
+            if failover.migrate:
+                self.migrator = StreamMigrator(self)
+        #: Hook fired as ``callback(msu_name, lost_titles)`` after a
+        #: failure; the ReplicationManager's watch() uses it to restore
+        #: replica counts for titles that just lost a copy.
+        self.on_capacity_lost = None
         self._next_group = 1
         self._next_stream = 1
         self.requests_handled = 0
@@ -121,7 +153,13 @@ class Coordinator:
         while True:
             msg = yield channel.recv(self.name)
             if msg is None:
-                if msu_name is not None:
+                # Only a break on the MSU's *current* channel is a
+                # failure; a stale channel closed during rejoin (or after
+                # the heartbeat monitor already declared death) is not.
+                if (
+                    msu_name is not None
+                    and self._msu_channels.get(msu_name) is channel
+                ):
                     self._msu_failed(msu_name)
                 return
             if isinstance(msg, m.MsuHello):
@@ -130,6 +168,9 @@ class Coordinator:
                 self.db.register_msu(msu_name, list(msg.disks), msg.cache_bps)
                 self._trace("msu-up", msu_name, f"disks={len(msg.disks)}")
                 self._retry_queue()
+            elif isinstance(msg, m.Heartbeat):
+                if self.monitor is not None:
+                    self.monitor.beat(msg)
             elif isinstance(msg, m.CacheReport):
                 self._cache_report(msg)
             elif isinstance(msg, m.StreamTerminated):
@@ -152,15 +193,55 @@ class Coordinator:
         state.cache_pool_used = msg.pool_used
         state.cache_pool_capacity = msg.pool_capacity
 
-    def _msu_failed(self, msu_name: str) -> None:
-        """A broken MSU connection takes it out of scheduling (§2.2)."""
-        self._trace("msu-down", msu_name)
-        self.db.mark_msu_down(msu_name)
-        self.admission.release_msu(msu_name)
+    def _heartbeat_dead(self, msu_name: str) -> None:
+        """The heartbeat monitor gave up on an MSU before the TCP break."""
+        self._msu_failed(msu_name, reason="heartbeat")
+
+    def _msu_failed(self, msu_name: str, reason: str = "connection-lost") -> None:
+        """An MSU died: take it out of scheduling, recover its streams.
+
+        Reached from either failure detector — the broken control
+        connection (§2.2) or the heartbeat monitor — and idempotent,
+        since both can fire for a single failure.  Beyond the paper's
+        bookkeeping it releases every per-stream allocation, detaches the
+        dead groups from their sessions, hands playback groups to the
+        stream migrator, and nudges replication for titles that just
+        lost a copy.
+        """
         self._msu_channels.pop(msu_name, None)
+        state = self.db.msus.get(msu_name)
+        if state is None or not state.available:
+            return
+        self._trace("msu-down", msu_name, reason)
+        self.db.mark_msu_down(msu_name)
+        if self.monitor is not None:
+            self.monitor.forget_msu(msu_name)
+        affected: List[GroupRecord] = []
         for group in list(self.groups.values()):
-            if group.msu_name == msu_name:
-                del self.groups[group.group_id]
+            if group.msu_name != msu_name:
+                continue
+            affected.append(group)
+            del self.groups[group.group_id]
+            session = self.sessions.lookup(group.session_id)
+            if session is not None:
+                session.drop_group(group.group_id)
+            for alloc in group.allocations.values():
+                self.admission.release(alloc)
+            group.allocations.clear()
+            for content_name, _type_name in group.recordings.values():
+                # A half-made recording died with its MSU's buffers.
+                self.db.contents.pop(content_name, None)
+        self.admission.release_msu(msu_name)
+        lost_titles = [
+            entry.name
+            for entry in self.db.contents.values()
+            if not entry.components
+            and any(loc[0] == msu_name for loc in entry.locations())
+        ]
+        if self.migrator is not None:
+            self.migrator.msu_failed(msu_name, affected)
+        if self.on_capacity_lost is not None and lost_titles:
+            self.on_capacity_lost(msu_name, lost_titles)
 
     def _stream_terminated(self, msg: m.StreamTerminated) -> None:
         group = self.groups.get(msg.group_id)
@@ -175,9 +256,9 @@ class Coordinator:
             self.db.content(content_name).blocks = msg.recorded_blocks
         if not group.allocations and not group.recordings:
             self.groups.pop(msg.group_id, None)
-            session = self.sessions._sessions.get(group.session_id)
-            if session is not None and msg.group_id in session.active_groups:
-                session.active_groups.remove(msg.group_id)
+            session = self.sessions.lookup(group.session_id)
+            if session is not None:
+                session.drop_group(msg.group_id)
 
     # -- client side -------------------------------------------------------------------
 
@@ -192,7 +273,7 @@ class Coordinator:
             reply = None
             try:
                 if isinstance(msg, m.OpenSession):
-                    reply = self._open_session(msg, client_host)
+                    reply = self._open_session(msg, client_host, channel)
                 elif isinstance(msg, m.ListContents):
                     reply = m.ContentListing(tuple(self.db.listing()))
                 elif isinstance(msg, m.RegisterPort):
@@ -207,18 +288,33 @@ class Coordinator:
                     reply = self._delete(msg)
                 elif isinstance(msg, m.CloseSession):
                     self.sessions.close(msg.session_id)
+                    self._session_channels.pop(msg.session_id, None)
             except Exception as err:  # admission/type errors become replies
                 reply = m.RequestFailed(str(err))
             if reply is not None:
                 reply = dataclasses.replace(reply, request_id=request_id)
                 channel.send(self.name, reply, nbytes=m.WIRE_BYTES)
 
-    def _open_session(self, msg: m.OpenSession, client_host: str):
+    def _open_session(
+        self,
+        msg: m.OpenSession,
+        client_host: str,
+        channel: Optional[ControlChannel] = None,
+    ):
         customer = self.db.authenticate(msg.customer)
         if customer is None:
             return m.RequestFailed(f"unknown customer {msg.customer!r}")
         session = self.sessions.open(customer, client_host)
+        if channel is not None:
+            # Kept for unsolicited notices (StreamMigrated on failover).
+            self._session_channels[session.session_id] = channel
         return m.SessionOpened(session.session_id)
+
+    def notify_session(self, session_id: int, message) -> None:
+        """Push an unsolicited notice down a session's control channel."""
+        channel = self._session_channels.get(session_id)
+        if channel is not None and channel.open:
+            channel.send(self.name, message, nbytes=m.WIRE_BYTES)
 
     def _register_port(self, msg: m.RegisterPort):
         session = self.sessions.get(msg.session_id)
@@ -331,10 +427,12 @@ class Coordinator:
             if alloc is None:
                 for _, _, granted in allocations:
                     self.admission.release(granted)
-                self.admission.queue.append(
-                    _QueuedRequest("play", msg.session_id, msg, channel)
+                self.admission.enqueue(
+                    _QueuedRequest(
+                        "play", msg.session_id, msg, channel,
+                        priority=play_priority(self.db, entry),
+                    )
                 )
-                self.admission.queued += 1
                 self._trace("queued", msg.content_name, "no resources")
                 return None  # queued: the client hears nothing until placed
             msu_pin = alloc.msu_name
@@ -348,6 +446,9 @@ class Coordinator:
             stream_id = self._next_stream
             self._next_stream += 1
             group.allocations[stream_id] = alloc
+            group.streams[stream_id] = StreamMeta(
+                comp_entry.name, comp_entry.type_name, tuple(comp_port.address)
+            )
             ctype = self.types.get(comp_entry.type_name)
             yield from self.machine.cpu.execute(self.SCHEDULE_CPU)
             msu_channel.send(
@@ -400,10 +501,9 @@ class Coordinator:
             if alloc is None:
                 for _, _, _, granted in placed:
                     self.admission.release(granted)
-                self.admission.queue.append(
+                self.admission.enqueue(
                     _QueuedRequest("record", msg.session_id, msg, channel)
                 )
-                self.admission.queued += 1
                 return None
             msu_pin = alloc.msu_name
             placed.append((content_name, comp_type, comp_port, alloc))
@@ -470,8 +570,21 @@ class Coordinator:
 
     # -- queued-request retry --------------------------------------------------------------
 
+    def queue_resume(self, ticket) -> None:
+        """Park an unplaceable resume ticket at the head of the queue."""
+        self.admission.enqueue(
+            _QueuedRequest(
+                "resume", ticket.session_id, ticket, None,
+                priority=PRIORITY_RESUME,
+            )
+        )
+
     def _retry_queue(self) -> None:
-        """Resources changed: re-attempt parked requests, FIFO."""
+        """Resources changed: re-attempt parked requests in queue order.
+
+        The queue is kept priority-sorted by enqueue(); FIFO within a
+        band, resume tickets first.
+        """
         if not self.admission.queue:
             return
         pending = list(self.admission.queue)
@@ -480,6 +593,10 @@ class Coordinator:
             self.sim.process(self._retry_one(req), name="coord.retry")
 
     def _retry_one(self, req: _QueuedRequest) -> Generator:
+        if req.kind == "resume":
+            if self.migrator is not None:
+                yield from self.migrator.migrate(req.message)
+            return
         try:
             if req.kind == "play":
                 reply = yield from self._play(req.message, req.channel, fresh=False)

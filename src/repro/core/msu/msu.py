@@ -75,6 +75,7 @@ class Msu:
         client_channel_factory: Optional[Callable] = None,
         striped: bool = False,
         cache_config: Optional[CacheConfig] = None,
+        heartbeat_period: float = 0.0,
     ):
         self.sim = sim
         self.name = name
@@ -138,9 +139,15 @@ class Msu:
         self.coordinator_channel: Optional[ControlChannel] = None
         self.up = True
         self.streams_served = 0
+        #: Streams restarted mid-file by a failover ResumePlay.
+        self.streams_resumed = 0
+        #: Seconds between Heartbeat messages to the Coordinator
+        #: (0 disables them: the paper's TCP-break detection only).
+        self.heartbeat_period = heartbeat_period
         #: Optional structured event log (repro.metrics.tracing.Tracer).
         self.tracer = None
         self._cache_report_proc = None
+        self._heartbeat_proc = None
 
     def _trace(self, category: str, subject, detail: str = "") -> None:
         if self.tracer is not None:
@@ -175,16 +182,25 @@ class Msu:
             self._cache_report_proc = self.sim.process(
                 self._cache_report_loop(channel), name=f"{self.name}.cachereport"
             )
+        if self.heartbeat_period > 0:
+            self._heartbeat_proc = self.sim.process(
+                self._heartbeat_loop(channel), name=f"{self.name}.heartbeat"
+            )
 
     def _control_loop(self) -> Generator:
         channel = self.coordinator_channel
         while True:
             msg = yield channel.recv(self.name)
             if msg is None:
-                self.up = False
+                # A stale channel replaced during rejoin closes late; only
+                # a break on the *current* channel is a Coordinator loss.
+                if self.coordinator_channel is channel:
+                    self.up = False
                 return  # Coordinator failure is not recovered from (§2.2)
             if isinstance(msg, m.ScheduleRead):
                 self._schedule_read(msg)
+            elif isinstance(msg, m.ResumePlay):
+                self._resume_play(msg)
             elif isinstance(msg, m.ScheduleRecord):
                 self._schedule_record(msg)
             elif isinstance(msg, m.PinPrefix):
@@ -240,6 +256,32 @@ class Msu:
                 nbytes=m.WIRE_BYTES,
             )
 
+    def _heartbeat_loop(self, channel: ControlChannel) -> Generator:
+        """Beat periodically, carrying every playback stream's position.
+
+        The position (current buffered page and media time) is what lets
+        the Coordinator's migrator resume the stream on a replica with a
+        bounded gap instead of restarting it from the beginning.
+        """
+        seq = 0
+        while self.up and channel.open:
+            positions = tuple(
+                (
+                    stream.group_id,
+                    stream.stream_id,
+                    stream.buffers[0].page_index
+                    if stream.buffers else max(0, stream.next_page - 1),
+                    stream.position_us,
+                )
+                for stream in self.iop.play_streams
+            )
+            seq += 1
+            channel.send(
+                self.name, m.Heartbeat(self.name, seq, positions),
+                nbytes=m.WIRE_BYTES,
+            )
+            yield self.sim.timeout(self.heartbeat_period)
+
     # -- scheduling (RPCs from the Coordinator) --------------------------------------
 
     def _group_for(self, group_id: int, client_host: str, expected: int) -> GroupState:
@@ -255,6 +297,18 @@ class Msu:
         return group
 
     def _schedule_read(self, msg: m.ScheduleRead) -> None:
+        self._install_play(msg, label="play")
+
+    def _resume_play(self, msg: m.ResumePlay) -> None:
+        """Pick up a migrated stream from its last reported position."""
+        self.streams_resumed += 1
+        self._install_play(
+            msg, start_page=msg.start_page, start_us=msg.start_us, label="resume"
+        )
+
+    def _install_play(
+        self, msg, start_page: int = 0, start_us: int = 0, label: str = "play"
+    ) -> None:
         fs = self.filesystems[msg.disk_id]
         handle = fs.open(msg.content_name)
         stream = PlayStream(
@@ -262,6 +316,12 @@ class Msu:
             self.protocols.get(msg.protocol), msg.rate, msg.display_address,
             self.ibtree_config,
         )
+        if start_page:
+            # Clamp into the file so a stream that died at its very last
+            # page still loads something and terminates normally.
+            stream.next_page = max(0, min(start_page, handle.nblocks - 1))
+        if start_us:
+            stream.position_us = start_us
         group = self._group_for(msg.group_id, msg.client_host, msg.group_size)
         group.play_streams.append(stream)
         self._stream_disk[msg.stream_id] = self.disk_processes[msg.disk_id]
@@ -269,7 +329,7 @@ class Msu:
         self.disk_processes[msg.disk_id].add_play(stream)
         self.iop.add_play(stream)
         self.streams_served += 1
-        self._trace("play", msg.content_name,
+        self._trace(label, msg.content_name,
                     f"group={msg.group_id} stream={msg.stream_id} disk={msg.disk_id}")
         if group.channel is not None:
             group.channel.send(
@@ -461,8 +521,37 @@ class Msu:
             self.iop._proc.interrupt("crash")
         if self._cache_report_proc is not None and self._cache_report_proc.is_alive:
             self._cache_report_proc.interrupt("crash")
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("crash")
         if self.cache is not None:
             self.cache.clear()  # cache memory does not survive a power cut
+        self.groups.clear()
+        self._stream_disk.clear()
+        self._stream_group.clear()
+        self.iop.play_streams.clear()
+        self.iop.record_streams.clear()
+
+    def hang(self) -> None:
+        """Freeze the MSU silently: processes stop, connections stay up.
+
+        The failure mode :meth:`crash` cannot model — a wedged kernel
+        whose TCP connections linger.  The Coordinator gets no break
+        signal; only the heartbeat monitor notices the silence.  Streams
+        and state are lost exactly as in a crash, and :meth:`reboot` /
+        :meth:`repro.core.cluster.CalliopeCluster.rejoin_msu` recover it
+        the same way.
+        """
+        self._trace("hang", self.name)
+        self.up = False
+        for disk_proc in self.disk_processes.values():
+            if disk_proc._proc.is_alive:
+                disk_proc._proc.interrupt("hang")
+        if self.iop._proc.is_alive:
+            self.iop._proc.interrupt("hang")
+        if self._cache_report_proc is not None and self._cache_report_proc.is_alive:
+            self._cache_report_proc.interrupt("hang")
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("hang")
         self.groups.clear()
         self._stream_disk.clear()
         self._stream_group.clear()

@@ -44,19 +44,34 @@ class ReplicationManager:
         hot_play_count: int = 5,
         disk_load_threshold: float = 0.7,
         max_replicas: int = 2,
+        restore_copies: int = 2,
     ):
         self.cluster = cluster
         self.hot_play_count = hot_play_count
         self.disk_load_threshold = disk_load_threshold
         self.max_replicas = max_replicas
+        #: Live copies restore_replicas() re-establishes after a failure.
+        self.restore_copies = restore_copies
         self.decisions: List[ReplicationDecision] = []
 
     # -- policy ----------------------------------------------------------
 
+    def _live_locations(self, entry: ContentEntry) -> List[Tuple[str, str]]:
+        """The entry's copies hosted on MSUs currently marked up."""
+        db = self.cluster.coordinator.db
+        live = []
+        for msu_name, disk_id in entry.locations():
+            state = db.msus.get(msu_name)
+            if state is not None and state.available:
+                live.append((msu_name, disk_id))
+        return live
+
     def _hot_entries(self) -> List[ContentEntry]:
         # Demand counts every request, including queued/blocked ones: the
         # titles admission turned away are exactly the ones replication
-        # (and prefix pinning) should relieve.
+        # (and prefix pinning) should relieve.  Only copies on live MSUs
+        # count toward max_replicas — a dead copy serves nobody and must
+        # not block re-replication.
         db = self.cluster.coordinator.db
         hot = [
             entry
@@ -64,7 +79,7 @@ class ReplicationManager:
             if not entry.components
             and entry.msu_name
             and entry.demand >= self.hot_play_count
-            and len(entry.locations()) <= self.max_replicas
+            and len(self._live_locations(entry)) <= self.max_replicas
         ]
         return sorted(hot, key=lambda e: e.demand, reverse=True)
 
@@ -81,18 +96,26 @@ class ReplicationManager:
         return bool(loads) and min(loads) >= self.disk_load_threshold
 
     def _pick_target(self, entry: ContentEntry) -> Optional[DiskState]:
-        """The disk with the most free bandwidth that lacks a copy."""
+        """The disk with the most free bandwidth that lacks a copy.
+
+        Machines without any copy rank ahead of a second disk on a
+        machine that already has one: a replica on a fresh MSU adds
+        failure independence as well as bandwidth.
+        """
         db = self.cluster.coordinator.db
         taken = set(entry.locations())
+        copy_msus = {msu_name for msu_name, _disk_id in taken}
         best: Optional[DiskState] = None
+        best_key = None
         for state in db.available_msus():
             for disk in state.disks.values():
                 if (state.name, disk.disk_id) in taken:
                     continue
                 if disk.free_blocks < entry.blocks:
                     continue
-                if best is None or disk.bandwidth_free() > best.bandwidth_free():
-                    best = disk
+                key = (state.name in copy_msus, -disk.bandwidth_free())
+                if best is None or key < best_key:
+                    best, best_key = disk, key
         return best
 
     # -- mechanism ----------------------------------------------------------
@@ -104,9 +127,14 @@ class ReplicationManager:
         entry = db.content(content_name)
         if (msu_name, disk_id) in entry.locations():
             raise CalliopeError(f"{content_name!r} already has a copy on {disk_id}")
-        source_msu = self.cluster.msu_named(entry.msu_name)
+        # Copy from a live location when one exists (the primary may be
+        # the machine that just failed); fall back to the primary's disks,
+        # which survive a crash intact.
+        live = self._live_locations(entry)
+        source_loc = live[0] if live else (entry.msu_name, entry.disk_id)
+        source_msu = self.cluster.msu_named(source_loc[0])
         target_msu = self.cluster.msu_named(msu_name)
-        source_fs = source_msu.filesystems[entry.disk_id]
+        source_fs = source_msu.filesystems[source_loc[1]]
         target_fs = target_msu.filesystems[disk_id]
         source = source_fs.open(content_name)
         copy = target_fs.create(content_name, source.content_type)
@@ -120,7 +148,7 @@ class ReplicationManager:
         disk = db.disk(msu_name, disk_id)
         disk.free_blocks = max(0, disk.free_blocks - copy.nblocks)
         decision = ReplicationDecision(
-            content_name, (entry.msu_name, entry.disk_id), (msu_name, disk_id)
+            content_name, source_loc, (msu_name, disk_id)
         )
         self.decisions.append(decision)
         return decision
@@ -141,3 +169,42 @@ class ReplicationManager:
             except (OutOfSpaceError, CalliopeError):
                 continue
         return made
+
+    # -- failure response (failover extension) ------------------------------
+
+    def restore_replicas(self, content_names: List[str]) -> List[ReplicationDecision]:
+        """Re-establish replica counts for titles that just lost a copy.
+
+        Called (directly or through :meth:`watch`) after an MSU failure
+        with the titles that had a copy on the dead machine; each one
+        below ``restore_copies`` live copies is copied from a surviving
+        location to the best disk without one.
+        """
+        db = self.cluster.coordinator.db
+        made = []
+        for name in content_names:
+            entry = db.contents.get(name)
+            if entry is None or entry.components:
+                continue
+            live = self._live_locations(entry)
+            if not live or len(live) >= self.restore_copies:
+                continue
+            target = self._pick_target(entry)
+            if target is None:
+                continue
+            try:
+                made.append(
+                    self.replicate(name, target.msu_name, target.disk_id)
+                )
+            except (OutOfSpaceError, CalliopeError):
+                continue
+        return made
+
+    def watch(self, coordinator=None) -> None:
+        """Arm the Coordinator's capacity-lost hook to restore replicas."""
+        coord = coordinator if coordinator is not None else self.cluster.coordinator
+
+        def _on_capacity_lost(_msu_name: str, lost_titles: List[str]) -> None:
+            self.restore_replicas(lost_titles)
+
+        coord.on_capacity_lost = _on_capacity_lost

@@ -45,6 +45,11 @@ class Session:
     def register_port(self, port: DisplayPort) -> None:
         self.ports[port.name] = port
 
+    def drop_group(self, group_id: int) -> None:
+        """Forget a finished or failed group (idempotent)."""
+        if group_id in self.active_groups:
+            self.active_groups.remove(group_id)
+
     def unregister_port(self, name: str) -> None:
         self.ports.pop(name, None)
 
@@ -90,6 +95,10 @@ class SessionTable:
             return self._sessions[session_id]
         except KeyError:
             raise UnknownPortError(f"no session {session_id}") from None
+
+    def lookup(self, session_id: int) -> Optional[Session]:
+        """Like :meth:`get` but returns None instead of raising."""
+        return self._sessions.get(session_id)
 
     def close(self, session_id: int) -> Optional[Session]:
         """Drop a session; its port registrations are deallocated (§2.1)."""

@@ -1,0 +1,55 @@
+"""Degraded-mode admission policy.
+
+While the cluster is missing an MSU, the Coordinator's queue stops being
+plain FIFO.  Three bands, most urgent first:
+
+``PRIORITY_RESUME``       interrupted streams waiting for a replica or a
+                          freed slot — a viewer is staring at a frozen
+                          frame right now.
+``PRIORITY_SINGLE_COPY``  new requests for titles whose only live copy
+                          competes for scarce surviving capacity.
+``PRIORITY_NORMAL``       everything else.
+
+The band is computed at enqueue time from the admin database's view of
+live copies; :meth:`AdmissionControl.enqueue` keeps the queue sorted so
+the existing ``_retry_queue`` drain order is the priority order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "PRIORITY_RESUME",
+    "PRIORITY_SINGLE_COPY",
+    "PRIORITY_NORMAL",
+    "live_locations",
+    "is_degraded",
+    "play_priority",
+]
+
+PRIORITY_RESUME = 0
+PRIORITY_SINGLE_COPY = 1
+PRIORITY_NORMAL = 2
+
+
+def live_locations(db, entry) -> List[Tuple[str, str]]:
+    """The entry's (msu, disk) copies hosted on MSUs still marked up."""
+    out = []
+    for msu_name, disk_id in entry.locations():
+        state = db.msus.get(msu_name)
+        if state is not None and state.available:
+            out.append((msu_name, disk_id))
+    return out
+
+
+def is_degraded(db) -> bool:
+    """True while any registered MSU is marked down."""
+    return any(not state.available for state in db.msus.values())
+
+
+def play_priority(db, entry) -> int:
+    """Queue band for a new play request on ``entry``."""
+    if is_degraded(db) and len(live_locations(db, entry)) <= 1:
+        return PRIORITY_SINGLE_COPY
+    return PRIORITY_NORMAL

@@ -1,0 +1,170 @@
+"""Heartbeat-based failure detection for MSUs.
+
+The paper's Coordinator only notices a dead MSU when the TCP control
+connection breaks (§2.2).  That signal is reliable for a crashed kernel
+but arbitrarily late for a hung one, so the failover subsystem adds the
+classic complement: MSUs send a small :class:`~repro.net.messages.Heartbeat`
+every ``period`` seconds, and a per-MSU watchdog inside the Coordinator
+runs a three-state machine:
+
+``alive``    beats arriving on time.
+``suspect``  ``miss_threshold`` consecutive periods with no beat.  The
+             watchdog re-probes with exponential backoff rather than
+             declaring death immediately — a congested control network
+             should not trigger a cluster-wide migration storm.
+``dead``     still silent after ``suspect_probes`` backoff probes; the
+             Coordinator's failure path runs.
+
+The monitor is *self-arming*: only MSUs that have sent at least one
+heartbeat are watched.  That keeps protocol-minimal endpoints (the
+scalability experiment's fake MSUs, old traces) out of the watchdog's
+jurisdiction — for them the broken-connection signal still applies.
+
+Heartbeats also piggyback each playback stream's position (page index
+and media time) so that, on death, the stream migrator knows where to
+resume each stream on a replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.net import messages as m
+from repro.sim import Simulator
+
+__all__ = ["HeartbeatConfig", "MsuHealth", "HeartbeatMonitor"]
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Cadence and patience of the failure detector."""
+
+    #: Seconds between beats (0 disables heartbeats entirely).
+    period: float = 0.25
+    #: Consecutive missed periods before an MSU becomes suspect.
+    miss_threshold: int = 3
+    #: First backoff interval once suspect.
+    suspect_backoff: float = 0.2
+    #: Multiplier applied to the backoff between probes.
+    backoff_factor: float = 2.0
+    #: Silent backoff probes tolerated before declaring death.
+    suspect_probes: int = 2
+
+    @property
+    def detection_latency(self) -> float:
+        """Worst-case seconds from last beat to the ``dead`` verdict."""
+        total = self.period * self.miss_threshold
+        backoff = self.suspect_backoff
+        for _ in range(self.suspect_probes):
+            total += backoff
+            backoff *= self.backoff_factor
+        return total
+
+
+@dataclass
+class MsuHealth:
+    """Watchdog state for one beating MSU."""
+
+    name: str
+    last_beat: float
+    last_seq: int = 0
+    beats: int = 0
+    state: str = "alive"  # alive | suspect | dead
+    stopped: bool = False
+    backoff: float = 0.0
+    probes: int = 0
+
+
+class HeartbeatMonitor:
+    """Tracks beating MSUs and reports suspected/confirmed deaths."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: HeartbeatConfig,
+        on_suspect: Optional[Callable[[str], None]] = None,
+        on_dead: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.on_suspect = on_suspect
+        self.on_dead = on_dead
+        self._records: Dict[str, MsuHealth] = {}
+        #: Latest reported stream positions, replaced wholesale per beat
+        #: so stale streams age out: msu -> (group, stream) -> (page, us).
+        self._positions: Dict[str, Dict[Tuple[int, int], Tuple[int, int]]] = {}
+        self.suspects = 0
+        self.deaths = 0
+
+    # -- intake ---------------------------------------------------------------
+
+    def beat(self, msg: m.Heartbeat) -> None:
+        """Register a heartbeat; arms a watchdog on the first one."""
+        rec = self._records.get(msg.msu_name)
+        if rec is None or rec.stopped:
+            rec = MsuHealth(name=msg.msu_name, last_beat=self.sim.now)
+            self._records[msg.msu_name] = rec
+            self.sim.process(self._watch(rec), name=f"hb-watch.{msg.msu_name}")
+        rec.last_beat = self.sim.now
+        rec.last_seq = msg.seq
+        rec.beats += 1
+        if rec.state == "suspect":
+            rec.state = "alive"
+        self._positions[msg.msu_name] = {
+            (group_id, stream_id): (page_index, position_us)
+            for group_id, stream_id, page_index, position_us in msg.positions
+        }
+
+    def forget_msu(self, msu_name: str) -> None:
+        """Stop watching an MSU (it was declared down by any path)."""
+        rec = self._records.get(msu_name)
+        if rec is not None:
+            rec.stopped = True
+        # Positions are kept: the migrator reads them *after* death.
+
+    # -- queries --------------------------------------------------------------
+
+    def state(self, msu_name: str) -> str:
+        rec = self._records.get(msu_name)
+        return rec.state if rec is not None else "unknown"
+
+    def position(
+        self, msu_name: str, group_id: int, stream_id: int
+    ) -> Tuple[int, int]:
+        """Last reported (page_index, position_us), or (0, 0) if unknown."""
+        return self._positions.get(msu_name, {}).get((group_id, stream_id), (0, 0))
+
+    # -- watchdog -------------------------------------------------------------
+
+    def _watch(self, rec: MsuHealth) -> Generator:
+        cfg = self.config
+        while not rec.stopped:
+            if rec.state == "alive":
+                deadline = rec.last_beat + cfg.period * cfg.miss_threshold
+                if self.sim.now < deadline - 1e-9:
+                    yield self.sim.timeout(deadline - self.sim.now)
+                    continue
+                rec.state = "suspect"
+                rec.backoff = cfg.suspect_backoff
+                rec.probes = 0
+                self.suspects += 1
+                if self.on_suspect is not None:
+                    self.on_suspect(rec.name)
+            else:  # suspect: exponential backoff before the verdict
+                seen = rec.last_beat
+                yield self.sim.timeout(rec.backoff)
+                if rec.stopped:
+                    return
+                if rec.last_beat > seen:  # a beat landed during the backoff
+                    rec.state = "alive"
+                    continue
+                rec.probes += 1
+                if rec.probes >= cfg.suspect_probes:
+                    rec.state = "dead"
+                    rec.stopped = True
+                    self.deaths += 1
+                    if self.on_dead is not None:
+                        self.on_dead(rec.name)
+                    return
+                rec.backoff *= cfg.backoff_factor

@@ -6,7 +6,12 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.metrics.lateness import LatenessCdf
 
-__all__ = ["format_cdf_table", "quantile_summary", "format_cache_summary"]
+__all__ = [
+    "format_cdf_table",
+    "quantile_summary",
+    "format_cache_summary",
+    "format_failover_summary",
+]
 
 
 def format_cdf_table(
@@ -54,4 +59,25 @@ def format_cache_summary(snapshot) -> List[Tuple[str, float]]:
          if snapshot.pool_capacity else 0.0),
         ("disk slots saved", float(snapshot.slots_saved)),
         ("pinned prefix pages", float(snapshot.pinned_pages)),
+    ]
+
+
+def format_failover_summary(point) -> List[Tuple[str, float]]:
+    """Key figures of one failover run (a FailoverPoint-like object).
+
+    How many streams the failure touched, how many came back, how long
+    viewers stared at a frozen frame, and how long until the cluster's
+    full serving capacity was restored.
+    """
+    resumed_pct = (
+        100.0 * point.resumed / point.victim_streams
+        if point.victim_streams else 0.0
+    )
+    return [
+        ("streams on victim", float(point.victim_streams)),
+        ("resumed (%)", resumed_pct),
+        ("mean resume gap (s)", point.mean_resume_gap_s),
+        ("max resume gap (s)", point.max_resume_gap_s),
+        ("detection budget (s)", point.detection_budget_s),
+        ("time to full capacity (s)", point.time_to_full_capacity_s),
     ]

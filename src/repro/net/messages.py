@@ -30,6 +30,9 @@ __all__ = [
     "ScheduleRead",
     "ScheduleRecord",
     "StreamTerminated",
+    "Heartbeat",
+    "ResumePlay",
+    "StreamMigrated",
     "PinPrefix",
     "CacheReport",
     "StreamReady",
@@ -249,6 +252,61 @@ class StreamTerminated:
     stream_id: int
     reason: str = "quit"
     recorded_blocks: int = 0
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """MSU -> Coordinator: periodic liveness beacon with stream positions.
+
+    Detects a silent MSU failure faster than waiting for the broken
+    control connection (§2.2 only covers the TCP-break case), and the
+    carried positions let the Coordinator resume each playback stream
+    near where it stopped when migrating to a replica.
+
+    ``positions`` holds one ``(group_id, stream_id, page_index,
+    position_us)`` tuple per active playback stream.
+    """
+
+    msu_name: str
+    seq: int
+    positions: Tuple[Tuple[int, int, int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class ResumePlay:
+    """Coordinator -> MSU: continue a migrated stream from mid-file.
+
+    Identical to :class:`ScheduleRead` plus a starting position — the
+    last page/media-time the failed MSU reported via :class:`Heartbeat`.
+    """
+
+    group_id: int
+    stream_id: int
+    content_name: str
+    disk_id: str
+    protocol: str
+    rate: float
+    variable: bool
+    display_address: Tuple[str, int]
+    client_host: str
+    start_page: int = 0
+    start_us: int = 0
+    group_size: int = 1
+
+
+@dataclass(frozen=True)
+class StreamMigrated:
+    """Coordinator -> client: the group moved to a surviving MSU.
+
+    The client library keeps the group's view alive and waits (with
+    retry/backoff) for the new MSU's delivery connection to replace the
+    broken one.  ``streams`` carries ``(stream_id, resume_us)`` pairs.
+    """
+
+    group_id: int
+    msu_name: str
+    streams: Tuple[Tuple[int, int], ...] = ()
+    request_id: int = 0
 
 
 # -- MSU <-> client ------------------------------------------------------------

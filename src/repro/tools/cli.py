@@ -116,6 +116,12 @@ def _cache(duration: Optional[float]) -> str:
     return format_cache(run_cache(duration=duration or 200.0))
 
 
+def _failover(duration: Optional[float]) -> str:
+    from repro.experiments.failover import format_failover, run_failover
+
+    return format_failover(run_failover())
+
+
 def _cluster_scale(duration: Optional[float]) -> str:
     from repro.experiments.cluster_scale import (
         format_cluster_scale,
@@ -143,6 +149,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "cluster-scale": (_cluster_scale, "abstract/§3.3 scaling by adding MSUs (extension)"),
     "playout": (_playout, "§2.2.1 client playout quality across the cliff (extension)"),
     "recording": (_recording, "§2.3 simultaneous recording capacity (extension)"),
+    "failover": (_failover, "§2.2 MSU failover: heartbeats + migration (extension)"),
 }
 
 

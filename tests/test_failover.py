@@ -1,0 +1,345 @@
+"""Failover subsystem: heartbeats, stream migration, degraded admission."""
+
+from types import SimpleNamespace
+
+from repro.clients import Client
+from repro.core import CalliopeCluster, ClusterConfig
+from repro.core.admission import AdmissionControl
+from repro.core.database import AdminDatabase, ContentEntry
+from repro.core.replication import ReplicationManager
+from repro.failover import (
+    PRIORITY_NORMAL,
+    PRIORITY_SINGLE_COPY,
+    FailoverConfig,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    play_priority,
+)
+from repro.media import MpegEncoder, packetize_cbr
+from repro.net import messages as m
+from repro.sim import Simulator
+from repro.storage import IBTreeConfig
+from repro.units import MPEG1_RATE
+
+SMALL = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
+
+#: Fast detection so tests stay short: dead ~0.3 s after the last beat.
+FAST = HeartbeatConfig(
+    period=0.1, miss_threshold=2, suspect_backoff=0.1,
+    backoff_factor=2.0, suspect_probes=1,
+)
+
+
+def build(n_msus=2, failover="fast", seed=3, length=30.0):
+    sim = Simulator()
+    fo = FailoverConfig(heartbeat=FAST) if failover == "fast" else failover
+    cluster = CalliopeCluster(
+        sim, ClusterConfig(n_msus=n_msus, ibtree_config=SMALL, failover=fo)
+    )
+    cluster.coordinator.db.add_customer("user")
+    packets = packetize_cbr(MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024)
+    return sim, cluster, packets
+
+
+def open_client(sim, cluster, name="c0", **kwargs):
+    client = Client(sim, cluster, name, **kwargs)
+    proc = sim.process(client.open_session("user"))
+    sim.run_until_event(proc, limit=10.0)
+    return client
+
+
+def start_stream(sim, client, title, port):
+    def scenario():
+        yield from client.register_port(port, "mpeg1")
+        view = yield from client.play(title, port)
+        yield from client.wait_ready(view)
+        return view
+
+    proc = sim.process(scenario())
+    return sim.run_until_event(proc, limit=30.0)
+
+
+def beat_until(sim, monitor, msu_name, stop, period=0.1, positions=()):
+    def gen():
+        seq = 0
+        while sim.now < stop:
+            seq += 1
+            monitor.beat(m.Heartbeat(msu_name, seq, positions))
+            yield sim.timeout(period)
+
+    sim.process(gen(), name="beats")
+
+
+class TestHeartbeatMonitor:
+    def test_silence_after_beats_declares_death(self):
+        sim = Simulator()
+        deaths = []
+        monitor = HeartbeatMonitor(sim, FAST, on_dead=deaths.append)
+        beat_until(sim, monitor, "msu0", stop=0.5)
+        sim.run(until=0.55)
+        assert monitor.state("msu0") == "alive"
+        # Silence: suspect after 2 missed periods, dead one probe later.
+        sim.run(until=0.5 + FAST.detection_latency + 0.05)
+        assert monitor.state("msu0") == "dead"
+        assert deaths == ["msu0"]
+        assert monitor.suspects == 1 and monitor.deaths == 1
+
+    def test_beat_during_backoff_revives(self):
+        sim = Simulator()
+        deaths = []
+        monitor = HeartbeatMonitor(sim, FAST, on_dead=deaths.append)
+
+        def sputter():
+            monitor.beat(m.Heartbeat("msu0", 1))
+            # Stay silent through the suspect threshold (0.2 s), then
+            # beat again inside the backoff window.
+            yield sim.timeout(0.25)
+            assert monitor.state("msu0") == "suspect"
+            monitor.beat(m.Heartbeat("msu0", 2))
+
+        sim.process(sputter())
+        sim.run(until=0.28)
+        assert monitor.state("msu0") == "alive"
+        assert not deaths
+        # But the revival only buys time: more silence still kills it.
+        sim.run(until=1.5)
+        assert monitor.state("msu0") == "dead"
+
+    def test_positions_replaced_wholesale_and_survive_forget(self):
+        sim = Simulator()
+        monitor = HeartbeatMonitor(sim, FAST)
+        monitor.beat(m.Heartbeat("msu0", 1, ((1, 1, 5, 500), (1, 2, 7, 700))))
+        monitor.beat(m.Heartbeat("msu0", 2, ((1, 1, 9, 900),)))
+        assert monitor.position("msu0", 1, 1) == (9, 900)
+        # The stream that stopped reporting aged out with the old beat.
+        assert monitor.position("msu0", 1, 2) == (0, 0)
+        monitor.forget_msu("msu0")
+        # The migrator reads positions *after* death.
+        assert monitor.position("msu0", 1, 1) == (9, 900)
+
+    def test_rearms_after_forget(self):
+        sim = Simulator()
+        monitor = HeartbeatMonitor(sim, FAST)
+        monitor.beat(m.Heartbeat("msu0", 1))
+        monitor.forget_msu("msu0")
+        monitor.beat(m.Heartbeat("msu0", 1))
+        assert monitor.state("msu0") == "alive"
+        sim.run(until=FAST.detection_latency + 0.1)
+        assert monitor.state("msu0") == "dead"
+
+
+class TestDegradedAdmission:
+    def test_enqueue_orders_by_band_fifo_within(self):
+        admission = AdmissionControl(AdminDatabase(), 4096)
+        first = SimpleNamespace(priority=2, tag="n1")
+        second = SimpleNamespace(priority=2, tag="n2")
+        single = SimpleNamespace(priority=1, tag="s")
+        resume = SimpleNamespace(priority=0, tag="r")
+        for req in (first, second, single, resume):
+            admission.enqueue(req)
+        assert [req.tag for req in admission.queue] == ["r", "s", "n1", "n2"]
+        assert admission.queued == 4
+
+    def test_play_priority_tracks_live_copies(self):
+        db = AdminDatabase()
+        for name in ("msu0", "msu1", "msu2"):
+            db.register_msu(name, [("d0", 1000)])
+        solo = ContentEntry("solo", "mpeg1", "msu0", "d0")
+        replicated = ContentEntry("pop", "mpeg1", "msu0", "d0")
+        replicated.add_replica("msu1", "d0")
+        db.add_content(solo)
+        db.add_content(replicated)
+        # Healthy cluster: everything is normal priority.
+        assert play_priority(db, solo) == PRIORITY_NORMAL
+        db.mark_msu_down("msu2")
+        # Degraded: the single-copy title jumps a band, the title with
+        # two live copies does not.
+        assert play_priority(db, solo) == PRIORITY_SINGLE_COPY
+        assert play_priority(db, replicated) == PRIORITY_NORMAL
+
+
+class TestMigration:
+    def test_hang_migrates_streams_to_replica(self):
+        sim, cluster, packets = build(n_msus=2)
+        coord = cluster.coordinator
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        sim.run(until=0.05)
+        replica_disk = cluster.msus[1].disk_ids()[0]
+        ReplicationManager(cluster).replicate("movie", "msu1", replica_disk)
+        client = open_client(sim, cluster)
+        view = start_stream(sim, client, "movie", "tv")
+        sim.run(until=sim.now + 1.0)
+        assert coord.groups[view.group_id].msu_name == "msu0"
+
+        cluster.hang_msu(0)
+        frozen = client.ports["tv"].stats.packets
+        sim.run(until=sim.now + 2.0)
+
+        group = coord.groups[view.group_id]
+        assert group.msu_name == "msu1"
+        assert view.migrations == 1
+        assert not view.done_event.triggered
+        assert client.ports["tv"].stats.packets > frozen
+        session = coord.sessions.lookup(client.session_id)
+        assert view.group_id in session.active_groups
+        assert len(coord.migrator.records) == 1
+        assert coord.migrator.records[0].to_msu == "msu1"
+        # The resumed stream picked up near the heartbeat-reported page,
+        # not at the top of the file.
+        msu1 = cluster.msus[1]
+        assert msu1.streams_resumed == 1
+        assert all(s.next_page > 0 for s in msu1.iop.play_streams)
+
+    def test_no_replica_queues_then_recovers(self):
+        sim, cluster, packets = build(n_msus=2)
+        coord = cluster.coordinator
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        client = open_client(sim, cluster)
+        view = start_stream(sim, client, "movie", "tv")
+        sim.run(until=sim.now + 1.0)
+
+        cluster.hang_msu(0)
+        sim.run(until=sim.now + FAST.detection_latency + 0.3)
+        # Nothing to migrate to: the ticket parks at resume priority.
+        assert view.group_id not in coord.groups
+        assert coord.migrator.queued == 1
+        queued = [req for req in coord.admission.queue if req.kind == "resume"]
+        assert len(queued) == 1 and queued[0].priority == 0
+        frozen = client.ports["tv"].stats.packets
+        sim.run(until=sim.now + 1.0)
+        assert client.ports["tv"].stats.packets == frozen
+
+        cluster.recover(0)
+        sim.run(until=sim.now + 2.0)
+        assert coord.groups[view.group_id].msu_name == "msu0"
+        assert not coord.admission.queue
+        assert view.migrations == 1
+        assert client.ports["tv"].stats.packets > frozen
+
+    def test_queued_resume_granted_when_capacity_frees(self):
+        sim, cluster, packets = build(n_msus=2)
+        coord = cluster.coordinator
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        cluster.load_content("filler", "mpeg1", packets, msu_index=1)
+        sim.run(until=0.05)
+        replica_disk = cluster.msus[1].disk_ids()[0]
+        ReplicationManager(cluster).replicate("movie", "msu1", replica_disk)
+        client = open_client(sim, cluster)
+        filler_view = start_stream(sim, client, "filler", "tv-filler")
+        movie_view = start_stream(sim, client, "movie", "tv")
+        sim.run(until=sim.now + 0.5)
+        assert coord.groups[movie_view.group_id].msu_name == "msu0"
+        # Shrink the survivor's disk so the resume cannot fit while the
+        # filler stream holds its slot.
+        disk = coord.db.disk("msu1", replica_disk)
+        disk.bandwidth_capacity = disk.bandwidth_used + 0.5 * MPEG1_RATE
+
+        cluster.hang_msu(0)
+        sim.run(until=sim.now + FAST.detection_latency + 0.3)
+        assert movie_view.group_id not in coord.groups
+        assert coord.migrator.queued == 1
+
+        client.quit(filler_view.group_id)
+        sim.run(until=sim.now + 2.0)
+        # The freed slot went to the parked resume ticket.
+        assert coord.groups[movie_view.group_id].msu_name == "msu1"
+        assert movie_view.migrations == 1
+        assert not coord.admission.queue
+
+
+class TestFailureCleanup:
+    def test_crash_without_failover_releases_everything(self):
+        sim, cluster, packets = build(n_msus=1, failover=None)
+        coord = cluster.coordinator
+        cluster.load_content("movie", "mpeg1", packets)
+        client = open_client(sim, cluster)
+        view = start_stream(sim, client, "movie", "tv")
+        sim.run(until=sim.now + 1.0)
+        session = coord.sessions.lookup(client.session_id)
+        assert view.group_id in session.active_groups
+
+        cluster.fail_msu(0, crash=True)
+        sim.run(until=sim.now + 0.5)
+        # No stale group ids or allocations linger after the failure.
+        assert session.active_groups == []
+        assert coord.groups == {}
+        state = coord.db.msus["msu0"]
+        assert not state.available
+        assert state.delivery_used == 0.0
+        assert all(d.bandwidth_used == 0.0 for d in state.disks.values())
+
+
+class TestReplicaRestoration:
+    def test_dead_copies_do_not_count_and_are_restored(self):
+        sim, cluster, packets = build(n_msus=3)
+        coord = cluster.coordinator
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        sim.run(until=0.05)
+        manager = ReplicationManager(cluster, max_replicas=1)
+        manager.replicate("movie", "msu1", cluster.msus[1].disk_ids()[0])
+        entry = coord.db.content("movie")
+        entry.request_count = 10
+        # Both copies live: at max_replicas, not hot-listed.
+        assert len(manager._live_locations(entry)) == 2
+        assert entry not in manager._hot_entries()
+
+        cluster.fail_msu(0)
+        sim.run(until=sim.now + 0.1)
+        # The dead copy stops counting; the title is eligible again.
+        assert manager._live_locations(entry) == [
+            ("msu1", cluster.msus[1].disk_ids()[0])
+        ]
+        assert entry in manager._hot_entries()
+
+        made = manager.restore_replicas(["movie"])
+        assert len(made) == 1
+        assert made[0].source[0] == "msu1"  # copied from the live replica
+        assert made[0].target[0] == "msu2"
+        assert len(manager._live_locations(entry)) == 2
+
+    def test_watch_restores_replicas_on_failure(self):
+        sim, cluster, packets = build(n_msus=3)
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        sim.run(until=0.05)
+        manager = ReplicationManager(cluster)
+        manager.replicate("movie", "msu1", cluster.msus[1].disk_ids()[0])
+        manager.watch()
+        cluster.hang_msu(0)
+        sim.run(until=sim.now + FAST.detection_latency + 0.3)
+        entry = cluster.coordinator.db.content("movie")
+        assert len(manager._live_locations(entry)) == 2
+        assert any(d.target[0] == "msu2" for d in manager.decisions)
+
+
+class TestClientReconnect:
+    def test_reconnect_gives_up_after_retries(self):
+        sim, cluster, packets = build(n_msus=1, failover=None)
+        cluster.load_content("movie", "mpeg1", packets)
+        client = open_client(
+            sim, cluster, reconnect_retries=2, reconnect_backoff=0.1
+        )
+        view = start_stream(sim, client, "movie", "tv")
+        sim.run(until=sim.now + 1.0)
+        cluster.fail_msu(0, crash=True)
+        sim.run(until=sim.now + 0.1)
+        # Still waiting out the retry window...
+        assert not view.done_event.triggered
+        sim.run(until=sim.now + 2.0)
+        # ...but nothing came back: the group ends.
+        assert view.closed
+        assert view.done_event.triggered
+
+    def test_quit_does_not_wait_out_retries(self):
+        sim, cluster, packets = build(n_msus=1, failover=None)
+        cluster.load_content("movie", "mpeg1", packets)
+        client = open_client(
+            sim, cluster, reconnect_retries=8, reconnect_backoff=5.0
+        )
+        view = start_stream(sim, client, "movie", "tv")
+        sim.run(until=sim.now + 1.0)
+        client.quit(view.group_id)
+        sim.run(until=sim.now + 1.0)
+        # A deliberate quit closes immediately; no reconnect attempts.
+        assert view.quit_requested
+        assert view.done_event.triggered
+        assert view.migrations == 0
