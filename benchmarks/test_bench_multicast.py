@@ -1,0 +1,34 @@
+"""Benchmark E18 — multicast channels vs. unicast on the Zipf VoD workload."""
+
+from benchmarks.conftest import publish
+from repro.experiments.multicast import format_multicast, run_multicast
+
+
+def test_bench_multicast(benchmark):
+    points = benchmark.pedantic(run_multicast, rounds=1)
+    off, on = points
+    publish(
+        benchmark, "multicast", format_multicast(points),
+        peak_off=off.concurrent_peak,
+        peak_on=on.concurrent_peak,
+        channels_created=on.channels_created,
+        channel_occupancy=on.channel_occupancy,
+        patch_ratio=on.patch_ratio,
+        slots_saved=on.slots_saved,
+        merges=on.merges,
+    )
+    # The acceptance bar: one disk sustains at least twice the concurrent
+    # viewers with multicast on, the gain really came from batching and
+    # patching, and the admission books balance once everything drains.
+    assert not off.multicast_enabled and on.multicast_enabled
+    assert on.concurrent_peak >= 2 * off.concurrent_peak
+    assert on.channel_occupancy > 1.0
+    assert on.slots_saved > 0
+    assert on.merges > 0
+    assert on.ledger_outstanding == 0.0
+    # Every patch the run granted stayed inside the configured horizon.
+    horizon_us = 6.0 * 1e6
+    for offset_us, patch_us in on.patch_bounds:
+        assert patch_us <= horizon_us + 1e6  # horizon + one-page margin
+    # The network really fanned out: more receiver copies than sends.
+    assert on.multicast_copies > on.multicast_sends

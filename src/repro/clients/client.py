@@ -16,7 +16,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 from repro.core.cluster import CalliopeCluster
 from repro.errors import CalliopeError
 from repro.net import messages as m
-from repro.net.network import ControlChannel, Host, UdpSocket
+from repro.net.network import ControlChannel, Host, UdpSocket, is_multicast
 from repro.sim import Event, Simulator
 
 __all__ = ["Client", "PortStats", "GroupView"]
@@ -60,6 +60,11 @@ class _Port:
         self.control_socket: Optional[UdpSocket] = None
         self.stats = PortStats()
         self.control_stats = PortStats()
+        #: Data that arrived via a multicast channel (group destination).
+        self.channel_stats = PortStats()
+        #: Data that arrived as plain unicast — a whole stream, or the
+        #: bounded patch that fills in a late joiner's missed prefix.
+        self.unicast_stats = PortStats()
         self.component_ports: Tuple[str, ...] = ()
 
 
@@ -337,6 +342,15 @@ class Client:
             if dgram is None:
                 return
             stats.note(self.sim.now, len(dgram.payload), dgram.payload)
+            if not control:
+                # A late joiner receives its patch (unicast) and the
+                # channel (group destination) simultaneously; keep the
+                # flows apart so playback can splice them in order.
+                flow = (
+                    port.channel_stats
+                    if is_multicast(dgram.dst) else port.unicast_stats
+                )
+                flow.note(self.sim.now, len(dgram.payload))
 
     # -- play / record ---------------------------------------------------------------------
 

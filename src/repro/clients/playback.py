@@ -16,7 +16,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-__all__ = ["PlayoutBuffer", "PlayoutReport", "resume_gap"]
+__all__ = ["PlayoutBuffer", "PlayoutReport", "resume_gap", "splice_flows"]
+
+
+def splice_flows(
+    patch: List[Tuple[float, int]], channel: List[Tuple[float, int]]
+) -> List[Tuple[float, int]]:
+    """Merge a late joiner's two flows into one playable arrival list.
+
+    A patched viewer receives the title's opening pages as a unicast
+    ``patch`` while the multicast ``channel`` delivers pages from further
+    in; the patch plays immediately and channel data buffers until the
+    patch drains.  The splice models that: channel arrivals are deferred
+    to the end of the patch (they sat in the playout buffer), then both
+    lists merge in delivery order for :meth:`PlayoutBuffer.evaluate`.
+
+    With no patch (a batched viewer, or plain unicast) the other flow
+    passes through unchanged.
+    """
+    if not patch:
+        return sorted(channel)
+    if not channel:
+        return sorted(patch)
+    patch = sorted(patch)
+    patch_end = patch[-1][0]
+    deferred = [(max(when, patch_end), nbytes) for when, nbytes in sorted(channel)]
+    return sorted(patch + deferred)
 
 
 def resume_gap(

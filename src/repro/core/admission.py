@@ -81,6 +81,7 @@ class AdmissionControl:
         entry: ContentEntry,
         ctype: ContentType,
         msu_pin: Optional[str] = None,
+        allow_cache: bool = True,
     ) -> Optional[Allocation]:
         """Admit a playback of ``entry``; None when resources are short.
 
@@ -116,7 +117,8 @@ class AdmissionControl:
                 if best is None or load < best[0]:
                     best = (load, state, disk)
             elif (
-                state.cache_free() >= rate
+                allow_cache
+                and state.cache_free() >= rate
                 and entry.active_at((msu_name, disk_id)) > 0
             ):
                 cache_load = state.cache_used / state.cache_capacity
@@ -142,6 +144,97 @@ class AdmissionControl:
             state.name, disk.disk_id, rate,
             content_name=entry.name, cache_covered=cache_covered,
         )
+
+    def place_channel(
+        self,
+        entry: ContentEntry,
+        ctype: ContentType,
+        msu_pin: Optional[str] = None,
+    ) -> Optional[Allocation]:
+        """Admit a multicast channel: one real disk slot, one delivery flow.
+
+        A channel is the *leader* every later cache/patch grant leans on,
+        so it must own raw disk bandwidth — the cache-covered second
+        chance of :meth:`place_read` does not apply.
+        """
+        return self.place_read(entry, ctype, msu_pin=msu_pin, allow_cache=False)
+
+    def place_patch(
+        self,
+        entry: ContentEntry,
+        ctype: ContentType,
+        msu_name: str,
+        disk_id: str,
+        prefix_covered: bool = False,
+    ) -> Optional[Allocation]:
+        """Admit a late joiner's bounded patch on the channel's MSU/disk.
+
+        The patch is a short unicast flow of the title's opening pages.
+        When the prefix cache pins those pages (``prefix_covered``) the
+        charge lands on the MSU's cache budget and costs no disk slot;
+        otherwise it takes disk bandwidth like any read, with the usual
+        interval-cache second chance (the channel itself is an active
+        leader on this location).  Either way the patch occupies a
+        delivery-network flow until it drains and is refunded.
+        """
+        rate = ctype.bandwidth_rate
+        state = self.db.msus.get(msu_name)
+        if state is None or not state.available:
+            return None
+        disk = state.disks.get(disk_id)
+        if disk is None or state.delivery_free() < rate:
+            return None
+        cache_covered = False
+        if prefix_covered and state.cache_free() >= rate:
+            cache_covered = True
+        elif disk.bandwidth_free() >= rate:
+            cache_covered = False
+        elif (
+            state.cache_free() >= rate
+            and entry.active_at((msu_name, disk_id)) > 0
+        ):
+            cache_covered = True
+        else:
+            return None
+        if cache_covered:
+            state.cache_used += rate
+            self.cache_admitted += 1
+        else:
+            disk.bandwidth_used += rate
+        state.delivery_used += rate
+        state.active_streams += 1
+        self.admitted += 1
+        entry.note_active((msu_name, disk_id), +1)
+        return Allocation(
+            msu_name, disk_id, rate,
+            content_name=entry.name, cache_covered=cache_covered,
+        )
+
+    def charge_direct(
+        self,
+        entry: Optional[ContentEntry],
+        rate: float,
+        msu_name: str,
+        disk_id: str,
+    ) -> Allocation:
+        """Charge a unicast slot without a feasibility check.
+
+        Used when a viewer *downgrades* from a multicast channel to a
+        private stream: the MSU is already delivering to them, so the
+        books must follow the stream even if it briefly overcommits the
+        disk (the duty cycle absorbs it; admission stops new entrants).
+        """
+        name = entry.name if entry is not None else ""
+        state = self.db.msus.get(msu_name)
+        if state is not None:
+            disk = state.disks.get(disk_id)
+            if disk is not None:
+                disk.bandwidth_used += rate
+            state.delivery_used += rate
+            state.active_streams += 1
+        if entry is not None:
+            entry.note_active((msu_name, disk_id), +1)
+        return Allocation(msu_name, disk_id, rate, content_name=name)
 
     def place_record(
         self,

@@ -20,6 +20,7 @@ from repro.hardware.params import MachineParams
 from repro.media.content import ContentType
 from repro.media.filtering import make_fast_backward, make_fast_forward
 from repro.media.mpeg import packetize_cbr
+from repro.multicast import MulticastConfig
 from repro.net.network import ControlChannel, Network
 from repro.sim import Simulator
 from repro.storage.ibtree import IBTreeConfig
@@ -50,6 +51,9 @@ class ClusterConfig:
     #: Heartbeat detection + stream migration (extension); None
     #: reproduces the paper's TCP-break-only failure handling (§2.2).
     failover: Optional[FailoverConfig] = field(default_factory=FailoverConfig)
+    #: Batched multicast channels + patching streams (extension); None
+    #: reproduces the paper's one-unicast-stream-per-viewer delivery.
+    multicast: Optional[MulticastConfig] = None
     seed: int = 42
 
 
@@ -63,7 +67,7 @@ class CalliopeCluster:
         self.delivery_net = Network(sim, "delivery", latency=config.delivery_latency)
         self.coordinator = Coordinator(
             sim, types=config.types, block_size=config.ibtree_config.data_page_size,
-            failover=config.failover,
+            failover=config.failover, multicast=config.multicast,
         )
         heartbeat_period = (
             config.failover.heartbeat.period if config.failover is not None else 0.0

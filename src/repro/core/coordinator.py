@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.multicast import ChannelManager, MulticastConfig
 
 from repro.core.admission import AdmissionControl, Allocation
 from repro.core.database import AdminDatabase, ContentEntry
@@ -94,6 +97,7 @@ class Coordinator:
         block_size: int = BLOCK_SIZE,
         name: str = "coordinator",
         failover: Optional[FailoverConfig] = None,
+        multicast: Optional[MulticastConfig] = None,
     ):
         self.sim = sim
         self.name = name
@@ -119,6 +123,15 @@ class Coordinator:
             )
             if failover.migrate:
                 self.migrator = StreamMigrator(self)
+        #: Multicast channel manager (batching + patching); None keeps
+        #: the paper's one-unicast-stream-per-viewer delivery.
+        self.channel_manager: Optional[ChannelManager] = None
+        if multicast is not None:
+            # Imported here: repro.multicast pulls admission types back in,
+            # so a module-level import would be circular.
+            from repro.multicast import ChannelManager
+
+            self.channel_manager = ChannelManager(self, multicast)
         #: Hook fired as ``callback(msu_name, lost_titles)`` after a
         #: failure; the ReplicationManager's watch() uses it to restore
         #: replica counts for titles that just lost a copy.
@@ -135,6 +148,18 @@ class Coordinator:
     def _trace(self, category: str, subject, detail: str = "") -> None:
         if self.tracer is not None:
             self.tracer.record(self.name, category, subject, detail)
+
+    def allocate_group_id(self) -> int:
+        """Hand out the next stream-group identifier."""
+        group_id = self._next_group
+        self._next_group += 1
+        return group_id
+
+    def allocate_stream_id(self) -> int:
+        """Hand out the next stream identifier."""
+        stream_id = self._next_stream
+        self._next_stream += 1
+        return stream_id
 
     # -- wiring ------------------------------------------------------------------
 
@@ -173,6 +198,13 @@ class Coordinator:
                     self.monitor.beat(msg)
             elif isinstance(msg, m.CacheReport):
                 self._cache_report(msg)
+            elif isinstance(msg, m.PatchDrained):
+                if self.channel_manager is not None:
+                    self.channel_manager.patch_drained(msg)
+                    self._retry_queue()  # a refunded patch frees bandwidth
+            elif isinstance(msg, m.ChannelDowngrade):
+                if self.channel_manager is not None:
+                    self.channel_manager.downgrade(msg)
             elif isinstance(msg, m.StreamTerminated):
                 yield from self.machine.cpu.execute(self.TERMINATION_CPU)
                 self.terminations_handled += 1
@@ -232,6 +264,12 @@ class Coordinator:
                 # A half-made recording died with its MSU's buffers.
                 self.db.contents.pop(content_name, None)
         self.admission.release_msu(msu_name)
+        if self.channel_manager is not None:
+            # Books already zeroed wholesale; the manager force-closes
+            # its channel records so the ledger stays balanced, and the
+            # subscriber groups in ``affected`` resume as plain unicast
+            # via the migrator below (one place_read charge each).
+            self.channel_manager.msu_failed(msu_name)
         lost_titles = [
             entry.name
             for entry in self.db.contents.values()
@@ -244,6 +282,9 @@ class Coordinator:
             self.on_capacity_lost(msu_name, lost_titles)
 
     def _stream_terminated(self, msg: m.StreamTerminated) -> None:
+        if self.channel_manager is not None:
+            if self.channel_manager.handle_terminated(msg):
+                return  # a channel stream's own termination: fully handled
         group = self.groups.get(msg.group_id)
         if group is None:
             return
@@ -417,6 +458,15 @@ class Coordinator:
                 f"content is {entry.type_name!r} but port is {port.type_name!r}"
             )
         members = self._members_for_play(session, entry, port)
+        if self.channel_manager is not None and self.channel_manager.handles(entry):
+            # Multicast delivery: batch onto a new channel or patch onto
+            # an in-flight one.  Replies flow exactly like the unicast
+            # path's — immediately for patch joins, later (through the
+            # manager) for batched requests.
+            reply = yield from self.channel_manager.request_play(
+                msg, channel, session, entry, port
+            )
+            return reply
         # Try to admit every member; roll back on partial success.  Members
         # of one group pin to one MSU so VCR commands stay in sync (§2.2).
         allocations: List[Tuple[ContentEntry, DisplayPort, Allocation]] = []

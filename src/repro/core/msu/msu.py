@@ -19,7 +19,14 @@ from typing import Callable, Dict, Generator, List, Optional, Set
 from repro.cache.manager import CacheConfig, MsuPageCache
 from repro.core.msu.disk_process import DiskProcess
 from repro.core.msu.network_process import NetworkProcess
-from repro.core.msu.streams import PlayStream, RateVariant, RecordStream, StreamState
+from repro.core.msu.streams import (
+    ChannelStream,
+    PatchStream,
+    PlayStream,
+    RateVariant,
+    RecordStream,
+    StreamState,
+)
 from repro.core.msu.vcr import seek_stream, switch_variant
 from repro.errors import StorageError
 from repro.hardware.machine import Machine
@@ -33,7 +40,7 @@ from repro.storage.ibtree import IBTreeConfig, IBTreeWriter, PacketRecord
 from repro.storage.layout import SpanVolume, StripedVolume
 from repro.storage.raw_disk import RawDisk
 
-__all__ = ["Msu", "GroupState"]
+__all__ = ["Msu", "GroupState", "ChannelState"]
 
 
 @dataclass
@@ -48,6 +55,8 @@ class GroupState:
     record_streams: List[RecordStream] = field(default_factory=list)
     finished: Set[int] = field(default_factory=set)
     quitting: bool = False
+    #: Multicast channel this group subscribes to, if any.
+    channel_id: Optional[int] = None
 
     @property
     def members(self) -> int:
@@ -56,6 +65,20 @@ class GroupState:
     @property
     def all_done(self) -> bool:
         return self.members > 0 and len(self.finished) >= self.members
+
+
+@dataclass
+class ChannelState:
+    """MSU-side state of one multicast channel."""
+
+    channel_id: int
+    stream: ChannelStream
+    group: GroupState      # the channel stream's own (server-internal) group
+    disk_id: str
+    content_name: str
+    mcast_host: str
+    #: viewer group_id -> (stream_id, unicast display address).
+    subscribers: Dict[int, tuple] = field(default_factory=dict)
 
 
 class Msu:
@@ -134,6 +157,8 @@ class Msu:
         )
         self.iop.disk_kick = self._kick_disk_for
         self.groups: Dict[int, GroupState] = {}
+        #: Active multicast channels, by channel id.
+        self.channels: Dict[int, ChannelState] = {}
         self._stream_disk: Dict[int, DiskProcess] = {}
         self._stream_group: Dict[int, GroupState] = {}
         self.coordinator_channel: Optional[ControlChannel] = None
@@ -199,6 +224,10 @@ class Msu:
                 return  # Coordinator failure is not recovered from (§2.2)
             if isinstance(msg, m.ScheduleRead):
                 self._schedule_read(msg)
+            elif isinstance(msg, m.ChannelCreate):
+                self._create_channel(msg)
+            elif isinstance(msg, m.ChannelSubscribe):
+                self._channel_subscribe(msg)
             elif isinstance(msg, m.ResumePlay):
                 self._resume_play(msg)
             elif isinstance(msg, m.ScheduleRecord):
@@ -275,6 +304,23 @@ class Msu:
                 )
                 for stream in self.iop.play_streams
             )
+            # Channel subscribers ride the shared stream: report each at
+            # the channel's position (everything before it has been
+            # delivered to them via patch + fan-out), *after* the raw
+            # stream entries so a subscriber's channel position overrides
+            # its patch stream's — a migration resumes from the channel
+            # front, not from inside the already-delivered prefix.
+            for ch in self.channels.values():
+                page = (
+                    ch.stream.buffers[0].page_index
+                    if ch.stream.buffers else max(0, ch.stream.next_page - 1)
+                )
+                positions += tuple(
+                    (group_id, stream_id, page, ch.stream.position_us)
+                    for group_id, (stream_id, _addr) in sorted(
+                        ch.subscribers.items()
+                    )
+                )
             seq += 1
             channel.send(
                 self.name, m.Heartbeat(self.name, seq, positions),
@@ -368,6 +414,222 @@ class Msu:
                 nbytes=m.WIRE_BYTES,
             )
 
+    # -- multicast channels (extension) -----------------------------------------------
+
+    def _create_channel(self, msg: m.ChannelCreate) -> None:
+        """Open one shared disk stream whose packets go to a group address."""
+        fs = self.filesystems[msg.disk_id]
+        handle = fs.open(msg.content_name)
+        stream = ChannelStream(
+            msg.stream_id, msg.group_id, handle,
+            self.protocols.get(msg.protocol), msg.rate,
+            tuple(msg.mcast_address), self.ibtree_config,
+            channel_id=msg.channel_id,
+        )
+        # A server-internal group: no client host, no VCR connection.
+        group = GroupState(msg.group_id, "", 1)
+        self.groups[msg.group_id] = group
+        group.play_streams.append(stream)
+        self._stream_disk[msg.stream_id] = self.disk_processes[msg.disk_id]
+        self._stream_group[msg.stream_id] = group
+        self.channels[msg.channel_id] = ChannelState(
+            msg.channel_id, stream, group, msg.disk_id,
+            msg.content_name, msg.mcast_address[0],
+        )
+        self.disk_processes[msg.disk_id].add_play(stream)
+        self.iop.add_play(stream)
+        self.streams_served += 1
+        self._trace("channel", msg.content_name,
+                    f"channel={msg.channel_id} group={msg.group_id} "
+                    f"disk={msg.disk_id}")
+
+    def _channel_subscribe(self, msg: m.ChannelSubscribe) -> None:
+        """Attach a viewer to a channel, with an optional patch stream."""
+        ch = self.channels.get(msg.channel_id)
+        group = self._group_for(msg.group_id, msg.client_host, 1)
+        if ch is None:
+            # The channel completed between scheduling and arrival; tell
+            # everyone so neither side waits on a ghost subscription.
+            if group.channel is not None:
+                group.channel.send(
+                    self.name,
+                    m.StreamReady(msg.group_id, self.name, msg.stream_id),
+                    nbytes=m.WIRE_BYTES,
+                )
+                group.channel.send(
+                    self.name, m.EndOfStream(msg.group_id, msg.stream_id),
+                    nbytes=m.WIRE_BYTES,
+                )
+            self._notify_terminated(group, msg.stream_id, "channel-gone")
+            self._close_subscriber_group(group, msg.stream_id)
+            return
+        address = tuple(msg.display_address)
+        group.channel_id = msg.channel_id
+        ch.subscribers[msg.group_id] = (msg.stream_id, address)
+        ch.stream.subscribe(msg.group_id, msg.stream_id, address)
+        self.host.network.join_group(ch.mcast_host, address)
+        self._stream_group[msg.stream_id] = group
+        if msg.patch_end_page > 0:
+            fs = self.filesystems[ch.disk_id]
+            patch = PatchStream(
+                msg.stream_id, msg.group_id, fs.open(ch.content_name),
+                ch.stream.protocol, ch.stream.rate, address,
+                self.ibtree_config,
+                end_page=msg.patch_end_page, channel_id=msg.channel_id,
+            )
+            group.play_streams.append(patch)
+            self._stream_disk[msg.stream_id] = self.disk_processes[ch.disk_id]
+            self.disk_processes[ch.disk_id].add_play(patch)
+            self.iop.add_play(patch)
+        self.streams_served += 1
+        self._trace("subscribe", ch.content_name,
+                    f"channel={msg.channel_id} group={msg.group_id} "
+                    f"patch={msg.patch_end_page}")
+        if group.channel is not None:
+            group.channel.send(
+                self.name,
+                m.StreamReady(
+                    msg.group_id, self.name, msg.stream_id, ch.content_name,
+                    group_size=group.expected,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+
+    def _detach_subscriber(self, group: GroupState) -> Optional[int]:
+        """Drop a group's channel membership; returns its stream id.
+
+        Closes the channel early ("channel-idle") when the last
+        subscriber leaves — nobody is listening to the fan-out anymore.
+        """
+        channel_id, group.channel_id = group.channel_id, None
+        ch = self.channels.get(channel_id) if channel_id is not None else None
+        if ch is None:
+            return None
+        entry = ch.subscribers.pop(group.group_id, None)
+        if entry is None:
+            return None
+        stream_id, address = entry
+        ch.stream.unsubscribe(group.group_id)
+        self.host.network.leave_group(ch.mcast_host, address)
+        if ch.stream.idle:
+            self._close_channel(ch, "channel-idle")
+        return stream_id
+
+    def _close_channel(self, ch: ChannelState, reason: str) -> None:
+        """Tear down a channel stream and report its termination."""
+        self.channels.pop(ch.channel_id, None)
+        stream = ch.stream
+        stream.state = StreamState.DONE
+        self.iop.remove(stream)
+        proc = self._stream_disk.pop(stream.stream_id, None)
+        if proc is not None:
+            proc.remove(stream)
+        self.groups.pop(ch.group.group_id, None)
+        self._stream_group.pop(stream.stream_id, None)
+        self._notify_terminated(ch.group, stream.stream_id, reason)
+        self._trace("channel-close", ch.content_name,
+                    f"channel={ch.channel_id} reason={reason} "
+                    f"fanout={stream.fanout_packets}")
+
+    def _close_subscriber_group(
+        self, group: GroupState, stream_id: Optional[int] = None
+    ) -> None:
+        """Forget a subscriber group (its streams are already gone)."""
+        self.groups.pop(group.group_id, None)
+        if stream_id is not None:
+            self._stream_group.pop(stream_id, None)
+        if group.channel is not None and group.channel.open:
+            group.channel.close()
+
+    def _channel_complete(self, stream: ChannelStream) -> None:
+        """The channel played its file to the end: finish every viewer."""
+        ch = self.channels.pop(stream.channel_id, None)
+        if ch is None:
+            return
+        self.groups.pop(ch.group.group_id, None)
+        self._stream_group.pop(stream.stream_id, None)
+        for sub_group_id in sorted(ch.subscribers):
+            sub_stream_id, address = ch.subscribers[sub_group_id]
+            self.host.network.leave_group(ch.mcast_host, address)
+            sub_group = self.groups.get(sub_group_id)
+            if sub_group is None:
+                continue
+            sub_group.channel_id = None
+            # A patch still draining this late cannot outrun its channel
+            # usefully; the server tears it down with the channel.
+            for patch in list(sub_group.play_streams):
+                patch.state = StreamState.DONE
+                self.iop.remove(patch)
+                proc = self._stream_disk.pop(patch.stream_id, None)
+                if proc is not None:
+                    proc.remove(patch)
+                sub_group.play_streams.remove(patch)
+            if sub_group.channel is not None:
+                sub_group.channel.send(
+                    self.name, m.EndOfStream(sub_group_id, sub_stream_id),
+                    nbytes=m.WIRE_BYTES,
+                )
+            self._notify_terminated(sub_group, sub_stream_id, "end-of-stream")
+            self._close_subscriber_group(sub_group, sub_stream_id)
+        self._notify_terminated(ch.group, stream.stream_id, "channel-complete")
+        self._trace("channel-complete", ch.content_name,
+                    f"channel={ch.channel_id} viewers={len(ch.subscribers)} "
+                    f"fanout={stream.fanout_packets}")
+
+    def _downgrade_subscriber(self, group: GroupState) -> Optional[PlayStream]:
+        """Swap a subscriber's channel membership for a private stream.
+
+        Used when a VCR command (pause/seek/scan) needs a schedule of the
+        viewer's own.  The unicast stream picks up at the channel's
+        current position; the Coordinator is told so admission can move
+        the viewer's charge from patch/channel to a full unicast slot.
+        """
+        ch = self.channels.get(group.channel_id)
+        if ch is None or group.group_id not in ch.subscribers:
+            group.channel_id = None
+            return None
+        stream_id, address = ch.subscribers[group.group_id]
+        position_us = ch.stream.position_us
+        front = ch.stream.front()
+        resume_page = (
+            front.page_index if front is not None
+            else min(ch.stream.next_page, ch.stream.handle.nblocks - 1)
+        )
+        # Tear down any still-active patch; the private stream replaces it.
+        for patch in list(group.play_streams):
+            patch.state = StreamState.DONE
+            self.iop.remove(patch)
+            proc = self._stream_disk.pop(patch.stream_id, None)
+            if proc is not None:
+                proc.remove(patch)
+            group.play_streams.remove(patch)
+        self._detach_subscriber(group)
+        fs = self.filesystems[ch.disk_id]
+        stream = PlayStream(
+            stream_id, group.group_id, fs.open(ch.content_name),
+            ch.stream.protocol, ch.stream.rate, address,
+            self.ibtree_config,
+        )
+        stream.next_page = max(0, resume_page)
+        stream.position_us = position_us
+        group.play_streams.append(stream)
+        self._stream_disk[stream_id] = self.disk_processes[ch.disk_id]
+        self._stream_group[stream_id] = group
+        self.disk_processes[ch.disk_id].add_play(stream)
+        self.iop.add_play(stream)
+        if self.coordinator_channel is not None:
+            self.coordinator_channel.send(
+                self.name,
+                m.ChannelDowngrade(
+                    ch.channel_id, group.group_id, stream_id, position_us
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+        self._trace("downgrade", ch.content_name,
+                    f"channel={ch.channel_id} group={group.group_id} "
+                    f"page={stream.next_page}")
+        return stream
+
     # -- VCR handling --------------------------------------------------------------
 
     def _vcr_loop(self, group: GroupState) -> Generator:
@@ -385,6 +647,11 @@ class Msu:
     def _apply_vcr(self, group: GroupState, msg: m.VcrCommand) -> Generator:
         now = self.sim.now
         self._trace("vcr", f"group={group.group_id}", msg.command)
+        if group.channel_id is not None:
+            # A shared channel cannot pause/seek/scan for one viewer:
+            # leave it for a private unicast stream, then apply the
+            # command to that stream as usual.
+            self._downgrade_subscriber(group)
         if msg.command == m.VCR_PAUSE:
             for stream in group.play_streams:
                 stream.pause(now)
@@ -415,6 +682,7 @@ class Msu:
     def _quit_group(self, group: GroupState) -> None:
         self._trace("vcr", f"group={group.group_id}", "quit")
         group.quitting = True
+        notified: Set[int] = set()
         for stream in list(group.play_streams):
             stream.state = StreamState.DONE
             self.iop.remove(stream)
@@ -422,10 +690,20 @@ class Msu:
             if proc is not None:
                 proc.remove(stream)
             self._notify_terminated(group, stream.stream_id, "quit")
+            notified.add(stream.stream_id)
             group.finished.add(stream.stream_id)
         for stream in list(group.record_streams):
             stream.begin_finish()
             self._kick_record(stream)
+        if group.channel_id is not None:
+            # A channel subscriber: detach from the fan-out (closing the
+            # channel early if nobody is left listening) and report the
+            # subscription's end unless its patch stream already did.
+            stream_id = self._detach_subscriber(group)
+            if stream_id is not None and stream_id not in notified:
+                self._notify_terminated(group, stream_id, "quit")
+            self._close_subscriber_group(group, stream_id)
+            return
         self._maybe_close_group(group)
 
     def _kick_record(self, stream: RecordStream) -> None:
@@ -447,11 +725,34 @@ class Msu:
 
     def _on_play_done(self, stream: PlayStream) -> None:
         """IOP reached end of file for a playback stream."""
+        if stream.is_channel:
+            proc = self._stream_disk.pop(stream.stream_id, None)
+            if proc is not None:
+                proc.remove(stream)
+            self._channel_complete(stream)
+            return
         group = self._stream_group.get(stream.stream_id)
         proc = self._stream_disk.pop(stream.stream_id, None)
         if proc is not None:
             proc.remove(stream)
         if group is None:
+            return
+        if stream.is_patch:
+            # The missed prefix has been delivered: the viewer now lives
+            # entirely on its channel.  Tell the Coordinator so the patch
+            # charge is refunded; the group itself stays alive.
+            if stream in group.play_streams:
+                group.play_streams.remove(stream)
+            if self.coordinator_channel is not None:
+                self.coordinator_channel.send(
+                    self.name,
+                    m.PatchDrained(
+                        stream.channel_id, group.group_id, stream.stream_id
+                    ),
+                    nbytes=m.WIRE_BYTES,
+                )
+            self._trace("patch-drained", f"stream={stream.stream_id}",
+                        f"channel={stream.channel_id} group={group.group_id}")
             return
         if group.channel is not None:
             group.channel.send(
@@ -497,6 +798,13 @@ class Msu:
             if group.channel is not None and group.channel.open:
                 group.channel.close()
 
+    def _drop_channels(self) -> None:
+        """Forget every channel and its fan-out memberships (crash/hang)."""
+        for ch in self.channels.values():
+            for _group_id, (_stream_id, address) in ch.subscribers.items():
+                self.host.network.leave_group(ch.mcast_host, address)
+        self.channels.clear()
+
     # -- crash injection ------------------------------------------------------------------
 
     def crash(self) -> None:
@@ -525,6 +833,7 @@ class Msu:
             self._heartbeat_proc.interrupt("crash")
         if self.cache is not None:
             self.cache.clear()  # cache memory does not survive a power cut
+        self._drop_channels()
         self.groups.clear()
         self._stream_disk.clear()
         self._stream_group.clear()
@@ -552,6 +861,7 @@ class Msu:
             self._cache_report_proc.interrupt("hang")
         if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
             self._heartbeat_proc.interrupt("hang")
+        self._drop_channels()
         self.groups.clear()
         self._stream_disk.clear()
         self._stream_group.clear()

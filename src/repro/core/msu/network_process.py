@@ -89,6 +89,9 @@ class NetworkProcess:
             sock = self._record_sockets.pop(stream.stream_id, None)
             if sock is not None:
                 sock.notify = None
+        # Re-arm the loop: it may be sleeping toward the removed stream's
+        # deadline (a stale target) or parked waiting on it alone.
+        self.wakeup.set()
 
     # -- group start synchronization ----------------------------------------------
 
@@ -204,6 +207,10 @@ class NetworkProcess:
                 stream.position_us = record.delivery_us
                 stream.packets_sent += 1
                 self.packets_sent += 1
+                if stream.is_channel:
+                    # One send, many receivers: account each fan-out copy
+                    # against the channel (per-subscriber accounting).
+                    stream.fanout_packets += len(stream.subscribers)
                 page = stream.front()
                 if page is not None:
                     page.advance()

@@ -18,7 +18,10 @@ from repro.net.protocols import ProtocolModule
 from repro.storage.filesystem import FileHandle
 from repro.storage.ibtree import IBTreeConfig, IBTreeReader, IBTreeWriter, PacketRecord
 
-__all__ = ["StreamState", "LoadedPage", "PlayStream", "RecordStream", "RateVariant"]
+__all__ = [
+    "StreamState", "LoadedPage", "PlayStream", "ChannelStream", "PatchStream",
+    "RecordStream", "RateVariant",
+]
 
 
 class StreamState(enum.Enum):
@@ -62,6 +65,13 @@ class LoadedPage:
 
 class PlayStream:
     """One playback stream: a file, two buffers and a schedule anchor."""
+
+    #: Stream-kind flags, overridden by the multicast subclasses so the
+    #: IOP/MSU paths can branch without isinstance checks.
+    is_channel = False
+    is_patch = False
+    #: Multicast channel this stream belongs to (channel/patch streams).
+    channel_id: Optional[int] = None
 
     def __init__(
         self,
@@ -163,6 +173,13 @@ class PlayStream:
         self.pause_started = now
 
     def resume(self, now: float) -> None:
+        if self.state is StreamState.PAUSED and self.anchor is None:
+            # Paused before the first buffer anchored the schedule (e.g.
+            # right after a channel downgrade): back to LOADING, and the
+            # IOP anchors it once buffered, as for any fresh stream.
+            self.pause_started = None
+            self.state = StreamState.LOADING
+            return
         if self.state is StreamState.PAUSED and self.pause_started is not None:
             self.anchor += now - self.pause_started
             self.pause_started = None
@@ -177,6 +194,71 @@ class PlayStream:
     def reader(self) -> IBTreeReader:
         """An IB-tree reader over the current file."""
         return IBTreeReader(self.handle, self.config)
+
+
+class ChannelStream(PlayStream):
+    """A multicast channel's shared stream: one schedule, many receivers.
+
+    ``display_address`` is a multicast group address; the network fans
+    each packet out to every subscribed member.  Subscribers join and
+    leave without touching the schedule anchor — the whole point is that
+    one duty-cycle slot and one paced schedule serve all of them.
+    """
+
+    is_channel = True
+
+    def __init__(self, *args, channel_id: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.channel_id = channel_id
+        #: viewer group_id -> (stream_id, unicast display address).
+        self.subscribers: Dict[int, Tuple[int, Tuple[str, int]]] = {}
+        #: Set on the first subscribe, so an emptied channel can be told
+        #: apart from one whose subscribers have not attached yet.
+        self.ever_subscribed = False
+        #: Per-subscriber delivery accounting: one count per (packet,
+        #: subscriber) pair actually fanned out.
+        self.fanout_packets = 0
+
+    def subscribe(
+        self, group_id: int, stream_id: int, address: Tuple[str, int]
+    ) -> None:
+        self.subscribers[group_id] = (stream_id, address)
+        self.ever_subscribed = True
+
+    def unsubscribe(self, group_id: int) -> None:
+        self.subscribers.pop(group_id, None)
+
+    @property
+    def idle(self) -> bool:
+        """Every subscriber left after at least one had joined."""
+        return self.ever_subscribed and not self.subscribers
+
+
+class PatchStream(PlayStream):
+    """A late joiner's bounded unicast patch: pages ``[0, end_page)``.
+
+    Ends as soon as the missed prefix has been delivered — the viewer
+    then lives entirely on the multicast channel it subscribed to.
+    """
+
+    is_patch = True
+
+    def __init__(self, *args, end_page: int = 0, channel_id: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.channel_id = channel_id
+        self.end_page = min(max(1, end_page), self.handle.nblocks)
+
+    def wants_page(self) -> bool:
+        return (
+            self.state is not StreamState.DONE
+            and not self.seeking
+            and len(self.buffers) < 2
+            and self.next_page < self.end_page
+        )
+
+    @property
+    def at_end(self) -> bool:
+        return self.next_page >= self.end_page and self.front() is None
 
 
 class RecordStream:

@@ -11,6 +11,7 @@ __all__ = [
     "quantile_summary",
     "format_cache_summary",
     "format_failover_summary",
+    "format_multicast_summary",
 ]
 
 
@@ -80,4 +81,22 @@ def format_failover_summary(point) -> List[Tuple[str, float]]:
         ("max resume gap (s)", point.max_resume_gap_s),
         ("detection budget (s)", point.detection_budget_s),
         ("time to full capacity (s)", point.time_to_full_capacity_s),
+    ]
+
+
+def format_multicast_summary(manager) -> List[Tuple[str, float]]:
+    """Key figures of one multicast run (a ChannelManager-like object).
+
+    How many viewers each channel carried on average, what share of them
+    arrived late enough to need a patch, and how many unicast disk/
+    delivery slots the channels saved outright.
+    """
+    return [
+        ("channels created", float(manager.channels_created)),
+        ("viewers joined", float(manager.viewers_joined)),
+        ("channel occupancy (viewers/channel)", manager.occupancy()),
+        ("patch ratio (%)", manager.patch_ratio() * 100.0),
+        ("slots saved", float(manager.slots_saved())),
+        ("merges (patches drained)", float(manager.merges)),
+        ("downgrades to unicast", float(manager.downgrades)),
     ]

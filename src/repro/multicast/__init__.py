@@ -1,0 +1,31 @@
+"""Multicast delivery: batched channels, patching streams, merge-aware
+admission (extension).
+
+Calliope as published charges one duty-cycle slot and one paced unicast
+flow per viewer (§2.2, §3.2), so N viewers of one hot title cost N disk
+transfers even when they watch the same pages seconds apart.  This
+subsystem implements the classic VoD answer: the Coordinator batches
+near-simultaneous requests onto one *multicast channel* and lets late
+joiners inside a *patching horizon* merge onto an in-flight channel via
+a short, refundable unicast patch (Jayarekha & Nair; Viennot et al.).
+
+Off by default — ``ClusterConfig(multicast=MulticastConfig())`` enables
+it; see DESIGN.md §8 and experiment E18.
+"""
+
+from repro.multicast.channel import (
+    ChannelManager,
+    ChannelRecord,
+    MulticastConfig,
+    PatchJoin,
+)
+from repro.multicast.ledger import AdmissionLedger, ChannelLedger
+
+__all__ = [
+    "AdmissionLedger",
+    "ChannelLedger",
+    "ChannelManager",
+    "ChannelRecord",
+    "MulticastConfig",
+    "PatchJoin",
+]

@@ -1,0 +1,497 @@
+"""Coordinator-side multicast channel management.
+
+The :class:`ChannelManager` turns N play requests for the same title
+into one disk stream.  Two mechanisms compose (Jayarekha & Nair;
+Viennot et al.):
+
+* **Batching** — requests for a title arriving within ``batch_window``
+  are parked, then served together by a single multicast channel (one
+  duty-cycle slot, one paced schedule, N fan-out destinations).
+* **Patching** — a request arriving while a channel is already playing,
+  within ``patch_horizon`` of its start, joins the channel immediately
+  and receives the missed opening pages as a short unicast *patch*
+  (served from the pinned prefix cache where possible).  When the patch
+  drains the viewer has merged onto the channel and the patch charge is
+  refunded.
+
+Admission charges one disk slot plus one delivery flow per *channel*
+(not per viewer) and a bounded, refundable charge per patch; the
+:class:`~repro.multicast.ledger.AdmissionLedger` mirrors every grant so
+tests can assert the books balance to zero once all channels drain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.admission import Allocation
+from repro.core.database import ContentEntry
+from repro.multicast.ledger import AdmissionLedger
+from repro.net import messages as m
+from repro.net.network import MULTICAST_PREFIX
+
+__all__ = ["MulticastConfig", "ChannelManager", "ChannelRecord", "PatchJoin"]
+
+
+@dataclass(frozen=True)
+class MulticastConfig:
+    """Tuning for batched channels and patching streams.
+
+    ``batch_window`` must stay well under the viewers' queue patience:
+    a batched client hears nothing until the window fires.  The
+    ``patch_horizon`` bounds every patch — a viewer arriving later than
+    this after a channel started gets a fresh channel instead.
+    """
+
+    batch_window: float = 0.5
+    patch_horizon: float = 6.0
+    #: Safety margin added to each patch so it overlaps the channel's
+    #: position at join time (duplicates are cheaper than gaps).
+    patch_margin_pages: int = 1
+
+
+@dataclass
+class PatchJoin:
+    """One late join, kept for auditing patch bounds."""
+
+    channel_id: int
+    group_id: int
+    offset_us: int
+    patch_pages: int
+    patch_us: int
+    cache_covered: bool
+
+
+@dataclass
+class ChannelRecord:
+    """Coordinator-side bookkeeping for one multicast channel."""
+
+    channel_id: int
+    content_name: str
+    msu_name: str
+    disk_id: str
+    group_id: int     # the channel stream's own MSU-side group
+    stream_id: int
+    rate: float
+    started_at: float
+    duration_us: int
+    blocks: int
+    allocation: Allocation
+    mcast_host: str
+    #: viewer group_id -> stream_id for attached subscribers.
+    subscribers: Dict[int, int] = field(default_factory=dict)
+    peak_subscribers: int = 0
+    viewers_total: int = 0
+    released: bool = False
+
+    def page_us(self) -> float:
+        """Approximate media time per page (uniform-page model)."""
+        if self.blocks <= 0:
+            return 0.0
+        return self.duration_us / self.blocks
+
+
+@dataclass
+class _BatchedRequest:
+    message: m.PlayRequest
+    channel: object       # the client's ControlChannel (reply path)
+    session_id: int
+
+
+@dataclass
+class _Batch:
+    content_name: str
+    requests: List[_BatchedRequest] = field(default_factory=list)
+
+
+class ChannelManager:
+    """Batches, channels, patches and their admission bookkeeping."""
+
+    def __init__(self, coordinator, config: Optional[MulticastConfig] = None):
+        self.coord = coordinator
+        self.sim = coordinator.sim
+        self.config = config or MulticastConfig()
+        self.ledger = AdmissionLedger()
+        #: channel_id -> live channel record.
+        self.channels: Dict[int, ChannelRecord] = {}
+        #: channel-stream group_id -> channel_id (owned groups).
+        self._channel_groups: Dict[int, int] = {}
+        #: viewer group_id -> channel_id (attached subscribers).
+        self._subscriber_groups: Dict[int, int] = {}
+        self._batches: Dict[str, _Batch] = {}
+        self._next_channel = 1
+        #: Every patch join ever granted (tests audit the horizon bound).
+        self.patch_joins: List[PatchJoin] = []
+        self.channels_created = 0
+        self.viewers_joined = 0
+        self.batched_joins = 0
+        self.patched_joins = 0
+        self.merges = 0
+        self.downgrades = 0
+        self.fallbacks = 0  # requests parked when no channel was placeable
+
+    # -- applicability -----------------------------------------------------
+
+    def handles(self, entry: ContentEntry) -> bool:
+        """Multicast serves atomic, stored titles; composites stay unicast."""
+        return not entry.components and bool(entry.msu_name)
+
+    # -- request entry point ----------------------------------------------
+
+    def request_play(
+        self, msg: m.PlayRequest, channel, session, entry: ContentEntry, port
+    ) -> Generator:
+        """Serve one play request via a channel; yields like ``_play``.
+
+        Returns a ``StreamScheduled`` reply (joined an in-flight channel
+        as a patcher) or ``None`` (parked in a batch — the client hears
+        nothing until the window fires, exactly like the scheduling
+        queue).
+        """
+        ctype = self.coord.types.get(entry.type_name)
+        record = self._joinable_channel(entry)
+        if record is not None:
+            reply = yield from self._join_in_flight(
+                record, msg, session, entry, ctype, port
+            )
+            if reply is not None:
+                return reply
+            # Patch unplaceable: fall through and batch for a new channel.
+        batch = self._batches.get(entry.name)
+        if batch is None:
+            batch = _Batch(entry.name)
+            self._batches[entry.name] = batch
+            self.sim.process(self._batch_timer(batch), name="mcast.batch")
+        batch.requests.append(_BatchedRequest(msg, channel, msg.session_id))
+        return None
+
+    def _joinable_channel(self, entry: ContentEntry) -> Optional[ChannelRecord]:
+        """The youngest in-flight channel still inside the patch horizon."""
+        horizon_us = self.config.patch_horizon * 1e6
+        best = None
+        for record in self.channels.values():
+            if record.content_name != entry.name or record.released:
+                continue
+            if record.page_us() <= 0.0:
+                continue  # no duration metadata: patches cannot be bounded
+            offset_us = (self.sim.now - record.started_at) * 1e6
+            if offset_us >= record.duration_us or offset_us > horizon_us:
+                continue
+            if best is None or record.started_at > best.started_at:
+                best = record
+        return best
+
+    # -- patching (join an in-flight channel) ------------------------------
+
+    def _join_in_flight(
+        self, record: ChannelRecord, msg, session, entry, ctype, port
+    ) -> Generator:
+        offset_us = int((self.sim.now - record.started_at) * 1e6)
+        patch_pages = 0
+        if offset_us > 0:
+            patch_pages = min(
+                record.blocks,
+                math.ceil(offset_us / record.page_us())
+                + self.config.patch_margin_pages,
+            )
+        alloc = None
+        cache_covered = False
+        if patch_pages > 0:
+            prefix_covered = (
+                entry.prefix_pinned and patch_pages <= self.coord.prefix_pin_pages
+            )
+            alloc = self.coord.admission.place_patch(
+                entry, ctype, record.msu_name, record.disk_id,
+                prefix_covered=prefix_covered,
+            )
+            if alloc is None:
+                return None  # no room for the patch: caller batches instead
+            cache_covered = alloc.cache_covered
+        group_id, stream_id = self._attach_subscriber(
+            record, msg, session, entry, port, alloc
+        )
+        self.patched_joins += 1
+        patch_us = int(patch_pages * record.page_us())
+        self.patch_joins.append(
+            PatchJoin(
+                record.channel_id, group_id, offset_us,
+                patch_pages, patch_us, cache_covered,
+            )
+        )
+        if alloc is not None:
+            self.ledger.charge_patch(
+                record.channel_id, group_id, alloc.bandwidth, cache_covered
+            )
+        yield from self.coord.machine.cpu.execute(self.coord.SCHEDULE_CPU)
+        self._send_subscribe(
+            record, group_id, stream_id, session, port,
+            patch_pages, cache_covered,
+        )
+        self.coord._trace(
+            "mcast-patch", entry.name,
+            f"channel={record.channel_id} group={group_id} "
+            f"pages={patch_pages} offset_us={offset_us}",
+        )
+        return m.StreamScheduled(group_id, record.msu_name)
+
+    # -- batching (new channels) -------------------------------------------
+
+    def _batch_timer(self, batch: _Batch) -> Generator:
+        yield self.sim.timeout(self.config.batch_window)
+        yield from self._fire_batch(batch)
+
+    def _fire_batch(self, batch: _Batch) -> Generator:
+        from repro.core.coordinator import _QueuedRequest  # cycle: late import
+        from repro.failover import play_priority
+
+        self._batches.pop(batch.content_name, None)
+        entry = self.coord.db.contents.get(batch.content_name)
+        live = [
+            req for req in batch.requests
+            if self.coord.sessions.lookup(req.session_id) is not None
+        ]
+        if not live:
+            return
+        if entry is None:  # deleted while the batch waited
+            for req in live:
+                self._reply(req, m.RequestFailed(
+                    f"unknown content {batch.content_name!r}"
+                ))
+            return
+        ctype = self.coord.types.get(entry.type_name)
+        alloc = self.coord.admission.place_channel(entry, ctype)
+        if alloc is None:
+            # No disk slot for a new channel: park every request in the
+            # scheduling queue; retries re-enter this manager and may
+            # then patch onto whichever channel frees up first.
+            for req in live:
+                self.fallbacks += 1
+                self.coord.admission.enqueue(
+                    _QueuedRequest(
+                        "play", req.session_id, req.message, req.channel,
+                        priority=play_priority(self.coord.db, entry),
+                    )
+                )
+            self.coord._trace("mcast-queued", entry.name,
+                              f"viewers={len(live)} no channel slot")
+            return
+        record = self._open_channel(entry, ctype, alloc)
+        for req in live:
+            session = self.coord.sessions.lookup(req.session_id)
+            try:
+                port = session.port(req.message.port_name)
+            except Exception as err:
+                self._reply(req, m.RequestFailed(str(err)))
+                continue
+            group_id, stream_id = self._attach_subscriber(
+                record, req.message, session, entry, port, None
+            )
+            self.batched_joins += 1
+            yield from self.coord.machine.cpu.execute(self.coord.SCHEDULE_CPU)
+            self._send_subscribe(
+                record, group_id, stream_id, session, port, 0, False
+            )
+            self._reply(req, m.StreamScheduled(group_id, record.msu_name))
+        entry.play_count += len(live)
+
+    def _open_channel(
+        self, entry: ContentEntry, ctype, alloc: Allocation
+    ) -> ChannelRecord:
+        channel_id = self._next_channel
+        self._next_channel += 1
+        group_id = self.coord.allocate_group_id()
+        stream_id = self.coord.allocate_stream_id()
+        mcast_host = f"{MULTICAST_PREFIX}{alloc.msu_name}:ch{channel_id}"
+        record = ChannelRecord(
+            channel_id, entry.name, alloc.msu_name, alloc.disk_id,
+            group_id, stream_id, ctype.bandwidth_rate, self.sim.now,
+            entry.duration_us, entry.blocks, alloc, mcast_host,
+        )
+        self.channels[channel_id] = record
+        self._channel_groups[group_id] = channel_id
+        self.channels_created += 1
+        self.ledger.open_channel(channel_id, entry.name, alloc.bandwidth)
+        msu_channel = self.coord._msu_channels[alloc.msu_name]
+        msu_channel.send(
+            self.coord.name,
+            m.ChannelCreate(
+                channel_id, group_id, stream_id, entry.name, alloc.disk_id,
+                ctype.protocol, ctype.bandwidth_rate, ctype.variable,
+                (mcast_host, 1),
+            ),
+            nbytes=m.WIRE_BYTES,
+        )
+        self.coord._trace("mcast-channel", entry.name,
+                          f"channel={channel_id} msu={alloc.msu_name}")
+        return record
+
+    # -- subscriber plumbing ----------------------------------------------
+
+    def _attach_subscriber(
+        self, record: ChannelRecord, msg, session, entry, port,
+        patch_alloc: Optional[Allocation],
+    ) -> Tuple[int, int]:
+        from repro.core.coordinator import GroupRecord  # cycle: late import
+        from repro.failover import StreamMeta
+
+        group_id = self.coord.allocate_group_id()
+        stream_id = self.coord.allocate_stream_id()
+        group = GroupRecord(group_id, msg.session_id, record.msu_name)
+        if patch_alloc is not None:
+            group.allocations[stream_id] = patch_alloc
+        group.streams[stream_id] = StreamMeta(
+            entry.name, entry.type_name, tuple(port.address)
+        )
+        self.coord.groups[group_id] = group
+        session.active_groups.append(group_id)
+        record.subscribers[group_id] = stream_id
+        record.viewers_total += 1
+        record.peak_subscribers = max(
+            record.peak_subscribers, len(record.subscribers)
+        )
+        self._subscriber_groups[group_id] = record.channel_id
+        self.ledger.note_subscriber(record.channel_id)
+        self.viewers_joined += 1
+        return group_id, stream_id
+
+    def _send_subscribe(
+        self, record: ChannelRecord, group_id: int, stream_id: int,
+        session, port, patch_pages: int, patch_cached: bool,
+    ) -> None:
+        msu_channel = self.coord._msu_channels.get(record.msu_name)
+        if msu_channel is None:
+            return
+        msu_channel.send(
+            self.coord.name,
+            m.ChannelSubscribe(
+                record.channel_id, group_id, stream_id,
+                session.client_host, tuple(port.address),
+                patch_end_page=patch_pages, patch_cached=patch_cached,
+            ),
+            nbytes=m.WIRE_BYTES,
+        )
+
+    def _reply(self, req: _BatchedRequest, reply) -> None:
+        import dataclasses
+
+        if req.channel is None:
+            return
+        request_id = getattr(req.message, "request_id", 0)
+        reply = dataclasses.replace(reply, request_id=request_id)
+        req.channel.send(self.coord.name, reply, nbytes=m.WIRE_BYTES)
+
+    # -- MSU notifications -------------------------------------------------
+
+    def patch_drained(self, msg: m.PatchDrained) -> None:
+        """A joiner merged onto its channel: refund the patch charge."""
+        group = self.coord.groups.get(msg.group_id)
+        if group is not None:
+            alloc = group.allocations.pop(msg.stream_id, None)
+            if alloc is not None:
+                self.coord.admission.release(alloc)
+        if self.ledger.refund_patch(msg.channel_id, msg.group_id):
+            self.merges += 1
+            self.coord._trace("mcast-merge", f"group={msg.group_id}",
+                              f"channel={msg.channel_id}")
+
+    def downgrade(self, msg: m.ChannelDowngrade) -> None:
+        """A subscriber left its channel for a private unicast stream.
+
+        The MSU already runs the stream; admission must follow: refund
+        any outstanding patch, detach the subscriber, and charge a full
+        unicast slot on the channel's disk (deliberately without a
+        feasibility check — the viewer is already being served).
+        """
+        record = self.channels.get(msg.channel_id)
+        group = self.coord.groups.get(msg.group_id)
+        if record is None or group is None:
+            return
+        alloc = group.allocations.pop(msg.stream_id, None)
+        if alloc is not None:
+            self.coord.admission.release(alloc)
+        self.ledger.refund_patch(msg.channel_id, msg.group_id)
+        record.subscribers.pop(msg.group_id, None)
+        self._subscriber_groups.pop(msg.group_id, None)
+        entry = self.coord.db.contents.get(record.content_name)
+        group.allocations[msg.stream_id] = self.coord.admission.charge_direct(
+            entry, record.rate, record.msu_name, record.disk_id
+        )
+        self.downgrades += 1
+        self.coord._trace("mcast-downgrade", f"group={msg.group_id}",
+                          f"channel={msg.channel_id}")
+
+    def handle_terminated(self, msg: m.StreamTerminated) -> bool:
+        """Route channel/subscriber terminations.
+
+        Returns True when the message was a channel stream's own
+        termination (fully handled here); False lets the Coordinator's
+        default per-group path run (subscriber groups are ordinary
+        groups, their bookkeeping mostly lives there).
+        """
+        channel_id = self._channel_groups.pop(msg.group_id, None)
+        if channel_id is not None:
+            self._close_channel(channel_id)
+            return True
+        channel_id = self._subscriber_groups.pop(msg.group_id, None)
+        if channel_id is not None:
+            record = self.channels.get(channel_id)
+            if record is not None:
+                record.subscribers.pop(msg.group_id, None)
+            # The default path releases the group's allocations; mirror
+            # any still-outstanding patch charge in the ledger.
+            self.ledger.refund_patch(channel_id, msg.group_id)
+        return False
+
+    def _close_channel(self, channel_id: int) -> None:
+        record = self.channels.pop(channel_id, None)
+        if record is None:
+            return
+        if not record.released:
+            self.coord.admission.release(record.allocation)
+            record.released = True
+        for group_id in list(record.subscribers):
+            self._subscriber_groups.pop(group_id, None)
+        self.ledger.close_channel(channel_id)
+        self.coord._trace("mcast-close", record.content_name,
+                          f"channel={channel_id} viewers={record.viewers_total}")
+
+    def msu_failed(self, msu_name: str) -> None:
+        """The MSU died; its channels died with it.
+
+        The Coordinator has already zeroed the MSU's admission books
+        (``release_msu``), so channel/patch charges must *not* be
+        released again — the ledger force-closes instead.  Subscriber
+        groups flow through the ordinary failover path and resume as
+        plain unicast streams on a replica (single ``place_read``
+        charge: no double billing).
+        """
+        for channel_id, record in list(self.channels.items()):
+            if record.msu_name != msu_name:
+                continue
+            record.released = True  # books already zeroed wholesale
+            del self.channels[channel_id]
+            self._channel_groups.pop(record.group_id, None)
+            for group_id in list(record.subscribers):
+                self._subscriber_groups.pop(group_id, None)
+            self.ledger.close_channel(channel_id, forced=True)
+
+    # -- statistics --------------------------------------------------------
+
+    def occupancy(self) -> float:
+        """Mean viewers per channel over all channels ever created."""
+        if self.channels_created == 0:
+            return 0.0
+        return self.viewers_joined / self.channels_created
+
+    def patch_ratio(self) -> float:
+        """Fraction of joins that needed a patch stream."""
+        if self.viewers_joined == 0:
+            return 0.0
+        return self.patched_joins / self.viewers_joined
+
+    def slots_saved(self) -> int:
+        """Disk slots multicast avoided: every viewer beyond the first
+        per channel would have cost a unicast duty-cycle slot."""
+        return max(0, self.viewers_joined - self.channels_created)

@@ -1,0 +1,127 @@
+"""Merge-aware admission ledger for multicast channels.
+
+Every multicast-side grant the Coordinator hands out is mirrored here so
+the books can be audited: a channel owes one disk slot plus one delivery
+flow for its whole life; a late joiner owes a bounded patch until the
+patch drains and the viewer merges onto the channel (refund), leaves for
+unicast (refund — the unicast slot is charged separately), or quits
+(refund).  After every channel has drained, :meth:`AdmissionLedger.
+outstanding` must be zero — the invariant E18's tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["AdmissionLedger", "ChannelLedger"]
+
+
+@dataclass
+class ChannelLedger:
+    """Open charges and lifetime counters for one channel."""
+
+    channel_id: int
+    content_name: str
+    rate: float
+    #: Bandwidth currently charged for the channel stream itself.
+    channel_charge: float = 0.0
+    #: (viewer group_id) -> bandwidth charged for an undrained patch.
+    patch_charges: Dict[int, float] = field(default_factory=dict)
+    subscribers_total: int = 0
+    patches_charged: int = 0
+    patches_refunded: int = 0
+    patches_cache_covered: int = 0
+    closed: bool = False
+    #: True when the MSU died and the admission books were zeroed
+    #: wholesale (release_msu) rather than charge by charge.
+    forced: bool = False
+
+    def outstanding(self) -> float:
+        return self.channel_charge + sum(self.patch_charges.values())
+
+
+class AdmissionLedger:
+    """Audit trail of multicast admission charges and refunds."""
+
+    def __init__(self) -> None:
+        self.channels: Dict[int, ChannelLedger] = {}
+        self.channels_opened = 0
+        self.channels_closed = 0
+        self.patches_charged = 0
+        self.patches_refunded = 0
+        self.patches_cache_covered = 0
+
+    # -- charges -----------------------------------------------------------
+
+    def open_channel(self, channel_id: int, content_name: str, rate: float) -> None:
+        self.channels[channel_id] = ChannelLedger(
+            channel_id, content_name, rate, channel_charge=rate
+        )
+        self.channels_opened += 1
+
+    def note_subscriber(self, channel_id: int) -> None:
+        entry = self.channels.get(channel_id)
+        if entry is not None:
+            entry.subscribers_total += 1
+
+    def charge_patch(
+        self, channel_id: int, group_id: int, rate: float, cache_covered: bool
+    ) -> None:
+        entry = self.channels.get(channel_id)
+        if entry is None:
+            return
+        entry.patch_charges[group_id] = rate
+        entry.patches_charged += 1
+        self.patches_charged += 1
+        if cache_covered:
+            entry.patches_cache_covered += 1
+            self.patches_cache_covered += 1
+
+    # -- refunds -----------------------------------------------------------
+
+    def refund_patch(self, channel_id: int, group_id: int) -> bool:
+        """Drop a patch charge; False when none was outstanding."""
+        entry = self.channels.get(channel_id)
+        if entry is None or group_id not in entry.patch_charges:
+            return False
+        del entry.patch_charges[group_id]
+        entry.patches_refunded += 1
+        self.patches_refunded += 1
+        return True
+
+    def close_channel(self, channel_id: int, forced: bool = False) -> None:
+        """The channel drained (or its MSU died): zero its charges.
+
+        Any patch still on the books refunds implicitly — with the
+        channel gone, the MSU has torn the patch streams down too.
+        """
+        entry = self.channels.get(channel_id)
+        if entry is None or entry.closed:
+            return
+        for group_id in list(entry.patch_charges):
+            self.refund_patch(channel_id, group_id)
+        entry.channel_charge = 0.0
+        entry.closed = True
+        entry.forced = forced
+        self.channels_closed += 1
+
+    # -- audit -------------------------------------------------------------
+
+    def outstanding(self) -> float:
+        """Total bandwidth currently charged across every channel."""
+        return sum(entry.outstanding() for entry in self.channels.values())
+
+    def balanced(self) -> bool:
+        """True when every channel is closed with nothing outstanding."""
+        return self.outstanding() == 0.0 and all(
+            entry.closed for entry in self.channels.values()
+        )
+
+    def summary(self) -> Tuple[int, int, int, int]:
+        return (
+            self.channels_opened,
+            self.channels_closed,
+            self.patches_charged,
+            self.patches_refunded,
+        )

@@ -33,6 +33,10 @@ __all__ = [
     "Heartbeat",
     "ResumePlay",
     "StreamMigrated",
+    "ChannelCreate",
+    "ChannelSubscribe",
+    "PatchDrained",
+    "ChannelDowngrade",
     "PinPrefix",
     "CacheReport",
     "StreamReady",
@@ -307,6 +311,74 @@ class StreamMigrated:
     msu_name: str
     streams: Tuple[Tuple[int, int], ...] = ()
     request_id: int = 0
+
+
+# -- multicast channels (Coordinator <-> MSU) ---------------------------------
+
+@dataclass(frozen=True)
+class ChannelCreate:
+    """Coordinator -> MSU: open a multicast channel for one title.
+
+    The MSU schedules a single disk stream (one duty-cycle slot, one
+    paced schedule) whose packets go to ``mcast_address``; subscribers
+    are attached with :class:`ChannelSubscribe` and join/leave without
+    re-anchoring the schedule.
+    """
+
+    channel_id: int
+    group_id: int        # the channel's own MSU-side group
+    stream_id: int
+    content_name: str
+    disk_id: str
+    protocol: str
+    rate: float
+    variable: bool
+    mcast_address: Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ChannelSubscribe:
+    """Coordinator -> MSU: attach one viewer to a multicast channel.
+
+    ``patch_end_page`` > 0 asks the MSU to also run a bounded unicast
+    patch stream covering pages ``[0, patch_end_page)`` so a late joiner
+    catches up with the channel; ``patch_cached`` records that admission
+    charged the patch to the cache budget (pinned prefix), not the disk.
+    """
+
+    channel_id: int
+    group_id: int        # the viewer's group
+    stream_id: int
+    client_host: str
+    display_address: Tuple[str, int]
+    patch_end_page: int = 0
+    patch_cached: bool = False
+
+
+@dataclass(frozen=True)
+class PatchDrained:
+    """MSU -> Coordinator: a joiner's patch finished; it merged onto the
+    channel, so admission refunds the patch charge."""
+
+    channel_id: int
+    group_id: int
+    stream_id: int
+
+
+@dataclass(frozen=True)
+class ChannelDowngrade:
+    """MSU -> Coordinator: a subscriber left its channel for unicast.
+
+    Sent when a VCR command (pause/seek/scan) makes the shared schedule
+    unusable for this viewer; the MSU has already installed a private
+    unicast stream at ``position_us`` and the Coordinator must move the
+    viewer's admission charge from patch/channel to a full unicast slot.
+    """
+
+    channel_id: int
+    group_id: int
+    stream_id: int
+    position_us: int = 0
 
 
 # -- MSU <-> client ------------------------------------------------------------

@@ -23,9 +23,21 @@ from repro.hardware.machine import Machine
 from repro.hardware.nic import NetworkInterface
 from repro.sim import Simulator, Store
 
-__all__ = ["Datagram", "UdpSocket", "Host", "Network", "ControlChannel"]
+__all__ = [
+    "Datagram", "UdpSocket", "Host", "Network", "ControlChannel",
+    "MULTICAST_PREFIX", "is_multicast",
+]
 
 Address = Tuple[str, int]  # (host name, port)
+
+#: Host names starting with this prefix are multicast group addresses:
+#: they name a delivery group on the network, not a registered host.
+MULTICAST_PREFIX = "mcast:"
+
+
+def is_multicast(address: Address) -> bool:
+    """True when ``address`` names a multicast group, not a host."""
+    return address[0].startswith(MULTICAST_PREFIX)
 
 
 @dataclass(frozen=True)
@@ -148,9 +160,15 @@ class Network:
         self.loss_rate = loss_rate
         self._rng = np.random.default_rng(seed)
         self._hosts: Dict[str, Host] = {}
+        self._groups: Dict[str, set] = {}
         self.datagrams_carried = 0
         self.datagrams_lost = 0
         self.bytes_carried = 0
+        #: Datagrams sent to a multicast group (counted once per send).
+        self.multicast_carried = 0
+        #: Per-member copies fanned out at delivery (the shared-ring model:
+        #: one set of wire bytes, one receive path per listening member).
+        self.multicast_copies = 0
 
     def _register(self, host: Host) -> None:
         if host.name in self._hosts:
@@ -160,6 +178,25 @@ class Network:
     def host(self, name: str) -> Host:
         """Look up a registered host."""
         return self._hosts[name]
+
+    def join_group(self, group: str, member: Address) -> None:
+        """Subscribe ``member`` (a unicast socket address) to ``group``."""
+        if not group.startswith(MULTICAST_PREFIX):
+            raise ProtocolError(f"{group!r} is not a multicast group name")
+        self._groups.setdefault(group, set()).add(tuple(member))
+
+    def leave_group(self, group: str, member: Address) -> None:
+        """Unsubscribe ``member`` from ``group`` (no-op when absent)."""
+        members = self._groups.get(group)
+        if members is None:
+            return
+        members.discard(tuple(member))
+        if not members:
+            del self._groups[group]
+
+    def group_members(self, group: str) -> Tuple[Address, ...]:
+        """Current members of ``group`` (deterministic order)."""
+        return tuple(sorted(self._groups.get(group, ())))
 
     def _wire_delay(self) -> float:
         if self.jitter > 0:
@@ -176,23 +213,36 @@ class Network:
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.datagrams_lost += 1  # dropped on the wire (UDP semantics)
             return
+        if is_multicast(dgram.dst):
+            # Shared-ring fan-out: the wire carries the bytes once; every
+            # subscribed member runs its own receive path.  The datagram
+            # keeps the group destination, as IP multicast does, so a
+            # receiver can tell a channel flow from a unicast patch flow.
+            self.multicast_carried += 1
+            for member in self.group_members(dgram.dst[0]):
+                self.multicast_copies += 1
+                self.sim.schedule(
+                    self._wire_delay(), self._arrive, dgram, member
+                )
+            return
         self.sim.schedule(self._wire_delay(), self._arrive, dgram)
 
-    def _arrive(self, dgram: Datagram) -> None:
-        host = self._hosts.get(dgram.dst[0])
+    def _arrive(self, dgram: Datagram, member: Optional[Address] = None) -> None:
+        dest = member if member is not None else dgram.dst
+        host = self._hosts.get(dest[0])
         if host is None:
             return
         if host.nic is not None:
-            self.sim.process(self._receive_path(host, dgram), name="rx")
+            self.sim.process(self._receive_path(host, dgram, dest[1]), name="rx")
         else:
-            self._deliver(host, dgram)
+            self._deliver(host, dgram, dest[1])
 
-    def _receive_path(self, host: Host, dgram: Datagram) -> Generator:
+    def _receive_path(self, host: Host, dgram: Datagram, port: int) -> Generator:
         yield from host.nic.udp_receive(max(1, len(dgram.payload)))
-        self._deliver(host, dgram)
+        self._deliver(host, dgram, port)
 
-    def _deliver(self, host: Host, dgram: Datagram) -> None:
-        sock = host.socket_on(dgram.dst[1])
+    def _deliver(self, host: Host, dgram: Datagram, port: int) -> None:
+        sock = host.socket_on(port)
         if sock is None:
             return  # no listener: dropped, as UDP does
         sock._mailbox.put(dgram)

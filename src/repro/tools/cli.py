@@ -122,6 +122,12 @@ def _failover(duration: Optional[float]) -> str:
     return format_failover(run_failover())
 
 
+def _multicast(duration: Optional[float]) -> str:
+    from repro.experiments.multicast import format_multicast, run_multicast
+
+    return format_multicast(run_multicast(duration=duration or 120.0))
+
+
 def _cluster_scale(duration: Optional[float]) -> str:
     from repro.experiments.cluster_scale import (
         format_cluster_scale,
@@ -150,6 +156,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "playout": (_playout, "§2.2.1 client playout quality across the cliff (extension)"),
     "recording": (_recording, "§2.3 simultaneous recording capacity (extension)"),
     "failover": (_failover, "§2.2 MSU failover: heartbeats + migration (extension)"),
+    "multicast": (_multicast, "§2.2/§3.2 multicast channels + patching (extension)"),
 }
 
 

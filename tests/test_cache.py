@@ -168,6 +168,68 @@ class TestMsuPageCache:
         assert cache.copy_time(1000) == pytest.approx(1e-3)
 
 
+class TestInvalidateWithActiveReaders:
+    """Deleting a title must not leak pool bytes or serve stale pages to
+    readers that are mid-flight — a trailing viewer on the interval cache
+    or a multicast patch stream walking the pinned prefix."""
+
+    def test_invalidate_mid_patch_drops_prefix_without_leak(self):
+        cache = MsuPageCache(CacheConfig(pool_bytes=1 << 20))
+        for index in range(4):
+            assert cache.pin_prefix(KEY, index, PAGE)
+        # A patch reader is part-way through the pinned prefix...
+        assert cache.lookup(KEY, 0, stream_id=2) == PAGE
+        assert cache.lookup(KEY, 1, stream_id=2) == PAGE
+        cache.invalidate(KEY)
+        # ...the rest of its walk misses to disk instead of going stale.
+        assert cache.lookup(KEY, 2, stream_id=2) is None
+        assert cache.misses == 1
+        assert cache.prefix.pinned_pages == 0
+        assert cache.pool.used == 0
+        # The reader ending later must not over-release anything.
+        cache.forget_stream(2)
+        assert cache.pool.used == 0
+
+    def test_invalidate_mid_trail_releases_unconsumed_claims(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)  # trailing reader at the start
+        for index in range(3):
+            assert cache.fill(KEY, index, PAGE, producer_id=1)
+        assert cache.lookup(KEY, 0, stream_id=2) == PAGE
+        assert cache.pool.used == 2 * len(PAGE)
+        cache.invalidate(KEY)
+        # Pages the trailer had not reached yet are gone, pool and all.
+        assert cache.retained_pages() == 0
+        assert cache.pool.used == 0
+        assert cache.lookup(KEY, 1, stream_id=2) is None
+        # The trailer's eventual departure finds nothing left to release.
+        cache.forget_stream(2)
+        assert cache.pool.used == 0
+
+    def test_fill_after_invalidate_not_retained_for_stale_positions(self):
+        cache = IntervalCache(BufferPool(1 << 20))
+        cache.observe(KEY, 2, 0)
+        cache.fill(KEY, 1, PAGE, producer_id=1)
+        cache.invalidate(KEY)
+        # Positions died with the file: a new leader's pages are not
+        # retained on behalf of readers of the deleted incarnation.
+        assert not cache.fill(KEY, 1, PAGE, producer_id=1)
+        assert cache.pool.used == 0
+        # A reader of the *new* file registers afresh and is served.
+        cache.observe(KEY, 3, 0)
+        assert cache.fill(KEY, 1, PAGE, producer_id=1)
+        assert cache.lookup(KEY, 1, stream_id=3) == PAGE
+
+    def test_repin_after_invalidate_serves_fresh_content(self):
+        cache = MsuPageCache(CacheConfig(pool_bytes=1 << 20))
+        cache.pin_prefix(KEY, 0, PAGE)
+        cache.invalidate(KEY)
+        fresh = b"y" * len(PAGE)
+        assert cache.pin_prefix(KEY, 0, fresh)
+        assert cache.lookup(KEY, 0, stream_id=2) == fresh
+        assert cache.pool.used == len(fresh)
+
+
 class TestCacheCoveredAdmission:
     def build(self, cache_bps=4.2e6):
         db = AdminDatabase()

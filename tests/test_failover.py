@@ -16,6 +16,7 @@ from repro.failover import (
     play_priority,
 )
 from repro.media import MpegEncoder, packetize_cbr
+from repro.multicast import MulticastConfig
 from repro.net import messages as m
 from repro.sim import Simulator
 from repro.storage import IBTreeConfig
@@ -30,11 +31,14 @@ FAST = HeartbeatConfig(
 )
 
 
-def build(n_msus=2, failover="fast", seed=3, length=30.0):
+def build(n_msus=2, failover="fast", seed=3, length=30.0, multicast=None):
     sim = Simulator()
     fo = FailoverConfig(heartbeat=FAST) if failover == "fast" else failover
     cluster = CalliopeCluster(
-        sim, ClusterConfig(n_msus=n_msus, ibtree_config=SMALL, failover=fo)
+        sim,
+        ClusterConfig(
+            n_msus=n_msus, ibtree_config=SMALL, failover=fo, multicast=multicast
+        ),
     )
     cluster.coordinator.db.add_customer("user")
     packets = packetize_cbr(MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024)
@@ -245,6 +249,105 @@ class TestMigration:
         assert coord.groups[movie_view.group_id].msu_name == "msu1"
         assert movie_view.migrations == 1
         assert not coord.admission.queue
+
+
+class TestMulticastFailover:
+    def test_channel_subscribers_resume_unicast_without_double_charge(self):
+        """Channel viewers on a dead MSU migrate as plain unicast streams.
+
+        The replica never re-creates the channel; each viewer costs the
+        replica exactly one ``place_read`` charge, and the multicast
+        ledger force-closes the dead channels so the books stay balanced.
+        """
+        sim, cluster, packets = build(
+            n_msus=2, multicast=MulticastConfig(batch_window=0.2)
+        )
+        coord = cluster.coordinator
+        manager = coord.channel_manager
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        sim.run(until=0.05)
+        replica_disk = cluster.msus[1].disk_ids()[0]
+        ReplicationManager(cluster).replicate("movie", "msu1", replica_disk)
+        c0 = open_client(sim, cluster, "c0")
+        c1 = open_client(sim, cluster, "c1")
+
+        def viewer(client):
+            yield from client.register_port("tv", "mpeg1")
+            view = yield from client.play("movie", "tv")
+            yield from client.wait_ready(view)
+            return view
+
+        p0 = sim.process(viewer(c0))
+        p1 = sim.process(viewer(c1))
+        v0 = sim.run_until_event(p0, limit=30.0)
+        v1 = sim.run_until_event(p1, limit=30.0)
+        assert manager.channels_created == 1
+        assert manager.viewers_joined == 2
+        sim.run(until=sim.now + 1.0)
+
+        cluster.hang_msu(0)
+        sim.run(until=sim.now + FAST.detection_latency + 1.0)
+
+        # Both viewers migrated to the replica and keep receiving.
+        assert v0.migrations == 1 and v1.migrations == 1
+        assert coord.groups[v0.group_id].msu_name == "msu1"
+        assert coord.groups[v1.group_id].msu_name == "msu1"
+        frozen0 = c0.ports["tv"].stats.packets
+        frozen1 = c1.ports["tv"].stats.packets
+        sim.run(until=sim.now + 1.0)
+        assert c0.ports["tv"].stats.packets > frozen0
+        assert c1.ports["tv"].stats.packets > frozen1
+        # The replica serves them as plain unicast: no channel state,
+        # and exactly one disk slot charged per viewer — the dead
+        # channel's charge was zeroed with its MSU, never re-billed.
+        assert cluster.msus[1].channels == {}
+        assert manager.channels == {}
+        disk = coord.db.disk("msu1", replica_disk)
+        assert disk.bandwidth_used == 2 * MPEG1_RATE
+        assert coord.db.msus["msu1"].delivery_used == 2 * MPEG1_RATE
+        assert manager.ledger.balanced()
+        assert manager.ledger.channels[1].forced
+
+        c0.quit(v0.group_id)
+        c1.quit(v1.group_id)
+        sim.run(until=sim.now + 1.0)
+        assert disk.bandwidth_used == 0.0
+
+    def test_patching_viewer_migrates_once(self):
+        """A viewer still draining its patch when the MSU dies must not
+        be double-charged on the replica: the patch charge died with the
+        MSU's books, and migration re-places the viewer exactly once."""
+        sim, cluster, packets = build(
+            n_msus=2, multicast=MulticastConfig(batch_window=0.2)
+        )
+        coord = cluster.coordinator
+        manager = coord.channel_manager
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        sim.run(until=0.05)
+        replica_disk = cluster.msus[1].disk_ids()[0]
+        ReplicationManager(cluster).replicate("movie", "msu1", replica_disk)
+        c0 = open_client(sim, cluster, "c0")
+        v0 = start_stream(sim, c0, "movie", "tv")
+        sim.run(until=sim.now + 3.0)
+        c1 = open_client(sim, cluster, "c1")
+        v1 = start_stream(sim, c1, "movie", "tv")
+        assert manager.patched_joins == 1
+
+        cluster.hang_msu(0)
+        sim.run(until=sim.now + FAST.detection_latency + 1.0)
+        assert v1.migrations == 1
+        assert coord.groups[v1.group_id].msu_name == "msu1"
+        # One unicast slot per migrated viewer; the in-flight patch's
+        # charge was zeroed with the dead MSU, not re-billed here.
+        disk = coord.db.disk("msu1", replica_disk)
+        assert disk.bandwidth_used == 2 * MPEG1_RATE
+        assert manager.ledger.balanced()
+        # The late joiner resumes from the channel front it had reached,
+        # not from the top of the file.
+        msu1 = cluster.msus[1]
+        assert msu1.streams_resumed == 2
+        resumed = {s.stream_id: s for s in msu1.iop.play_streams}
+        assert all(s.next_page > 0 for s in resumed.values())
 
 
 class TestFailureCleanup:
