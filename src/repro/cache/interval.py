@@ -132,3 +132,21 @@ class IntervalCache:
         if key is not None:
             return len(self._pages.get(key, ()))
         return sum(len(pages) for pages in self._pages.values())
+
+    def retained_bytes(self) -> int:
+        """Pool bytes held by retained pages (refcount-balance audits)."""
+        return sum(
+            len(page.data)
+            for pages in self._pages.values()
+            for page in pages.values()
+        )
+
+    def unclaimed_pages(self) -> int:
+        """Retained pages with an empty claim set — must always be zero
+        (a page's last claimant evicts it on consumption)."""
+        return sum(
+            1
+            for pages in self._pages.values()
+            for page in pages.values()
+            if not page.claims
+        )

@@ -137,6 +137,42 @@ class MsuPageCache:
         """Duty-cycle read slots that never reached a disk."""
         return self.hits
 
+    def accounted_bytes(self) -> Tuple[int, int]:
+        """(interval bytes, prefix bytes) currently charged to the pool."""
+        return self.interval.retained_bytes(), self.prefix.pinned_bytes()
+
+    def audit(self) -> list:
+        """Pin/refcount-balance anomalies, as strings.
+
+        Pool accounting is synchronous, so these hold at any instant:
+        every pool byte is explained by exactly one retained or pinned
+        page, the pool never exceeds its capacity, and no retained page
+        survives without a claimant.
+        """
+        problems = []
+        interval_bytes, prefix_bytes = self.accounted_bytes()
+        if self.pool.used != interval_bytes + prefix_bytes:
+            problems.append(
+                f"pool used {self.pool.used} != retained {interval_bytes} "
+                f"+ pinned {prefix_bytes}"
+            )
+        if not 0 <= self.pool.used <= self.pool.capacity:
+            problems.append(
+                f"pool used {self.pool.used} outside [0, {self.pool.capacity}]"
+            )
+        unclaimed = self.interval.unclaimed_pages()
+        if unclaimed:
+            problems.append(f"{unclaimed} retained pages with no claimant")
+        pinned_count = sum(
+            len(pages) for pages in self.prefix._pinned.values()
+        )
+        if self.prefix.pinned_pages != pinned_count:
+            problems.append(
+                f"prefix pinned_pages {self.prefix.pinned_pages} != "
+                f"{pinned_count} pages actually pinned"
+            )
+        return problems
+
     def snapshot(self) -> CacheSnapshot:
         return CacheSnapshot(
             hits=self.hits,

@@ -64,6 +64,14 @@ class PrefixCache:
         """How many pages of this title's prefix are pinned."""
         return len(self._pinned.get(key, {}))
 
+    def pinned_bytes(self) -> int:
+        """Pool bytes held by pinned prefixes (refcount-balance audits)."""
+        return sum(
+            len(data)
+            for pages in self._pinned.values()
+            for data in pages.values()
+        )
+
     def unpin(self, key: Key) -> int:
         """Release a title's whole prefix (delete path); returns pages freed."""
         pages = self._pinned.pop(key, {})

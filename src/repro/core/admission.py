@@ -302,6 +302,55 @@ class AdmissionControl:
                 unused = max(0, alloc.reserved_blocks - blocks_used)
                 disk.free_blocks += unused
 
+    # -- audit ------------------------------------------------------------------
+
+    def audit(self, eps: float = 1e-6) -> list:
+        """Book-keeping anomalies that must never occur, as strings.
+
+        These are the one-sided safety checks that hold at *any* instant:
+        no book may go negative, active-stream counters may not underflow,
+        and the cache budget may not overcommit (unlike disk bandwidth,
+        which ``charge_direct`` may deliberately overcommit during a
+        channel downgrade).  Exact conservation against live allocations
+        is only meaningful at drain and lives with the caller.
+        """
+        problems = []
+        for state in self.db.msus.values():
+            if state.delivery_used < -eps:
+                problems.append(
+                    f"{state.name}: delivery_used {state.delivery_used} < 0"
+                )
+            if state.cache_used < -eps:
+                problems.append(f"{state.name}: cache_used {state.cache_used} < 0")
+            if state.cache_used > state.cache_capacity + eps:
+                problems.append(
+                    f"{state.name}: cache_used {state.cache_used} exceeds "
+                    f"capacity {state.cache_capacity}"
+                )
+            if state.active_streams < 0:
+                problems.append(
+                    f"{state.name}: active_streams {state.active_streams} < 0"
+                )
+            for disk in state.disks.values():
+                if disk.bandwidth_used < -eps:
+                    problems.append(
+                        f"{state.name}/{disk.disk_id}: bandwidth_used "
+                        f"{disk.bandwidth_used} < 0"
+                    )
+                if disk.free_blocks < 0:
+                    problems.append(
+                        f"{state.name}/{disk.disk_id}: free_blocks "
+                        f"{disk.free_blocks} < 0"
+                    )
+        for entry in self.db.contents.values():
+            for location, count in entry.active.items():
+                if count < 0:
+                    problems.append(
+                        f"content {entry.name!r}: active count {count} < 0 "
+                        f"at {location}"
+                    )
+        return problems
+
     def release_msu(self, msu_name: str) -> None:
         """Zero the accounting of a failed MSU (its streams died with it)."""
         state = self.db.msus.get(msu_name)

@@ -222,6 +222,13 @@ class Msu:
                 if self.coordinator_channel is channel:
                     self.up = False
                 return  # Coordinator failure is not recovered from (§2.2)
+            if not self.up or self.coordinator_channel is not channel:
+                # A frozen machine processes nothing: a request that raced
+                # with a hang is lost with the rest of the MSU's state, or
+                # else the MSU would install streams (e.g. a failover
+                # ResumePlay) while officially dead and still hold them
+                # after rejoining — the same group alive on two MSUs.
+                return
             if isinstance(msg, m.ScheduleRead):
                 self._schedule_read(msg)
             elif isinstance(msg, m.ChannelCreate):
@@ -839,6 +846,9 @@ class Msu:
         self._stream_group.clear()
         self.iop.play_streams.clear()
         self.iop.record_streams.clear()
+        for disk_proc in self.disk_processes.values():
+            disk_proc.play_streams.clear()
+            disk_proc.record_streams.clear()
 
     def hang(self) -> None:
         """Freeze the MSU silently: processes stop, connections stay up.
@@ -867,6 +877,9 @@ class Msu:
         self._stream_group.clear()
         self.iop.play_streams.clear()
         self.iop.record_streams.clear()
+        for disk_proc in self.disk_processes.values():
+            disk_proc.play_streams.clear()
+            disk_proc.record_streams.clear()
 
     def reboot(self) -> None:
         """Restart the device processes after a crash (file systems kept)."""

@@ -173,14 +173,21 @@ class PlayStream:
         self.pause_started = now
 
     def resume(self, now: float) -> None:
-        if self.state is StreamState.PAUSED and self.anchor is None:
+        if self.state is not StreamState.PAUSED:
+            # A "play" can land while the stream is LOADING (mid-seek, or
+            # right after a channel downgrade) or already playing/done.
+            # Only PAUSED streams have a schedule to restart; promoting a
+            # LOADING stream here would hand the IOP a PLAYING stream
+            # with no anchor.
+            return
+        if self.anchor is None:
             # Paused before the first buffer anchored the schedule (e.g.
             # right after a channel downgrade): back to LOADING, and the
             # IOP anchors it once buffered, as for any fresh stream.
             self.pause_started = None
             self.state = StreamState.LOADING
             return
-        if self.state is StreamState.PAUSED and self.pause_started is not None:
+        if self.pause_started is not None:
             self.anchor += now - self.pause_started
             self.pause_started = None
         self.state = StreamState.PLAYING

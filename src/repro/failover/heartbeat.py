@@ -135,6 +135,29 @@ class HeartbeatMonitor:
         """Last reported (page_index, position_us), or (0, 0) if unknown."""
         return self._positions.get(msu_name, {}).get((group_id, stream_id), (0, 0))
 
+    def audit(self) -> list:
+        """Watchdog state-machine anomalies, as strings.
+
+        Valid at any instant: every record is in a known state, a dead
+        verdict always stops its watchdog, and the death counter never
+        exceeds the suspect counter (death is only reachable via suspect).
+        """
+        problems = []
+        for rec in self._records.values():
+            if rec.state not in ("alive", "suspect", "dead"):
+                problems.append(f"{rec.name}: unknown state {rec.state!r}")
+            if rec.state == "dead" and not rec.stopped:
+                problems.append(f"{rec.name}: dead but watchdog still armed")
+            if rec.last_beat > self.sim.now + 1e-9:
+                problems.append(
+                    f"{rec.name}: last beat {rec.last_beat} in the future"
+                )
+        if self.deaths > self.suspects:
+            problems.append(
+                f"{self.deaths} deaths exceed {self.suspects} suspects"
+            )
+        return problems
+
     # -- watchdog -------------------------------------------------------------
 
     def _watch(self, rec: MsuHealth) -> Generator:

@@ -143,9 +143,22 @@ class DiskDrive:
         target = self.cylinder_of(offset)
         self._seq += 1
         grant = Event(self.sim, name=f"{self.name}.grant")
-        self._pending.append(_Request(target, grant, self._seq))
+        request = _Request(target, grant, self._seq)
+        self._pending.append(request)
         self._dispatch()
-        yield grant
+        try:
+            yield grant
+        except BaseException:
+            # The owning process died waiting here (an MSU crash interrupts
+            # its disk process mid-request).  Retract the request — or, if
+            # the arm was already granted to us, free it and dispatch the
+            # next waiter — so an abandoned grant cannot wedge the drive.
+            if grant.triggered:
+                self._arm_busy = False
+                self._dispatch()
+            else:
+                self._pending.remove(request)
+            raise
 
         start = self.sim.now
         sharing = sum(1 for d in self.hba_siblings() if d.busy)
@@ -160,10 +173,12 @@ class DiskDrive:
             self.total_seek_distance += distance
             self.head_cylinder = target
 
-            # Chain command overhead (selection, messaging).
+            # Chain command overhead (selection, messaging).  The grant
+            # wait sits inside the try so an interrupt landing there still
+            # releases (= cancels) the bus claim.
             req = self.hba.bus.request()
-            yield req
             try:
+                yield req
                 yield self.sim.timeout(self.hba.params.command_overhead)
             finally:
                 self.hba.bus.release(req)
@@ -179,8 +194,8 @@ class DiskDrive:
                 if media_t > bus_t:
                     yield self.sim.timeout(media_t - bus_t)
                 req = self.hba.bus.request()
-                yield req
                 try:
+                    yield req
                     t0 = self.sim.now
                     if memory is not None:
                         mover = memory.dma_read(step) if write else memory.dma_write(step)

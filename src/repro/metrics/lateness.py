@@ -76,3 +76,16 @@ class LatenessCollector:
         if not self._late_seconds:
             return 0.0
         return max(0.0, max(self._late_seconds) * 1000.0)
+
+    def audit(self) -> List[str]:
+        """Deadline-accounting anomalies, as strings.
+
+        Every recorded sample must be a finite number: a NaN or infinite
+        lateness means a stream's schedule anchor went bad upstream, which
+        the CDF math would otherwise silently absorb.
+        """
+        bad = [s for s in self._late_seconds if not np.isfinite(s)]
+        if bad:
+            return [f"{self.name or 'collector'}: {len(bad)} non-finite "
+                    f"lateness samples (first: {bad[0]!r})"]
+        return []

@@ -118,6 +118,43 @@ class AdmissionLedger:
             entry.closed for entry in self.channels.values()
         )
 
+    def audit(self) -> list:
+        """Ledger anomalies that must never occur, as strings.
+
+        Valid at any instant: a closed channel keeps nothing on its
+        books, charges never go negative, and refunds never outnumber
+        charges.
+        """
+        problems = []
+        for entry in self.channels.values():
+            if entry.closed and entry.outstanding() != 0.0:
+                problems.append(
+                    f"channel {entry.channel_id}: closed with "
+                    f"{entry.outstanding()} outstanding"
+                )
+            if entry.channel_charge < 0.0:
+                problems.append(
+                    f"channel {entry.channel_id}: negative channel charge "
+                    f"{entry.channel_charge}"
+                )
+            for group_id, rate in entry.patch_charges.items():
+                if rate < 0.0:
+                    problems.append(
+                        f"channel {entry.channel_id}: negative patch charge "
+                        f"{rate} for group {group_id}"
+                    )
+            if entry.patches_refunded > entry.patches_charged:
+                problems.append(
+                    f"channel {entry.channel_id}: {entry.patches_refunded} "
+                    f"refunds exceed {entry.patches_charged} charges"
+                )
+        if self.patches_refunded > self.patches_charged:
+            problems.append(
+                f"ledger: {self.patches_refunded} refunds exceed "
+                f"{self.patches_charged} charges"
+            )
+        return problems
+
     def summary(self) -> Tuple[int, int, int, int]:
         return (
             self.channels_opened,

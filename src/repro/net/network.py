@@ -161,8 +161,12 @@ class Network:
         self._rng = np.random.default_rng(seed)
         self._hosts: Dict[str, Host] = {}
         self._groups: Dict[str, set] = {}
+        #: Hosts cut off from the wire (a partition fault): datagrams to
+        #: or from a partitioned host drop silently, UDP-style.
+        self._partitioned: set = set()
         self.datagrams_carried = 0
         self.datagrams_lost = 0
+        self.datagrams_partitioned = 0
         self.bytes_carried = 0
         #: Datagrams sent to a multicast group (counted once per send).
         self.multicast_carried = 0
@@ -198,6 +202,18 @@ class Network:
         """Current members of ``group`` (deterministic order)."""
         return tuple(sorted(self._groups.get(group, ())))
 
+    def partition(self, host_name: str) -> None:
+        """Cut ``host_name`` off the wire: its traffic drops both ways."""
+        self._partitioned.add(host_name)
+
+    def heal(self, host_name: str) -> None:
+        """Reconnect a partitioned host (no-op when not partitioned)."""
+        self._partitioned.discard(host_name)
+
+    def is_partitioned(self, host_name: str) -> bool:
+        """True while ``host_name`` is cut off by :meth:`partition`."""
+        return host_name in self._partitioned
+
     def _wire_delay(self) -> float:
         if self.jitter > 0:
             return self.latency + float(self._rng.uniform(0.0, self.jitter))
@@ -210,6 +226,9 @@ class Network:
             yield from src_host.nic.udp_send(max(1, len(dgram.payload)))
         self.datagrams_carried += 1
         self.bytes_carried += len(dgram.payload)
+        if dgram.src[0] in self._partitioned:
+            self.datagrams_partitioned += 1
+            return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.datagrams_lost += 1  # dropped on the wire (UDP semantics)
             return
@@ -229,6 +248,9 @@ class Network:
 
     def _arrive(self, dgram: Datagram, member: Optional[Address] = None) -> None:
         dest = member if member is not None else dgram.dst
+        if dest[0] in self._partitioned:
+            self.datagrams_partitioned += 1
+            return
         host = self._hosts.get(dest[0])
         if host is None:
             return

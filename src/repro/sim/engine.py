@@ -319,6 +319,15 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
 
+    def at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute time ``when`` (now, if past).
+
+        The absolute-time twin of :meth:`schedule`, used by schedule-driven
+        drivers (fault injection, scripted workloads) that are written
+        against a fixed timeline rather than relative delays.
+        """
+        self.schedule(max(0.0, when - self._now), fn, *args)
+
     def _post(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, event._fire, ()))

@@ -6,9 +6,14 @@ Usage::
     python -m repro.tools.cli table1
     python -m repro.tools.cli graph1 --duration 60
     python -m repro.tools.cli all --duration 30
+    python -m repro.tools.cli verify --seed 1..5 --ops 50
+    python -m repro.tools.cli verify --replay repro.json
 
-Each subcommand runs the corresponding experiment runner and prints the
-same rows/series the paper reports (see EXPERIMENTS.md).
+Each experiment subcommand runs the corresponding runner and prints the
+same rows/series the paper reports (see EXPERIMENTS.md).  ``verify``
+runs the chaos harness instead: seed-deterministic fault schedules with
+cross-subsystem invariant checking (DESIGN.md §9); a failing schedule is
+shrunk and written to a replayable repro file.
 """
 
 from __future__ import annotations
@@ -160,6 +165,81 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _parse_seeds(spec: str) -> list:
+    """``"7"`` -> [7]; ``"1..5"`` -> [1, 2, 3, 4, 5]."""
+    if ".." in spec:
+        lo, hi = spec.split("..", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(spec)]
+
+
+def build_verify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="calliope-experiments verify",
+        description="Run chaos schedules against the invariant registry.",
+    )
+    parser.add_argument(
+        "--seed", default="1",
+        help="seed or inclusive range, e.g. '7' or '1..5' (default 1)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=50,
+        help="fault ops per schedule (default 50)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=20.0,
+        help="simulated seconds the fault plan spans (default 20)",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="replay a repro file instead of generating from --seed",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="on failure, skip minimization and report the full schedule",
+    )
+    parser.add_argument(
+        "--repro", metavar="FILE", default=None,
+        help="where to write the (shrunk) failing schedule "
+             "(default chaos-repro-seed<N>.json in the cwd)",
+    )
+    return parser
+
+
+def verify_main(argv) -> int:
+    from repro.verify import (
+        ChaosSchedule, load_repro, run_schedule, shrink, write_repro,
+    )
+
+    args = build_verify_parser().parse_args(argv)
+    if args.replay is not None:
+        schedules = [load_repro(args.replay)]
+    else:
+        schedules = [
+            ChaosSchedule.generate(seed, args.ops, horizon=args.horizon)
+            for seed in _parse_seeds(args.seed)
+        ]
+    failures = 0
+    for schedule in schedules:
+        report = run_schedule(schedule)
+        print(report.summary())
+        if report.ok:
+            continue
+        failures += 1
+        for violation in report.violations:
+            print(f"  {violation}")
+        if not args.no_shrink:
+            small, small_report = shrink(schedule)
+            print(f"  shrunk {len(schedule)} -> {len(small)} ops:")
+            for op in small.ops:
+                print(f"    {op.at:9.4f}s {op.kind} {op.args}")
+            schedule, report = small, small_report
+        path = args.repro or f"chaos-repro-seed{schedule.seed}.json"
+        write_repro(schedule, path, report)
+        print(f"  repro written to {path}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="calliope-experiments",
@@ -179,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -1,0 +1,191 @@
+"""Seed-deterministic fault plans for the chaos harness.
+
+A :class:`ChaosSchedule` is a flat list of timestamped :class:`FaultOp`
+records.  All randomness happens here, at *generation* time, from one
+``random.Random(seed)``; applying a schedule is purely deterministic, so
+the same schedule always produces the same simulation — the property the
+shrinker and the repro files depend on.
+
+The op vocabulary covers the failure surface the subsystems expose:
+
+====================  ======================================================
+``client_join``       a new viewer opens a session and plays a title
+``client_quit``       a live viewer quits its group
+``vcr_storm``         a burst of pause/seek/play commands on a live viewer
+``msu_hang``          silent freeze; only heartbeats reveal it
+``msu_crash``         kernel death; control connections break
+``msu_powercycle``    crash, then remount from disk and rejoin
+``msu_rejoin``        bring a downed MSU back
+``net_loss``          delivery-network packet loss for a while
+``net_delay``         delivery-network latency spike for a while
+``net_partition``     one client falls off the delivery network for a while
+``disk_slow``         one MSU's disks serve at a fraction of media rate
+``bug_double_charge`` deliberately charge a drained channel's ledger twice
+                      (harness self-test: the ledger invariant must catch
+                      it and the shrinker must isolate it)
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultOp", "ChaosSchedule"]
+
+#: Every op kind the harness can apply, with its generation weight.
+FAULT_KINDS: Dict[str, float] = {
+    "client_join": 34.0,
+    "client_quit": 12.0,
+    "vcr_storm": 16.0,
+    "msu_hang": 5.0,
+    "msu_crash": 4.0,
+    "msu_powercycle": 5.0,
+    "msu_rejoin": 9.0,
+    "net_loss": 4.0,
+    "net_delay": 3.0,
+    "net_partition": 3.0,
+    "disk_slow": 5.0,
+}
+
+#: VCR command bursts a storm draws from.
+_STORMS: Tuple[Tuple[str, ...], ...] = (
+    ("pause", "play"),
+    ("pause", "seek", "play"),
+    ("seek", "seek", "play"),
+    ("pause", "play", "pause", "play"),
+)
+
+
+@dataclass(frozen=True)
+class FaultOp:
+    """One timestamped fault: what to do, when, and with which knobs."""
+
+    at: float
+    kind: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at": self.at, "kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultOp":
+        return cls(float(data["at"]), str(data["kind"]), dict(data["args"]))
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seed-deterministic fault plan over one simulated horizon."""
+
+    seed: int
+    horizon: float
+    ops: Tuple[FaultOp, ...]
+
+    # -- generation -------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_ops: int,
+        horizon: float = 20.0,
+        n_msus: int = 2,
+        n_titles: int = 2,
+        kinds: Optional[Dict[str, float]] = None,
+    ) -> "ChaosSchedule":
+        """Draw ``n_ops`` weighted ops over ``[0.5, horizon)``.
+
+        Times, targets and knobs all come from one ``random.Random(seed)``
+        so the same arguments always yield the identical plan.
+        """
+        rng = random.Random(seed)
+        weights = dict(FAULT_KINDS if kinds is None else kinds)
+        names = sorted(weights)
+        ops = []
+        for _ in range(max(0, n_ops)):
+            at = round(rng.uniform(0.5, horizon), 4)
+            kind = rng.choices(names, weights=[weights[k] for k in names])[0]
+            ops.append(FaultOp(at, kind, cls._draw_args(rng, kind, n_msus, n_titles)))
+        ops.sort(key=lambda op: (op.at, op.kind))
+        return cls(seed=seed, horizon=horizon, ops=tuple(ops))
+
+    @staticmethod
+    def _draw_args(
+        rng: random.Random, kind: str, n_msus: int, n_titles: int
+    ) -> Dict[str, Any]:
+        if kind in ("msu_hang", "msu_crash", "msu_powercycle", "msu_rejoin"):
+            return {"msu": rng.randrange(n_msus)}
+        if kind == "client_join":
+            return {
+                "title": rng.randrange(n_titles),
+                "patience": round(rng.uniform(2.0, 5.0), 2),
+            }
+        if kind in ("client_quit", "net_partition", "vcr_storm"):
+            args: Dict[str, Any] = {"pick": rng.randrange(1 << 16)}
+            if kind == "vcr_storm":
+                args["commands"] = list(rng.choice(_STORMS))
+                args["position"] = round(rng.uniform(0.0, 6.0), 2)
+            if kind == "net_partition":
+                args["duration"] = round(rng.uniform(0.3, 1.5), 2)
+            return args
+        if kind == "net_loss":
+            return {
+                "rate": round(rng.uniform(0.02, 0.25), 3),
+                "duration": round(rng.uniform(0.5, 2.5), 2),
+            }
+        if kind == "net_delay":
+            return {
+                "factor": round(rng.uniform(2.0, 10.0), 1),
+                "duration": round(rng.uniform(0.5, 2.5), 2),
+            }
+        if kind == "disk_slow":
+            return {
+                "msu": rng.randrange(n_msus),
+                "factor": round(rng.uniform(1.5, 4.0), 1),
+                "duration": round(rng.uniform(0.5, 2.0), 2),
+            }
+        if kind == "bug_double_charge":
+            return {}
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    # -- editing (the shrinker works on index sets) -----------------------
+
+    def without(self, indices: Sequence[int]) -> "ChaosSchedule":
+        """A copy with the ops at ``indices`` removed."""
+        drop = set(indices)
+        kept = tuple(op for i, op in enumerate(self.ops) if i not in drop)
+        return ChaosSchedule(seed=self.seed, horizon=self.horizon, ops=kept)
+
+    def with_op(self, op: FaultOp) -> "ChaosSchedule":
+        """A copy with one extra op, keeping time order."""
+        ops = sorted(self.ops + (op,), key=lambda o: (o.at, o.kind))
+        return ChaosSchedule(seed=self.seed, horizon=self.horizon, ops=tuple(ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            horizon=float(data["horizon"]),
+            ops=tuple(FaultOp.from_dict(op) for op in data["ops"]),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,414 @@
+"""Run a :class:`ChaosSchedule` against a full simulated cluster.
+
+The :class:`ChaosCluster` builds a deliberately mean installation — small
+pages, fast heartbeats, multicast batching, page caches — loads a couple
+of titles with a replica each, injects every fault at its scheduled
+simulated time, runs the mid-simulation invariants on a fixed cadence,
+and then *drains*: every downed MSU rejoins, every live viewer quits,
+sessions close, and the strict conservation invariants run over the
+quiesced books.
+
+Everything is derived from the schedule's seed, so a run is a pure
+function of its :class:`~repro.verify.faults.ChaosSchedule` — the
+property the shrinker relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Dict, List, Optional
+
+from repro.cache.manager import CacheConfig
+from repro.clients import Client
+from repro.core import CalliopeCluster, ClusterConfig
+from repro.core.replication import ReplicationManager
+from repro.errors import CalliopeError
+from repro.failover import FailoverConfig, HeartbeatConfig
+from repro.media import MpegEncoder, packetize_cbr
+from repro.multicast import MulticastConfig
+from repro.net import messages as m
+from repro.sim import Simulator
+from repro.storage import IBTreeConfig
+from repro.units import MPEG1_RATE
+from repro.verify.faults import ChaosSchedule, FaultOp
+from repro.verify.invariants import InvariantRegistry, Violation, builtin_registry
+
+__all__ = ["ChaosConfig", "ChaosCluster", "ChaosReport"]
+
+#: Small pages keep titles short to write and quick to stream.
+SMALL = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
+
+#: Fast failure detection so a 20-second horizon sees whole failover arcs.
+FAST = HeartbeatConfig(
+    period=0.1, miss_threshold=2, suspect_backoff=0.1,
+    backoff_factor=2.0, suspect_probes=1,
+)
+
+#: The ghost channel id the deliberate double-charge bug books against.
+GHOST_CHANNEL = 99_999
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of the cluster a schedule runs against."""
+
+    n_msus: int = 2
+    n_titles: int = 2
+    #: Media length per title, seconds (short: streams end inside a run).
+    length: float = 8.0
+    #: Seconds past the horizon the drain is given to quiesce.
+    drain: float = 12.0
+    #: Cadence of the mid-simulation invariant sweep.
+    check_period: float = 0.5
+    #: Seed offset for title content (independent of the fault seed).
+    content_seed: int = 11
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one schedule run."""
+
+    schedule: ChaosSchedule
+    violations: List[Violation]
+    stats: Dict[str, int]
+    checks_run: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        acted = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.stats.items()) if v
+        )
+        return (
+            f"seed {self.schedule.seed}: {len(self.schedule)} ops, "
+            f"{self.checks_run} checks -> {verdict} ({acted})"
+        )
+
+
+class ChaosCluster:
+    """A cluster wired to execute one fault schedule deterministically."""
+
+    def __init__(
+        self,
+        schedule: ChaosSchedule,
+        config: Optional[ChaosConfig] = None,
+        registry: Optional[InvariantRegistry] = None,
+    ) -> None:
+        self.schedule = schedule
+        self.chaos_config = config or ChaosConfig()
+        self.registry = registry or builtin_registry()
+        self.sim = Simulator()
+        self.cluster = CalliopeCluster(
+            self.sim,
+            ClusterConfig(
+                n_msus=self.chaos_config.n_msus,
+                disks_per_hba=(1,),
+                ibtree_config=SMALL,
+                failover=FailoverConfig(heartbeat=FAST),
+                multicast=MulticastConfig(batch_window=0.2, patch_horizon=6.0),
+                cache=CacheConfig(),
+                seed=schedule.seed,
+            ),
+        )
+        self.cluster.coordinator.db.add_customer("user")
+        self.violations: List[Violation] = []
+        self.stats: Dict[str, int] = {}
+        self.viewers: List[SimpleNamespace] = []
+        self._viewer_seq = 0
+        self._base_latency = self.cluster.delivery_net.latency
+        self._base_disk_params = [
+            (drive, drive.params)
+            for msu in self.cluster.msus
+            for drive in msu.machine.disks
+        ]
+        self._load_titles()
+        for op in self.schedule.ops:
+            self.sim.at(op.at, self._apply, op)
+        self.sim.process(self._periodic_checks(), name="chaos.checks")
+
+    # -- invariant plumbing (checkers read these like a CalliopeCluster) ----
+
+    @property
+    def coordinator(self):
+        return self.cluster.coordinator
+
+    @property
+    def msus(self):
+        return self.cluster.msus
+
+    @property
+    def delivery_net(self):
+        return self.cluster.delivery_net
+
+    @property
+    def config(self):
+        return self.cluster.config
+
+    # -- content ------------------------------------------------------------
+
+    def _load_titles(self) -> None:
+        cfg = self.chaos_config
+        for t in range(cfg.n_titles):
+            packets = packetize_cbr(
+                MpegEncoder(seed=cfg.content_seed + t).bitstream(cfg.length),
+                MPEG1_RATE, 1024,
+            )
+            self.cluster.load_content(
+                f"title{t}", "mpeg1", packets, msu_index=t % cfg.n_msus
+            )
+
+    def _replicate_titles(self) -> None:
+        """Give every title a second copy so failover has somewhere to go."""
+        cfg = self.chaos_config
+        if cfg.n_msus < 2:
+            return
+        manager = ReplicationManager(self.cluster)
+        for t in range(cfg.n_titles):
+            target = (t + 1) % cfg.n_msus
+            msu = self.cluster.msus[target]
+            manager.replicate(f"title{t}", msu.name, msu.disk_ids()[0])
+
+    def _sync_all(self):
+        """Flush metadata so a mid-run power cycle remounts every title."""
+        for msu in self.cluster.msus:
+            yield from msu.admin_sync_all()
+
+    # -- fault application ---------------------------------------------------
+
+    def _bump(self, key: str) -> None:
+        self.stats[key] = self.stats.get(key, 0) + 1
+
+    def _apply(self, op: FaultOp) -> None:
+        handler = getattr(self, f"_op_{op.kind}", None)
+        if handler is None:
+            raise CalliopeError(f"no handler for fault kind {op.kind!r}")
+        handler(op)
+
+    def _live_views(self) -> List[SimpleNamespace]:
+        """Viewers with a running group, in deterministic group-id order."""
+        live = [
+            viewer
+            for viewer in self.viewers
+            if viewer.view is not None
+            and not viewer.view.done_event.triggered
+            and not viewer.view.quit_requested
+            and viewer.view.channel is not None
+            and viewer.view.channel.open
+        ]
+        live.sort(key=lambda viewer: viewer.view.group_id)
+        return live
+
+    def _op_client_join(self, op: FaultOp) -> None:
+        index = self._viewer_seq
+        self._viewer_seq += 1
+        self.sim.process(
+            self._viewer_life(f"cl{index}", op), name=f"chaos.cl{index}"
+        )
+
+    def _viewer_life(self, name: str, op: FaultOp):
+        client = Client(
+            self.sim, self.cluster, name,
+            reconnect_retries=2, reconnect_backoff=0.3,
+        )
+        title = f"title{op.args['title'] % self.chaos_config.n_titles}"
+        viewer = SimpleNamespace(name=name, client=client, view=None)
+        self.viewers.append(viewer)
+        try:
+            yield from client.open_session("user")
+            yield from client.register_port("tv", "mpeg1")
+            view = yield from client.play_with_timeout(
+                title, "tv", op.args.get("patience", 3.0)
+            )
+        except CalliopeError:
+            self._bump("joins_failed")
+            return
+        if view is None:
+            self._bump("joins_abandoned")
+            return
+        viewer.view = view
+        self._bump("joins")
+
+    def _op_client_quit(self, op: FaultOp) -> None:
+        live = self._live_views()
+        if not live:
+            return
+        viewer = live[op.args["pick"] % len(live)]
+        try:
+            viewer.client.quit(viewer.view.group_id)
+            self._bump("quits")
+        except CalliopeError:
+            pass
+
+    def _op_vcr_storm(self, op: FaultOp) -> None:
+        live = self._live_views()
+        if not live:
+            return
+        viewer = live[op.args["pick"] % len(live)]
+        self._bump("storms")
+        self.sim.process(
+            self._storm(viewer, op.args["commands"], op.args["position"]),
+            name=f"chaos.storm{viewer.view.group_id}",
+        )
+
+    def _storm(self, viewer: SimpleNamespace, commands, position: float):
+        vcr = {"play": m.VCR_PLAY, "pause": m.VCR_PAUSE, "seek": m.VCR_SEEK}
+        for command in commands:
+            view = viewer.view
+            if view.done_event.triggered or view.quit_requested:
+                return
+            try:
+                viewer.client.vcr(view.group_id, vcr[command], position)
+            except CalliopeError:
+                return
+            yield self.sim.timeout(0.15)
+
+    def _op_msu_hang(self, op: FaultOp) -> None:
+        index = op.args["msu"] % len(self.cluster.msus)
+        if self.cluster.msus[index].up:
+            self.cluster.hang_msu(index)
+            self._bump("hangs")
+
+    def _op_msu_crash(self, op: FaultOp) -> None:
+        index = op.args["msu"] % len(self.cluster.msus)
+        if self.cluster.msus[index].up:
+            self.cluster.fail_msu(index, crash=True)
+            self._bump("crashes")
+
+    def _op_msu_rejoin(self, op: FaultOp) -> None:
+        index = op.args["msu"] % len(self.cluster.msus)
+        if not self.cluster.msus[index].up:
+            self.cluster.rejoin_msu(index)
+            self._bump("rejoins")
+
+    def _op_msu_powercycle(self, op: FaultOp) -> None:
+        index = op.args["msu"] % len(self.cluster.msus)
+        self._bump("powercycles")
+        self.sim.process(self._powercycle(index), name=f"chaos.cycle{index}")
+
+    def _powercycle(self, index: int):
+        msu = self.cluster.msus[index]
+        if msu.up:
+            self.cluster.fail_msu(index, crash=True)
+        yield self.sim.timeout(0.4)
+        yield from msu.admin_remount()
+        if not msu.up:
+            self.cluster.rejoin_msu(index)
+
+    def _op_net_loss(self, op: FaultOp) -> None:
+        net = self.cluster.delivery_net
+        net.loss_rate = op.args["rate"]
+        self._bump("loss_windows")
+        self.sim.schedule(op.args["duration"], setattr, net, "loss_rate", 0.0)
+
+    def _op_net_delay(self, op: FaultOp) -> None:
+        net = self.cluster.delivery_net
+        net.latency = self._base_latency * op.args["factor"]
+        self._bump("delay_windows")
+        self.sim.schedule(
+            op.args["duration"], setattr, net, "latency", self._base_latency
+        )
+
+    def _op_net_partition(self, op: FaultOp) -> None:
+        live = self._live_views()
+        if not live:
+            return
+        viewer = live[op.args["pick"] % len(live)]
+        net = self.cluster.delivery_net
+        net.partition(viewer.name)
+        self._bump("partitions")
+        self.sim.schedule(op.args["duration"], net.heal, viewer.name)
+
+    def _op_disk_slow(self, op: FaultOp) -> None:
+        index = op.args["msu"] % len(self.cluster.msus)
+        msu = self.cluster.msus[index]
+        factor = op.args["factor"]
+        restore = []
+        for drive in msu.machine.disks:
+            restore.append((drive, drive.params))
+            drive.params = dataclasses.replace(
+                drive.params, media_rate=drive.params.media_rate / factor
+            )
+        self._bump("slow_windows")
+        self.sim.schedule(op.args["duration"], self._restore_disks, restore)
+
+    @staticmethod
+    def _restore_disks(restore) -> None:
+        for drive, params in restore:
+            drive.params = params
+
+    def _op_bug_double_charge(self, op: FaultOp) -> None:
+        """Deliberate accounting bug (harness self-test).
+
+        Books a patch charge against a channel that already closed — the
+        double-charge shape a refactor of the merge path could introduce.
+        The ledger invariant must catch it both mid-run (closed channel
+        with outstanding charges) and at drain (ledger never balances).
+        """
+        manager = self.cluster.coordinator.channel_manager
+        if manager is None:
+            return
+        ledger = manager.ledger
+        ledger.open_channel(GHOST_CHANNEL, "ghost", MPEG1_RATE)
+        ledger.close_channel(GHOST_CHANNEL)
+        ledger.charge_patch(GHOST_CHANNEL, 1, MPEG1_RATE, False)
+        self._bump("bugs_injected")
+
+    # -- checking and the drain ----------------------------------------------
+
+    def _periodic_checks(self):
+        while True:
+            yield self.sim.timeout(self.chaos_config.check_period)
+            self.violations.extend(self.registry.check(self, "mid"))
+
+    def _restore_environment(self) -> None:
+        """Undo every open-ended environmental fault before draining."""
+        net = self.cluster.delivery_net
+        net.loss_rate = 0.0
+        net.latency = self._base_latency
+        for host in sorted(net._partitioned):
+            net.heal(host)
+        for drive, params in self._base_disk_params:
+            drive.params = params
+
+    def run(self) -> ChaosReport:
+        """Execute the schedule, drain, and return the verdict."""
+        sim = self.sim
+        horizon = self.schedule.horizon
+        sim.run(until=0.05)
+        self._replicate_titles()
+        sync = sim.process(self._sync_all(), name="chaos.sync")
+        sim.run(until=horizon)
+
+        # Drain: a clean world again, then let everything wind down.
+        self._restore_environment()
+        for index, msu in enumerate(self.cluster.msus):
+            if not msu.up:
+                self.cluster.rejoin_msu(index)
+        sim.run(until=horizon + 0.5)
+        for viewer in self._live_views():
+            try:
+                viewer.client.quit(viewer.view.group_id)
+            except CalliopeError:
+                pass
+        sim.run(until=horizon + 2.0)
+        for viewer in self.viewers:
+            viewer.client.close_session()
+        sim.run(until=horizon + self.chaos_config.drain)
+
+        if not sync.triggered:
+            self.violations.append(
+                Violation("harness", "metadata sync never completed",
+                          sim.now, "drain")
+            )
+        self.violations.extend(self.registry.check(self, "drain"))
+        return ChaosReport(
+            schedule=self.schedule,
+            violations=list(self.violations),
+            stats=dict(self.stats),
+            checks_run=self.registry.checks_run,
+        )

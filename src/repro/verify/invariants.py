@@ -1,0 +1,437 @@
+"""Cross-subsystem invariants over a live :class:`CalliopeCluster`.
+
+Each checker inspects one subsystem's books and returns human-readable
+problem strings; the :class:`InvariantRegistry` stamps them with the
+simulation time and the phase they were caught in.  Checkers come in two
+patience classes:
+
+``mid``
+    One-sided safety properties that hold at *every* instant between
+    event callbacks: books never go negative, pool bytes are always
+    explained by pages, a group id lives on at most one running MSU.
+
+``drain``
+    Exact conservation, only meaningful once the cluster has quiesced:
+    admission books equal the sum of live allocations, the multicast
+    ledger balances, file systems check clean, no stream state lingers.
+
+The registry's six built-in families mirror the subsystems the prior
+tentpoles added — admission, multicast ledger + subscriber accounting,
+cache pin/refcount balance, failover group identity, storage
+allocator/free-map consistency, and per-stream delivery-deadline
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.storage.check import check_filesystem
+
+__all__ = ["Violation", "InvariantRegistry", "builtin_registry"]
+
+EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, caught at one instant."""
+
+    invariant: str
+    detail: str
+    at: float
+    phase: str  # "mid" | "drain"
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"[{self.at:10.4f}s {self.phase}] {self.invariant}: {self.detail}"
+
+
+class InvariantRegistry:
+    """Named checkers over a cluster, grouped by when they may run.
+
+    A checker is any callable ``fn(cluster) -> iterable of str``; an empty
+    result means the invariant holds.  ``when`` is ``"mid"``, ``"drain"``
+    or ``"both"``.
+    """
+
+    def __init__(self) -> None:
+        self._checkers: List[Tuple[str, Callable, str]] = []
+        self.checks_run = 0
+
+    def register(self, name: str, fn: Callable, when: str = "both") -> None:
+        if when not in ("mid", "drain", "both"):
+            raise ValueError(f"unknown check phase {when!r}")
+        self._checkers.append((name, fn, when))
+
+    def names(self) -> List[str]:
+        return [name for name, _, _ in self._checkers]
+
+    def check(self, cluster, phase: str = "mid") -> List[Violation]:
+        """Run every checker registered for ``phase``; [] means all green."""
+        violations = []
+        now = cluster.sim.now
+        for name, fn, when in self._checkers:
+            if when != "both" and when != phase:
+                continue
+            self.checks_run += 1
+            try:
+                details = list(fn(cluster))
+            except Exception as exc:
+                # A crashing checker is itself a finding — report it
+                # instead of aborting the remaining checks mid-run.
+                details = [f"checker raised {type(exc).__name__}: {exc}"]
+            for detail in details:
+                violations.append(Violation(name, detail, now, phase))
+        return violations
+
+
+# -- 1. admission bandwidth/ledger conservation ------------------------------
+
+
+def check_admission_books(cluster) -> List[str]:
+    """One-sided admission safety (valid at any instant)."""
+    return cluster.coordinator.admission.audit()
+
+
+def _expected_charges(cluster):
+    """Books implied by every live allocation the Coordinator holds."""
+    coord = cluster.coordinator
+    delivery: Dict[str, float] = {}
+    cache: Dict[str, float] = {}
+    disk_bw: Dict[Tuple[str, str], float] = {}
+    streams: Dict[str, int] = {}
+    active: Dict[Tuple[str, Tuple[str, str]], int] = {}
+
+    def charge(alloc):
+        delivery[alloc.msu_name] = delivery.get(alloc.msu_name, 0.0) + alloc.bandwidth
+        streams[alloc.msu_name] = streams.get(alloc.msu_name, 0) + 1
+        if alloc.cache_covered:
+            cache[alloc.msu_name] = cache.get(alloc.msu_name, 0.0) + alloc.bandwidth
+        else:
+            loc = (alloc.msu_name, alloc.disk_id)
+            disk_bw[loc] = disk_bw.get(loc, 0.0) + alloc.bandwidth
+        if alloc.content_name:
+            key = (alloc.content_name, (alloc.msu_name, alloc.disk_id))
+            active[key] = active.get(key, 0) + 1
+
+    for group in coord.groups.values():
+        for alloc in group.allocations.values():
+            charge(alloc)
+    manager = coord.channel_manager
+    if manager is not None:
+        for record in manager.channels.values():
+            if not record.released:
+                charge(record.allocation)
+    return delivery, cache, disk_bw, streams, active
+
+
+def check_admission_conservation(cluster) -> List[str]:
+    """Exact conservation: books == sum of live allocations (drain only).
+
+    Mid-simulation this is deliberately *not* checked: the Coordinator
+    charges admission before registering the group record (it yields for
+    CPU time in between), so the books legitimately run ahead of the
+    group table inside that window.
+    """
+    coord = cluster.coordinator
+    delivery, cache, disk_bw, streams, active = _expected_charges(cluster)
+    problems = []
+    for state in coord.db.msus.values():
+        expected = delivery.get(state.name, 0.0)
+        if abs(state.delivery_used - expected) > EPS:
+            problems.append(
+                f"{state.name}: delivery_used {state.delivery_used} != "
+                f"{expected} summed over live allocations"
+            )
+        expected = cache.get(state.name, 0.0)
+        if abs(state.cache_used - expected) > EPS:
+            problems.append(
+                f"{state.name}: cache_used {state.cache_used} != {expected} "
+                f"summed over live cache-covered allocations"
+            )
+        expected = streams.get(state.name, 0)
+        if state.active_streams != expected:
+            problems.append(
+                f"{state.name}: active_streams {state.active_streams} != "
+                f"{expected} live allocations"
+            )
+        for disk in state.disks.values():
+            expected = disk_bw.get((state.name, disk.disk_id), 0.0)
+            if abs(disk.bandwidth_used - expected) > EPS:
+                problems.append(
+                    f"{state.name}/{disk.disk_id}: bandwidth_used "
+                    f"{disk.bandwidth_used} != {expected} summed over "
+                    f"live allocations"
+                )
+    for entry in coord.db.contents.values():
+        locations = set(entry.active)
+        locations |= {loc for (name, loc) in active if name == entry.name}
+        for loc in sorted(locations):
+            have = entry.active.get(loc, 0)
+            expected = active.get((entry.name, loc), 0)
+            if have != expected:
+                problems.append(
+                    f"content {entry.name!r} at {loc}: active count {have} "
+                    f"!= {expected} live allocations"
+                )
+    return problems
+
+
+# -- 2./3. multicast ledger + subscriber accounting --------------------------
+
+
+def check_multicast_books(cluster) -> List[str]:
+    """Ledger safety plus manager/record cross-consistency (any instant)."""
+    manager = cluster.coordinator.channel_manager
+    if manager is None:
+        return []
+    problems = list(manager.ledger.audit())
+    if manager.ledger.outstanding() < -EPS:
+        problems.append(
+            f"ledger outstanding {manager.ledger.outstanding()} < 0"
+        )
+    # The three coordinator-side maps must agree pairwise.
+    for group_id, channel_id in manager._channel_groups.items():
+        record = manager.channels.get(channel_id)
+        if record is None or record.group_id != group_id:
+            problems.append(
+                f"channel-group {group_id} maps to channel {channel_id} "
+                f"which is gone or owned by another group"
+            )
+    for group_id, channel_id in manager._subscriber_groups.items():
+        record = manager.channels.get(channel_id)
+        if record is None:
+            problems.append(
+                f"subscriber group {group_id} maps to dead channel "
+                f"{channel_id}"
+            )
+        elif group_id not in record.subscribers:
+            problems.append(
+                f"subscriber group {group_id} missing from channel "
+                f"{channel_id}'s subscriber table"
+            )
+    for channel_id, record in manager.channels.items():
+        if manager._channel_groups.get(record.group_id) != channel_id:
+            problems.append(
+                f"channel {channel_id}: owner group {record.group_id} not "
+                f"registered back to it"
+            )
+        for group_id in record.subscribers:
+            if manager._subscriber_groups.get(group_id) != channel_id:
+                problems.append(
+                    f"channel {channel_id}: subscriber {group_id} not "
+                    f"registered back to it"
+                )
+        entry = manager.ledger.channels.get(channel_id)
+        if entry is not None and not entry.closed:
+            for group_id in entry.patch_charges:
+                if group_id not in record.subscribers:
+                    problems.append(
+                        f"channel {channel_id}: patch charged to group "
+                        f"{group_id} which is not a subscriber"
+                    )
+    return problems
+
+
+def check_multicast_drain(cluster) -> List[str]:
+    """After drain the multicast books balance and nothing lingers."""
+    manager = cluster.coordinator.channel_manager
+    if manager is None:
+        return []
+    problems = []
+    if not manager.ledger.balanced():
+        problems.append(
+            f"ledger not balanced: {manager.ledger.outstanding()} "
+            f"outstanding across "
+            f"{sum(1 for e in manager.ledger.channels.values() if not e.closed)}"
+            f" unclosed channels"
+        )
+    if manager.channels:
+        problems.append(
+            f"{len(manager.channels)} channel records outlive the drain"
+        )
+    for msu in cluster.msus:
+        if msu.up and msu.channels:
+            problems.append(
+                f"{msu.name}: {len(msu.channels)} MSU channel states "
+                f"outlive the drain"
+            )
+    stale_groups = getattr(cluster.delivery_net, "_groups", {})
+    if stale_groups:
+        problems.append(
+            f"delivery network still has multicast members: "
+            f"{sorted(stale_groups)}"
+        )
+    return problems
+
+
+# -- 4. cache pin/refcount balance -------------------------------------------
+
+
+def check_cache_balance(cluster) -> List[str]:
+    """Every MSU pool byte is explained by a retained or pinned page."""
+    problems = []
+    for msu in cluster.msus:
+        if msu.cache is None:
+            continue
+        for detail in msu.cache.audit():
+            problems.append(f"{msu.name}: {detail}")
+    return problems
+
+
+# -- 5. failover group identity ----------------------------------------------
+
+
+def check_failover_groups(cluster) -> List[str]:
+    """A group id lives on at most one running MSU (any instant)."""
+    problems = []
+    owners: Dict[int, str] = {}
+    for msu in cluster.msus:
+        if not msu.up:
+            continue
+        for group_id in msu.groups:
+            if group_id in owners:
+                problems.append(
+                    f"group {group_id} lives on both {owners[group_id]} "
+                    f"and {msu.name}"
+                )
+            owners[group_id] = msu.name
+    monitor = getattr(cluster.coordinator, "monitor", None)
+    if monitor is not None:
+        problems.extend(monitor.audit())
+    return problems
+
+
+def check_failover_drain(cluster) -> List[str]:
+    """Coordinator group records only reference schedulable MSUs."""
+    coord = cluster.coordinator
+    problems = []
+    for group_id, record in coord.groups.items():
+        state = coord.db.msus.get(record.msu_name)
+        if state is None or not state.available:
+            problems.append(
+                f"group {group_id} assigned to unavailable MSU "
+                f"{record.msu_name}"
+            )
+    return problems
+
+
+# -- 6. storage allocator/free-map consistency -------------------------------
+
+
+def check_storage(cluster) -> List[str]:
+    """fsck every running MSU's file systems (drain only: a crashed MSU
+    may legitimately hold an interrupted write until remount)."""
+    problems = []
+    config = cluster.config.ibtree_config
+    for msu in cluster.msus:
+        if not msu.up:
+            continue
+        for disk_id, fs in sorted(msu.filesystems.items()):
+            report = check_filesystem(fs, config)
+            for error in report.errors:
+                problems.append(f"{msu.name}/{disk_id}: {error}")
+    return problems
+
+
+def check_allocator_bounds(cluster) -> List[str]:
+    """Cheap allocator sanity that holds at any instant."""
+    problems = []
+    for msu in cluster.msus:
+        for disk_id, fs in sorted(msu.filesystems.items()):
+            allocator = fs.allocator
+            used = allocator.used_blocks
+            free = allocator.free_blocks
+            reserved = allocator.reserved_blocks
+            if free < 0 or reserved < 0:
+                problems.append(
+                    f"{msu.name}/{disk_id}: negative allocator counter "
+                    f"(free={free} reserved={reserved})"
+                )
+            marked = sum(allocator._bitmap)
+            if used != marked:
+                problems.append(
+                    f"{msu.name}/{disk_id}: used counter {used} != "
+                    f"{marked} blocks marked in the bitmap"
+                )
+    return problems
+
+
+# -- 7. per-stream delivery-deadline accounting ------------------------------
+
+
+def check_stream_accounting(cluster) -> List[str]:
+    """Every live stream's schedule accounting is sane (any instant)."""
+    problems = []
+    for msu in cluster.msus:
+        if not msu.up:
+            continue
+        known = {
+            stream.stream_id
+            for group in msu.groups.values()
+            for stream in group.play_streams
+        }
+        known |= {ch.stream.stream_id for ch in msu.channels.values()}
+        for stream in msu.iop.play_streams:
+            if not 0 <= stream.next_page <= stream.handle.nblocks:
+                problems.append(
+                    f"{msu.name}: stream {stream.stream_id} next_page "
+                    f"{stream.next_page} outside [0, {stream.handle.nblocks}]"
+                )
+            if stream.position_us < 0:
+                problems.append(
+                    f"{msu.name}: stream {stream.stream_id} position "
+                    f"{stream.position_us}us < 0"
+                )
+            if stream.stream_id not in known:
+                problems.append(
+                    f"{msu.name}: orphan stream {stream.stream_id} in the "
+                    f"IOP with no owning group or channel"
+                )
+        problems.extend(
+            f"{msu.name}: {detail}" for detail in msu.iop.collector.audit()
+        )
+    return problems
+
+
+def check_streams_drained(cluster) -> List[str]:
+    """After drain no stream or group state may linger on a running MSU."""
+    problems = []
+    for msu in cluster.msus:
+        if not msu.up:
+            continue
+        if msu.iop.play_streams:
+            problems.append(
+                f"{msu.name}: {len(msu.iop.play_streams)} play streams "
+                f"outlive the drain"
+            )
+        if msu.iop.record_streams:
+            problems.append(
+                f"{msu.name}: {len(msu.iop.record_streams)} record streams "
+                f"outlive the drain"
+            )
+        if msu.groups:
+            problems.append(
+                f"{msu.name}: groups {sorted(msu.groups)} outlive the drain"
+            )
+    return problems
+
+
+def builtin_registry() -> InvariantRegistry:
+    """The six built-in invariant families, one per subsystem."""
+    registry = InvariantRegistry()
+    registry.register("admission-books", check_admission_books, "both")
+    registry.register(
+        "admission-conservation", check_admission_conservation, "drain"
+    )
+    registry.register("multicast-ledger", check_multicast_books, "both")
+    registry.register("multicast-drain", check_multicast_drain, "drain")
+    registry.register("cache-balance", check_cache_balance, "both")
+    registry.register("failover-groups", check_failover_groups, "both")
+    registry.register("failover-placement", check_failover_drain, "drain")
+    registry.register("storage-bounds", check_allocator_bounds, "both")
+    registry.register("storage-fsck", check_storage, "drain")
+    registry.register("stream-deadlines", check_stream_accounting, "both")
+    registry.register("stream-drain", check_streams_drained, "drain")
+    return registry

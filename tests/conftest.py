@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.sim import Simulator
@@ -11,6 +13,35 @@ from repro.sim import Simulator
 def sim() -> Simulator:
     """A fresh simulator per test."""
     return Simulator()
+
+
+@pytest.fixture
+def rng(request) -> random.Random:
+    """A deterministic per-test RNG (seeded from the test's node id)."""
+    return random.Random(f"calliope:{request.node.nodeid}")
+
+
+@pytest.fixture
+def chaos_cluster():
+    """Factory for chaos-harness runs: ``chaos_cluster(seed, ops)``.
+
+    Returns a callable that generates the seed's fault schedule, runs it
+    on a fresh cluster under the built-in invariant registry, and
+    returns the :class:`~repro.verify.harness.ChaosReport`.  Keyword
+    arguments pass through to :meth:`ChaosSchedule.generate` /
+    :class:`ChaosConfig`.
+    """
+    from repro.verify import ChaosConfig, ChaosSchedule, run_schedule
+
+    def run(seed: int, ops: int = 50, horizon: float = 20.0, config=None, **gen):
+        cfg = config or ChaosConfig()
+        schedule = ChaosSchedule.generate(
+            seed, ops, horizon=horizon,
+            n_msus=cfg.n_msus, n_titles=cfg.n_titles, **gen,
+        )
+        return run_schedule(schedule, cfg)
+
+    return run
 
 
 def run_process(sim: Simulator, gen, limit: float = 1e6):

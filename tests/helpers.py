@@ -1,0 +1,131 @@
+"""Shared cluster-bringup helpers for the integration test files.
+
+The failover, multicast, cache and chaos tests all stand up the same
+small cluster: tiny IB-tree pages so content is multi-page without being
+large, a fast heartbeat so detection fits in test-sized horizons, and a
+short batch window so multicast channels fire quickly.  The knobs and
+the bringup steps live here once; the test modules keep only thin
+adapters for their historical signatures.
+"""
+
+from __future__ import annotations
+
+from repro.clients import Client
+from repro.core import CalliopeCluster, ClusterConfig
+from repro.core.admission import AdmissionControl
+from repro.core.database import AdminDatabase, ContentEntry
+from repro.failover import FailoverConfig, HeartbeatConfig
+from repro.media import MpegEncoder, packetize_cbr
+from repro.multicast import MulticastConfig
+from repro.net import messages as m
+from repro.sim import Simulator
+from repro.storage import IBTreeConfig
+from repro.units import BLOCK_SIZE, MPEG1_RATE
+
+__all__ = [
+    "SMALL", "FAST", "MCAST", "make_packets", "build_cluster",
+    "open_client", "start_stream", "start_viewer", "beat_until",
+    "build_admission_db",
+]
+
+#: Small IB-tree pages: test titles span many pages without being big.
+SMALL = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
+
+#: Fast detection so tests stay short: dead ~0.3 s after the last beat.
+FAST = HeartbeatConfig(
+    period=0.1, miss_threshold=2, suspect_backoff=0.1,
+    backoff_factor=2.0, suspect_probes=1,
+)
+
+#: A short batch window so tests do not wait long for channels to fire.
+MCAST = MulticastConfig(batch_window=0.2, patch_horizon=6.0)
+
+
+def make_packets(length: float, seed: int = 3):
+    """A ``length``-second CBR MPEG-1 title as loadable packets."""
+    return packetize_cbr(MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024)
+
+
+def build_cluster(
+    *,
+    n_msus: int = 2,
+    disks_per_hba=None,
+    seed: int = 3,
+    length: float = 30.0,
+    failover=None,
+    multicast=None,
+    n_titles: int = 0,
+    run_to: float = 0.0,
+):
+    """One small cluster and a packetized title: (sim, cluster, packets).
+
+    ``failover="fast"`` is shorthand for a FailoverConfig on the shared
+    :data:`FAST` heartbeat; any other value passes through.  With
+    ``n_titles`` > 0 the title is pre-loaded that many times (as
+    ``title0..titleN-1``) on the first MSU's first disk, and ``run_to``
+    lets callers burn the bringup instant before the test starts.
+    """
+    sim = Simulator()
+    fo = FailoverConfig(heartbeat=FAST) if failover == "fast" else failover
+    extra = {} if disks_per_hba is None else {"disks_per_hba": disks_per_hba}
+    cluster = CalliopeCluster(
+        sim,
+        ClusterConfig(
+            n_msus=n_msus, ibtree_config=SMALL, failover=fo,
+            multicast=multicast, **extra,
+        ),
+    )
+    cluster.coordinator.db.add_customer("user")
+    packets = make_packets(length, seed=seed)
+    for t in range(n_titles):
+        cluster.load_content(f"title{t}", "mpeg1", packets, disk_index=0)
+    if run_to > 0.0:
+        sim.run(until=run_to)
+    return sim, cluster, packets
+
+
+def open_client(sim, cluster, name="c0", **kwargs):
+    """A connected client with an open session."""
+    client = Client(sim, cluster, name, **kwargs)
+    proc = sim.process(client.open_session("user"))
+    sim.run_until_event(proc, limit=10.0)
+    return client
+
+
+def start_stream(sim, client, title, port):
+    """Register ``port``, play ``title``, and wait until data flows."""
+
+    def scenario():
+        yield from client.register_port(port, "mpeg1")
+        view = yield from client.play(title, port)
+        yield from client.wait_ready(view)
+        return view
+
+    proc = sim.process(scenario())
+    return sim.run_until_event(proc, limit=30.0)
+
+
+#: The multicast tests call the same bringup a "viewer".
+start_viewer = start_stream
+
+
+def beat_until(sim, monitor, msu_name, stop, period=0.1, positions=()):
+    """Feed ``monitor`` heartbeats from ``msu_name`` until ``stop``."""
+
+    def gen():
+        seq = 0
+        while sim.now < stop:
+            seq += 1
+            monitor.beat(m.Heartbeat(msu_name, seq, positions))
+            yield sim.timeout(period)
+
+    sim.process(gen(), name="beats")
+
+
+def build_admission_db(cache_bps: float = 4.2e6):
+    """One-MSU/one-disk admission fixture: (db, admission, entry)."""
+    db = AdminDatabase()
+    db.register_msu("msu0", [("msu0.sd0", 1000)], cache_bps=cache_bps)
+    entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
+    db.add_content(entry)
+    return db, AdmissionControl(db, BLOCK_SIZE), entry

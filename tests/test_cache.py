@@ -11,10 +11,10 @@ from repro.cache.interval import IntervalCache
 from repro.cache.manager import CacheConfig, MsuPageCache
 from repro.cache.pool import BufferPool
 from repro.cache.prefix import PrefixCache
-from repro.core.admission import AdmissionControl
-from repro.core.database import AdminDatabase, ContentEntry
 from repro.media.content import ContentType
-from repro.units import BLOCK_SIZE, MPEG1_RATE
+from repro.units import MPEG1_RATE
+
+from tests.helpers import build_admission_db
 
 KEY = ("sd0", "movie")
 PAGE = b"x" * 1024
@@ -232,11 +232,7 @@ class TestInvalidateWithActiveReaders:
 
 class TestCacheCoveredAdmission:
     def build(self, cache_bps=4.2e6):
-        db = AdminDatabase()
-        db.register_msu("msu0", [("msu0.sd0", 1000)], cache_bps=cache_bps)
-        entry = ContentEntry("m", "mpeg1", "msu0", "msu0.sd0")
-        db.add_content(entry)
-        return db, AdmissionControl(db, BLOCK_SIZE), entry
+        return build_admission_db(cache_bps)
 
     def exhaust_disk(self, admission, entry):
         allocs = []

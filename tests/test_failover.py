@@ -2,76 +2,28 @@
 
 from types import SimpleNamespace
 
-from repro.clients import Client
-from repro.core import CalliopeCluster, ClusterConfig
 from repro.core.admission import AdmissionControl
 from repro.core.database import AdminDatabase, ContentEntry
 from repro.core.replication import ReplicationManager
 from repro.failover import (
     PRIORITY_NORMAL,
     PRIORITY_SINGLE_COPY,
-    FailoverConfig,
-    HeartbeatConfig,
     HeartbeatMonitor,
     play_priority,
 )
-from repro.media import MpegEncoder, packetize_cbr
 from repro.multicast import MulticastConfig
 from repro.net import messages as m
 from repro.sim import Simulator
-from repro.storage import IBTreeConfig
 from repro.units import MPEG1_RATE
 
-SMALL = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
-
-#: Fast detection so tests stay short: dead ~0.3 s after the last beat.
-FAST = HeartbeatConfig(
-    period=0.1, miss_threshold=2, suspect_backoff=0.1,
-    backoff_factor=2.0, suspect_probes=1,
-)
+from tests.helpers import FAST, beat_until, build_cluster, open_client, start_stream
 
 
 def build(n_msus=2, failover="fast", seed=3, length=30.0, multicast=None):
-    sim = Simulator()
-    fo = FailoverConfig(heartbeat=FAST) if failover == "fast" else failover
-    cluster = CalliopeCluster(
-        sim,
-        ClusterConfig(
-            n_msus=n_msus, ibtree_config=SMALL, failover=fo, multicast=multicast
-        ),
+    return build_cluster(
+        n_msus=n_msus, failover=failover, seed=seed, length=length,
+        multicast=multicast,
     )
-    cluster.coordinator.db.add_customer("user")
-    packets = packetize_cbr(MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024)
-    return sim, cluster, packets
-
-
-def open_client(sim, cluster, name="c0", **kwargs):
-    client = Client(sim, cluster, name, **kwargs)
-    proc = sim.process(client.open_session("user"))
-    sim.run_until_event(proc, limit=10.0)
-    return client
-
-
-def start_stream(sim, client, title, port):
-    def scenario():
-        yield from client.register_port(port, "mpeg1")
-        view = yield from client.play(title, port)
-        yield from client.wait_ready(view)
-        return view
-
-    proc = sim.process(scenario())
-    return sim.run_until_event(proc, limit=30.0)
-
-
-def beat_until(sim, monitor, msu_name, stop, period=0.1, positions=()):
-    def gen():
-        seq = 0
-        while sim.now < stop:
-            seq += 1
-            monitor.beat(m.Heartbeat(msu_name, seq, positions))
-            yield sim.timeout(period)
-
-    sim.process(gen(), name="beats")
 
 
 class TestHeartbeatMonitor:

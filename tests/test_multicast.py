@@ -3,60 +3,24 @@ admission, and the ledger invariant that the books balance after drain."""
 
 from types import SimpleNamespace
 
-from repro.clients import Client
-from repro.core import CalliopeCluster, ClusterConfig
 from repro.core.msu.network_process import NetworkProcess
 from repro.core.msu.queues import Signal
 from repro.clients.playback import splice_flows
 from repro.hardware.timer import SystemTimer
-from repro.media import MpegEncoder, packetize_cbr
 from repro.multicast import AdmissionLedger, MulticastConfig
 from repro.net.network import Host, Network, is_multicast
 from repro.sim import Simulator
-from repro.storage import IBTreeConfig
 from repro.units import MPEG1_RATE
 
-SMALL = IBTreeConfig(data_page_size=16 * 1024, internal_page_size=1024, max_keys=32)
-
-#: A short batch window so tests do not wait long for channels to fire.
-MCAST = MulticastConfig(batch_window=0.2, patch_horizon=6.0)
+from tests.helpers import MCAST, build_cluster, open_client, start_viewer
 
 
 def build(length=10.0, multicast=MCAST, n_titles=1, seed=7):
-    sim = Simulator()
-    cluster = CalliopeCluster(
-        sim,
-        ClusterConfig(
-            n_msus=1, disks_per_hba=(1,), ibtree_config=SMALL,
-            multicast=multicast,
-        ),
+    sim, cluster, _ = build_cluster(
+        n_msus=1, disks_per_hba=(1,), seed=seed, length=length,
+        multicast=multicast, n_titles=n_titles, run_to=0.01,
     )
-    cluster.coordinator.db.add_customer("user")
-    packets = packetize_cbr(
-        MpegEncoder(seed=seed).bitstream(length), MPEG1_RATE, 1024
-    )
-    for t in range(n_titles):
-        cluster.load_content(f"title{t}", "mpeg1", packets, disk_index=0)
-    sim.run(until=0.01)
     return sim, cluster
-
-
-def open_client(sim, cluster, name="c0"):
-    client = Client(sim, cluster, name)
-    proc = sim.process(client.open_session("user"))
-    sim.run_until_event(proc, limit=10.0)
-    return client
-
-
-def start_viewer(sim, client, title, port):
-    def scenario():
-        yield from client.register_port(port, "mpeg1")
-        view = yield from client.play(title, port)
-        yield from client.wait_ready(view)
-        return view
-
-    proc = sim.process(scenario())
-    return sim.run_until_event(proc, limit=30.0)
 
 
 def start_viewers_together(sim, requests):

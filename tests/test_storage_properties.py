@@ -1,0 +1,231 @@
+"""Property tests: allocator, IB-tree, and remount against oracle models.
+
+Each test drives the real structure with a generated op sequence and
+checks it against a trivially-correct in-memory model — a set of
+allocated blocks, a flat list of records, a dict of file contents.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfSpaceError, StorageError
+from repro.sim import Simulator
+from repro.storage import (
+    IBTreeConfig,
+    IBTreeReader,
+    IBTreeWriter,
+    MsuFileSystem,
+    PacketRecord,
+    RawDisk,
+    SpanVolume,
+)
+from repro.storage.allocator import BitmapAllocator
+from repro.storage.check import check_filesystem
+from tests.conftest import run_process
+
+pytestmark = pytest.mark.unit
+
+#: Small geometry so trees get deep and disks fill with few ops.
+SMALL = IBTreeConfig(data_page_size=2048, internal_page_size=256, max_keys=8)
+
+# -- allocator vs. a set model ----------------------------------------------
+
+#: Op stream encoding: (code, value) interpreted against current state, so
+#: hypothesis can shrink sequences without generating invalid ops.
+_ALLOC_OPS = st.lists(
+    st.tuples(st.sampled_from(["alloc", "free", "reserve", "alloc_res",
+                               "release_res"]),
+              st.integers(0, 1 << 30)),
+    max_size=120,
+)
+
+
+class TestAllocatorModel:
+    @given(nblocks=st.integers(1, 64), ops=_ALLOC_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_set_model(self, nblocks, ops):
+        alloc = BitmapAllocator(nblocks)
+        model = set()          # blocks handed out to files
+        reservations = []      # (Reservation, remaining) pairs still active
+
+        for code, value in ops:
+            if code == "alloc":
+                if alloc.free_blocks > 0:
+                    block = alloc.alloc()
+                    assert block not in model and 0 <= block < nblocks
+                    model.add(block)
+                else:
+                    with pytest.raises(OutOfSpaceError):
+                        alloc.alloc()
+            elif code == "free":
+                if model:
+                    block = sorted(model)[value % len(model)]
+                    alloc.free(block)
+                    model.discard(block)
+                    with pytest.raises(StorageError):
+                        alloc.free(block)  # double free always rejected
+            elif code == "reserve":
+                want = value % (nblocks + 1)
+                if want <= alloc.free_blocks:
+                    reservations.append([alloc.reserve(want), want])
+                else:
+                    with pytest.raises(OutOfSpaceError):
+                        alloc.reserve(want)
+            elif code == "alloc_res" and reservations:
+                entry = reservations[value % len(reservations)]
+                if entry[1] > 0:
+                    block = alloc.alloc(entry[0])
+                    assert block not in model
+                    model.add(block)
+                    entry[1] -= 1
+                else:
+                    with pytest.raises(OutOfSpaceError):
+                        alloc.alloc(entry[0])
+            elif code == "release_res" and reservations:
+                entry = reservations.pop(value % len(reservations))
+                entry[0].release()
+
+            # The books match the model after every single op.
+            held = sum(remaining for _, remaining in reservations)
+            assert alloc.used_blocks == len(model)
+            assert alloc.reserved_blocks == held
+            assert alloc.free_blocks == nblocks - len(model) - held
+            for block in range(nblocks):
+                assert alloc.is_allocated(block) == (block in model)
+
+
+# -- IB-tree writer/reader vs. a flat record list ---------------------------
+
+
+def _records(deltas_and_sizes):
+    t = 0
+    out = []
+    for delta, size in deltas_and_sizes:
+        t += delta
+        out.append(PacketRecord(t, bytes([size % 251]) * max(1, size)))
+    return out
+
+
+_RECORD_STREAMS = st.lists(
+    st.tuples(st.integers(0, 50_000), st.integers(1, 300)),
+    min_size=1, max_size=60,
+)
+
+
+def _store(records, config=SMALL):
+    """Write records through the IB-tree into an in-memory file system."""
+    sim = Simulator()
+    fs = MsuFileSystem(
+        SpanVolume(RawDisk(None, capacity=config.data_page_size * 4096),
+                   config.data_page_size)
+    )
+    handle = fs.create("stream")
+    writer = IBTreeWriter(config)
+
+    def build():
+        for record in records:
+            page = writer.feed(record)
+            if page is not None:
+                yield from handle.append_block(page)
+        pages, root = writer.finish()
+        for page in pages:
+            yield from handle.append_block(page)
+        handle.root = root
+
+    run_process(sim, build())
+    return sim, handle
+
+
+class TestIBTreeModel:
+    @given(stream=_RECORD_STREAMS)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_every_record(self, stream):
+        records = _records(stream)
+        sim, handle = _store(records)
+        got = run_process(sim, IBTreeReader(handle, SMALL).scan())
+        assert [(r.delivery_us, r.payload) for r in got] == [
+            (r.delivery_us, r.payload) for r in records
+        ]
+
+    @given(stream=_RECORD_STREAMS, frac=st.floats(0.0, 1.2))
+    @settings(max_examples=40, deadline=None)
+    def test_seek_lands_on_first_record_at_or_after_target(self, stream, frac):
+        records = _records(stream)
+        sim, handle = _store(records)
+        target = int(frac * records[-1].delivery_us)
+        result = run_process(sim, IBTreeReader(handle, SMALL).seek(target))
+        # Model: the first record whose delivery time is >= target.
+        expected = next(
+            (r for r in records if r.delivery_us >= target), None
+        )
+        if expected is None:
+            assert result is None
+        else:
+            page_index, record_index = result
+            page = run_process(sim, handle.read_block(page_index))
+            got = IBTreeReader.parse_page(page)[record_index]
+            assert (got.delivery_us, got.payload) == (
+                expected.delivery_us, expected.payload
+            )
+
+
+# -- file system create/append/delete vs. a dict model ----------------------
+
+_FS_OPS = st.lists(
+    st.tuples(st.sampled_from(["create", "append", "delete"]),
+              st.integers(0, 1 << 30)),
+    max_size=40,
+)
+
+_BLOCK = 2048
+
+
+class TestFilesystemModel:
+    @given(ops=_FS_OPS)
+    @settings(max_examples=40, deadline=None)
+    def test_remount_matches_dict_model(self, ops):
+        sim = Simulator()
+        raw = RawDisk(None, capacity=_BLOCK * 256)
+        fs = MsuFileSystem(SpanVolume(raw, _BLOCK))
+        model = {}  # name -> list of block payloads
+        counter = 0
+
+        for code, value in ops:
+            if code == "create":
+                name = f"f{counter}"
+                counter += 1
+                fs.create(name)
+                model[name] = []
+            elif code == "append" and model:
+                name = sorted(model)[value % len(model)]
+                payload = bytes([value % 251]) * _BLOCK
+                fs.append_block_sync(fs.open(name), payload)
+                model[name].append(payload)
+            elif code == "delete" and model:
+                name = sorted(model)[value % len(model)]
+                fs.delete(name)
+                del model[name]
+
+        run_process(sim, fs.sync_metadata())
+        mounted = run_process(sim, _mount(raw))
+        assert sorted(h.name for h in mounted.list_files()) == sorted(model)
+        for name, blocks in model.items():
+            handle = mounted.open(name)
+            assert handle.nblocks == len(blocks)
+            for index, payload in enumerate(blocks):
+                assert mounted.read_block_sync(handle, index) == payload
+        report = check_filesystem(mounted, SMALL)
+        # Raw payloads are not IB-tree pages, so the per-page walk flags
+        # them; the structural checks (block ownership, bitmap, counts)
+        # must still be clean.
+        structural = [
+            e for e in report.errors
+            if "corrupt" not in e and "length" not in e
+        ]
+        assert structural == []
+
+
+def _mount(raw):
+    mounted = yield from MsuFileSystem.mount(SpanVolume(raw, _BLOCK))
+    return mounted
