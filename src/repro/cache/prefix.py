@@ -64,6 +64,14 @@ class PrefixCache:
         """How many pages of this title's prefix are pinned."""
         return len(self._pinned.get(key, {}))
 
+    def pinned_titles(self) -> Dict[Key, int]:
+        """Every pinned title's key with its pinned-page count.
+
+        The recovery StateReport uses this so a restarted Coordinator can
+        reconcile its ``prefix_pinned`` flags against cache reality.
+        """
+        return {key: len(pages) for key, pages in self._pinned.items() if pages}
+
     def pinned_bytes(self) -> int:
         """Pool bytes held by pinned prefixes (refcount-balance audits)."""
         return sum(

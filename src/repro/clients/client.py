@@ -161,6 +161,10 @@ class Client:
         view.migrations += 1
 
     def _send_rpc(self, message) -> Event:
+        if not self.channel.open:
+            # A send into a closed channel silently vanishes; the caller
+            # would block forever on a reply that can never come.
+            raise CalliopeError("coordinator connection closed")
         event = Event(self.sim, name=f"rpc{message.request_id}")
         self._pending_rpcs[message.request_id] = event
         self.channel.send(self.name, message, nbytes=m.WIRE_BYTES)

@@ -15,13 +15,18 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.core.database import AdminDatabase, ContentEntry, DiskState, MsuState
 from repro.media.content import ContentType
 
-__all__ = ["Allocation", "AdmissionControl"]
+__all__ = [
+    "Allocation",
+    "AdmissionControl",
+    "allocation_state",
+    "allocation_from_state",
+]
 
 
 @dataclass
@@ -39,6 +44,16 @@ class Allocation:
     cache_covered: bool = False
 
 
+def allocation_state(alloc: Allocation) -> dict:
+    """JSON-safe image of one allocation (journal/snapshot format)."""
+    return asdict(alloc)
+
+
+def allocation_from_state(state: dict) -> Allocation:
+    """Rebuild an allocation from its :func:`allocation_state` image."""
+    return Allocation(**state)
+
+
 class AdmissionControl:
     """Bandwidth/space accounting over the admin database."""
 
@@ -53,6 +68,14 @@ class AdmissionControl:
         #: Admissions served from an MSU page cache rather than a disk
         #: slot (the popularity-aware second chance of place_read).
         self.cache_admitted = 0
+        #: Recovery hook: ``callback(kind, payload)`` fired for every
+        #: charge/release so the write-ahead log can replay the books
+        #: mutation-for-mutation on restart.  None disables it.
+        self.on_journal: Optional[Callable[[str, dict], None]] = None
+
+    def _journal(self, kind: str, payload: dict) -> None:
+        if self.on_journal is not None:
+            self.on_journal(kind, payload)
 
     # -- queueing -----------------------------------------------------------
 
@@ -132,17 +155,13 @@ class AdmissionControl:
             cache_covered = True
         _, state, disk = best
         if cache_covered:
-            state.cache_used += rate
             self.cache_admitted += 1
-        else:
-            disk.bandwidth_used += rate
-        state.delivery_used += rate
-        state.active_streams += 1
         self.admitted += 1
-        entry.note_active((state.name, disk.disk_id), +1)
-        return Allocation(
-            state.name, disk.disk_id, rate,
-            content_name=entry.name, cache_covered=cache_covered,
+        return self.apply(
+            Allocation(
+                state.name, disk.disk_id, rate,
+                content_name=entry.name, cache_covered=cache_covered,
+            )
         )
 
     def place_channel(
@@ -197,17 +216,13 @@ class AdmissionControl:
         else:
             return None
         if cache_covered:
-            state.cache_used += rate
             self.cache_admitted += 1
-        else:
-            disk.bandwidth_used += rate
-        state.delivery_used += rate
-        state.active_streams += 1
         self.admitted += 1
-        entry.note_active((msu_name, disk_id), +1)
-        return Allocation(
-            msu_name, disk_id, rate,
-            content_name=entry.name, cache_covered=cache_covered,
+        return self.apply(
+            Allocation(
+                msu_name, disk_id, rate,
+                content_name=entry.name, cache_covered=cache_covered,
+            )
         )
 
     def charge_direct(
@@ -225,16 +240,7 @@ class AdmissionControl:
         disk (the duty cycle absorbs it; admission stops new entrants).
         """
         name = entry.name if entry is not None else ""
-        state = self.db.msus.get(msu_name)
-        if state is not None:
-            disk = state.disks.get(disk_id)
-            if disk is not None:
-                disk.bandwidth_used += rate
-            state.delivery_used += rate
-            state.active_streams += 1
-        if entry is not None:
-            entry.note_active((msu_name, disk_id), +1)
-        return Allocation(msu_name, disk_id, rate, content_name=name)
+        return self.apply(Allocation(msu_name, disk_id, rate, content_name=name))
 
     def place_record(
         self,
@@ -265,22 +271,53 @@ class AdmissionControl:
         if best is None:
             return None
         _, state, disk = best
-        disk.bandwidth_used += rate
-        disk.free_blocks -= blocks
-        state.delivery_used += rate
-        state.active_streams += 1
         self.admitted += 1
-        return Allocation(state.name, disk.disk_id, rate, reserved_blocks=blocks)
+        return self.apply(
+            Allocation(state.name, disk.disk_id, rate, reserved_blocks=blocks)
+        )
 
     def estimate_blocks(self, ctype: ContentType, estimate_seconds: float) -> int:
         """Disk blocks a recording of this type/length will consume (§2.2)."""
         nbytes = ctype.storage_rate * max(0.0, estimate_seconds)
         return max(1, math.ceil(nbytes / self.block_size)) + 1  # +1 trailer
 
-    # -- release ----------------------------------------------------------------
+    # -- charge / release --------------------------------------------------------
+
+    def apply(self, alloc: Allocation, reserve_blocks: bool = True) -> Allocation:
+        """Charge ``alloc`` to the books — the exact inverse of release.
+
+        The placement methods above decide *what* to grant; this is the
+        single point where a grant lands on the books, so the recovery
+        journal observes every charge and can replay it verbatim on a
+        Coordinator restart.  ``reserve_blocks=False`` skips the recording
+        space debit — the reconciliation path rebuilds free-block counts
+        from MSU allocator truth instead.
+        """
+        if alloc.content_name:
+            entry = self.db.contents.get(alloc.content_name)
+            if entry is not None:
+                entry.note_active((alloc.msu_name, alloc.disk_id), +1)
+        state = self.db.msus.get(alloc.msu_name)
+        if state is not None:
+            state.delivery_used += alloc.bandwidth
+            state.active_streams += 1
+            if alloc.cache_covered:
+                state.cache_used += alloc.bandwidth
+            disk = state.disks.get(alloc.disk_id)
+            if disk is not None:
+                if not alloc.cache_covered:
+                    disk.bandwidth_used += alloc.bandwidth
+                if alloc.reserved_blocks and reserve_blocks:
+                    disk.free_blocks -= alloc.reserved_blocks
+        self._journal("charge", {"alloc": allocation_state(alloc)})
+        return alloc
 
     def release(self, alloc: Allocation, blocks_used: int = 0) -> None:
         """Return a stream's resources (and a recording's unused space)."""
+        self._journal(
+            "release",
+            {"alloc": allocation_state(alloc), "blocks_used": blocks_used},
+        )
         if alloc.content_name:
             entry = self.db.contents.get(alloc.content_name)
             if entry is not None:
@@ -356,6 +393,7 @@ class AdmissionControl:
         state = self.db.msus.get(msu_name)
         if state is None:
             return
+        self._journal("release-msu", {"name": msu_name})
         state.delivery_used = 0.0
         state.active_streams = 0
         state.cache_used = 0.0

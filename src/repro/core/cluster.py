@@ -22,6 +22,9 @@ from repro.media.filtering import make_fast_backward, make_fast_forward
 from repro.media.mpeg import packetize_cbr
 from repro.multicast import MulticastConfig
 from repro.net.network import ControlChannel, Network
+# Module-direct import: the repro.recovery package pulls in repro.core
+# for reconciliation, so going through its __init__ here would cycle.
+from repro.recovery.journal import JournalStore, RecoveryConfig
 from repro.sim import Simulator
 from repro.storage.ibtree import IBTreeConfig
 from repro.units import ms
@@ -54,6 +57,9 @@ class ClusterConfig:
     #: Batched multicast channels + patching streams (extension); None
     #: reproduces the paper's one-unicast-stream-per-viewer delivery.
     multicast: Optional[MulticastConfig] = None
+    #: Coordinator WAL + snapshots + MSU-state reconciliation (extension);
+    #: None reproduces the paper's unrecoverable Coordinator.
+    recovery: Optional[RecoveryConfig] = field(default_factory=RecoveryConfig)
     seed: int = 42
 
 
@@ -69,6 +75,13 @@ class CalliopeCluster:
             sim, types=config.types, block_size=config.ibtree_config.data_page_size,
             failover=config.failover, multicast=config.multicast,
         )
+        self.journal: Optional[JournalStore] = None
+        self.coordinator_down = False
+        if config.recovery is not None:
+            self.journal = JournalStore(
+                snapshot_every=config.recovery.snapshot_every
+            )
+            self.coordinator.attach_journal(self.journal)
         heartbeat_period = (
             config.failover.heartbeat.period if config.failover is not None else 0.0
         )
@@ -120,6 +133,8 @@ class CalliopeCluster:
 
     def connect_client(self, client_host: str) -> ControlChannel:
         """Open the client <-> Coordinator session channel."""
+        if self.coordinator_down:
+            raise CalliopeError("coordinator is down")
         channel = ControlChannel(
             self.sim, client_host, self.coordinator.name,
             latency=self.config.intra_latency, network=self.intra_net,
@@ -165,17 +180,88 @@ class CalliopeCluster:
         if msu.coordinator_channel is not None and msu.coordinator_channel.open:
             msu.coordinator_channel.close()
         msu.reboot()
+        msu.up = True
+        if self.coordinator_down:
+            # Nobody to say hello to; restart_coordinator reconnects it.
+            return
         channel = ControlChannel(
             self.sim, self.coordinator.name, msu.name,
             latency=self.config.intra_latency, network=self.intra_net,
         )
         self.coordinator.attach_msu(channel)
-        msu.up = True
         msu.attach_coordinator(channel)
 
     def recover(self, index: int) -> None:
         """Bring a failed MSU back (alias for :meth:`rejoin_msu`)."""
         self.rejoin_msu(index)
+
+    def crash_coordinator(self) -> None:
+        """Kill the Coordinator machine (failure injection).
+
+        Every control connection — MSUs, client sessions — breaks.  MSUs
+        keep serving their admitted streams unsupervised; anything they
+        report into the closed channels is lost (MSU-wins reconciliation
+        recovers it later).  Requires the recovery journal: without it a
+        Coordinator loss is, as in the paper, not recoverable.
+        """
+        if self.journal is None:
+            raise CalliopeError("no recovery journal configured")
+        if self.coordinator_down:
+            return
+        coord = self.coordinator
+        coord.halt()
+        for channel in list(coord._msu_channels.values()):
+            if channel.open:
+                channel.close()
+        for channel in list(coord._session_channels.values()):
+            if channel.open:
+                channel.close()
+        for channel in list(self._client_channels.values()):
+            if channel.open:
+                channel.close()
+        self._client_channels.clear()
+        self.coordinator_down = True
+
+    def restart_coordinator(self) -> None:
+        """Cold-start a fresh Coordinator from the journal and reconcile.
+
+        The new instance restores the last snapshot, replays the WAL
+        tail, reconnects every live MSU and probes each for a
+        ``StateReport``; reconciliation completes when all have answered
+        (or the report grace period expires).
+        """
+        if self.journal is None:
+            raise CalliopeError("no recovery journal configured")
+        if not self.coordinator_down:
+            return
+        config = self.config
+        old = self.coordinator
+        coord = Coordinator(
+            self.sim, types=config.types,
+            block_size=config.ibtree_config.data_page_size,
+            failover=config.failover, multicast=config.multicast,
+        )
+        coord.tracer = old.tracer
+        coord.on_capacity_lost = old.on_capacity_lost
+        from repro.recovery.replay import recover
+
+        coord.replayed_records = recover(coord, self.journal)
+        self.coordinator = coord
+        self.coordinator_down = False
+        coord.attach_journal(self.journal)
+        expected = [
+            state.name for state in coord.db.msus.values() if state.available
+        ]
+        coord.begin_recovery(expected, config.recovery.report_grace)
+        for msu in self.msus:
+            if not msu.up:
+                continue
+            channel = ControlChannel(
+                self.sim, coord.name, msu.name,
+                latency=config.intra_latency, network=self.intra_net,
+            )
+            coord.attach_msu(channel)
+            msu.attach_coordinator(channel)
 
     # -- administrative helpers -----------------------------------------------------
 

@@ -4,8 +4,12 @@ The Coordinator authenticates clients, serves the table of contents,
 admits play/record requests against per-disk bandwidth and per-MSU
 delivery budgets, queues requests that cannot be placed, builds stream
 groups for composite types, and detects MSU failures through broken
-control connections.  It is a single machine and a single point of
-failure: "Calliope does not recover from Coordinator failures."
+control connections.  The paper left it a single point of failure
+("Calliope does not recover from Coordinator failures"); the
+:mod:`repro.recovery` extension closes that gap — every control-plane
+mutation is journaled to a write-ahead log, and a restarted Coordinator
+replays snapshot + WAL and then reconciles against MSU StateReports,
+so already-admitted streams survive the outage.
 
 Per-request CPU costs are charged on the Coordinator machine's simulated
 processor; the scalability experiment (§3.3) measures exactly this
@@ -39,6 +43,12 @@ from repro.hardware.params import ETHERNET_10, MachineParams
 from repro.media.content import DEFAULT_TYPES, ContentType, ContentTypeRegistry
 from repro.net import messages as m
 from repro.net.network import ControlChannel
+from repro.recovery.snapshot import (
+    group_state,
+    port_state,
+    snapshot_state,
+    ticket_state,
+)
 from repro.sim import Simulator
 from repro.units import BLOCK_SIZE, ms
 
@@ -72,6 +82,8 @@ class _QueuedRequest:
     channel: Optional[ControlChannel]
     #: Degraded-mode band (repro.failover.degraded); lower drains first.
     priority: int = PRIORITY_NORMAL
+    #: Durable identity in the recovery journal (0 = never journaled).
+    ticket_id: int = 0
 
 
 class Coordinator:
@@ -138,6 +150,23 @@ class Coordinator:
         self.on_capacity_lost = None
         self._next_group = 1
         self._next_stream = 1
+        self._next_ticket = 1
+        #: Write-ahead log (repro.recovery); None disables journaling.
+        self.journal = None
+        #: True once halt() ran — this instance is a dead process image.
+        self.dead = False
+        #: True between begin_recovery() and reconciliation completing.
+        self.recovering = False
+        self._recovery_expected: set = set()
+        self._recovery_reports: Dict[str, m.StateReport] = {}
+        self._recovery_backlog: List[object] = []
+        self._recovery_started = 0.0
+        #: WAL records replayed at restart (cluster sets it; metrics).
+        self.replayed_records = 0
+        #: The most recent restart's RecoveryOutcome, if any.
+        self.last_recovery = None
+        self.db.on_journal = self._journal
+        self.admission.on_journal = self._journal
         self.requests_handled = 0
         self.terminations_handled = 0
         self.prefix_hot_requests = self.PREFIX_HOT_REQUESTS
@@ -161,6 +190,130 @@ class Coordinator:
         self._next_stream += 1
         return stream_id
 
+    # -- crash recovery (repro.recovery) -----------------------------------------
+
+    def _journal(self, kind: str, payload: dict) -> None:
+        """Append one mutation to the write-ahead log, snapshotting as due.
+
+        A single hook serves the database, the admission books and the
+        Coordinator's own structural mutations; records and their matching
+        control-channel sends happen in one synchronous block, so the log
+        never tears mid-operation.
+        """
+        if self.journal is None or self.dead:
+            return
+        self.journal.append(kind, payload)
+        if not self.recovering and self.journal.snapshot_due():
+            self.journal.install_snapshot(snapshot_state(self))
+
+    def attach_journal(self, store) -> None:
+        """Start journaling to ``store`` (a JournalStore), seeding it with
+        a snapshot of the current state if it has none yet."""
+        self.journal = store
+        if store.snapshot is None:
+            store.install_snapshot(snapshot_state(self))
+
+    def halt(self) -> None:
+        """Simulate the Coordinator process dying.
+
+        The in-memory state freezes (this instance is discarded), the
+        journal detaches — it belongs to stable storage, i.e. the cluster
+        — and the heartbeat watchers stop so the corpse cannot declare
+        MSUs dead.  The caller closes the control channels.
+        """
+        self.dead = True
+        self.recovering = False
+        self.journal = None
+        if self.monitor is not None:
+            self.monitor.stop_all()
+
+    def begin_recovery(self, expected, grace: float) -> None:
+        """Enter the reconciliation window after replaying the journal.
+
+        ``expected`` names the MSUs the replayed database believes are up;
+        each is probed with :class:`~repro.net.messages.ReportState` as it
+        reattaches.  Reconciliation runs when every expected MSU has
+        reported or ``grace`` seconds elapse — whichever comes first; the
+        silent ones are then declared failed.
+        """
+        self.recovering = True
+        self._recovery_expected = set(expected)
+        self._recovery_reports = {}
+        self._recovery_backlog = []
+        self._recovery_started = self.sim.now
+        if not self._recovery_expected:
+            self._complete_recovery()
+            return
+
+        def _grace_timer() -> Generator:
+            yield self.sim.timeout(grace)
+            if self.recovering:
+                self._complete_recovery()
+
+        self.sim.process(_grace_timer(), name="coord.recovery-grace")
+
+    def _state_reported(self, msg: m.StateReport) -> None:
+        if not self.recovering:
+            return
+        self._recovery_reports[msg.msu_name] = msg
+        if self._recovery_expected <= set(self._recovery_reports):
+            self._complete_recovery()
+
+    def _complete_recovery(self) -> None:
+        """Reconcile against the collected StateReports and resume service."""
+        if not self.recovering:
+            return
+        from repro.recovery.reconcile import reconcile
+
+        self.recovering = False
+        reports = [
+            self._recovery_reports[name]
+            for name in sorted(self._recovery_reports)
+        ]
+        missing = sorted(self._recovery_expected - set(self._recovery_reports))
+        outcome = reconcile(self, reports, missing)
+        outcome.time_to_recover = self.sim.now - self._recovery_started
+        outcome.wal_records = self.replayed_records
+        if self.journal is not None:
+            outcome.snapshot_seq = self.journal.snapshot_seq
+        # Terminations and drains that raced the reconciliation window.
+        backlog, self._recovery_backlog = self._recovery_backlog, []
+        for msg in backlog:
+            if isinstance(msg, m.StreamTerminated):
+                self.terminations_handled += 1
+                self._stream_terminated(msg)
+            elif isinstance(msg, m.PatchDrained):
+                if self.channel_manager is not None:
+                    self.channel_manager.patch_drained(msg)
+            elif isinstance(msg, m.ChannelDowngrade):
+                if self.channel_manager is not None:
+                    self.channel_manager.downgrade(msg)
+        # A fresh snapshot folds the recovery-window churn out of the WAL.
+        if self.journal is not None:
+            self.journal.install_snapshot(snapshot_state(self))
+        self.last_recovery = outcome
+        self._trace(
+            "recovered",
+            f"msus={outcome.msus_reported}",
+            f"dropped={outcome.streams_dropped} adopted={outcome.streams_adopted} "
+            f"tickets={outcome.tickets_recovered}",
+        )
+        self._retry_queue()
+
+    def register_group(self, group: GroupRecord, session: Session) -> None:
+        """Install a scheduled group and journal its full image."""
+        self.groups[group.group_id] = group
+        if group.group_id not in session.active_groups:
+            session.active_groups.append(group.group_id)
+        self._journal("group-open", {"group": group_state(group)})
+
+    def _enqueue(self, req: _QueuedRequest) -> None:
+        """Park a request on the scheduling queue as a durable ticket."""
+        req.ticket_id = self._next_ticket
+        self._next_ticket += 1
+        self.admission.enqueue(req)
+        self._journal("ticket-add", ticket_state(req))
+
     # -- wiring ------------------------------------------------------------------
 
     def attach_msu(self, channel: ControlChannel) -> None:
@@ -180,9 +333,12 @@ class Coordinator:
             if msg is None:
                 # Only a break on the MSU's *current* channel is a
                 # failure; a stale channel closed during rejoin (or after
-                # the heartbeat monitor already declared death) is not.
+                # the heartbeat monitor already declared death) is not —
+                # and a halted Coordinator's closing channels are not
+                # MSU failures at all.
                 if (
-                    msu_name is not None
+                    not self.dead
+                    and msu_name is not None
                     and self._msu_channels.get(msu_name) is channel
                 ):
                     self._msu_failed(msu_name)
@@ -192,20 +348,35 @@ class Coordinator:
                 self._msu_channels[msu_name] = channel
                 self.db.register_msu(msu_name, list(msg.disks), msg.cache_bps)
                 self._trace("msu-up", msu_name, f"disks={len(msg.disks)}")
-                self._retry_queue()
+                if self.recovering:
+                    # Restart protocol: ask what it is actually serving.
+                    channel.send(self.name, m.ReportState(), nbytes=m.WIRE_BYTES)
+                else:
+                    self._retry_queue()
+            elif isinstance(msg, m.StateReport):
+                self._state_reported(msg)
             elif isinstance(msg, m.Heartbeat):
                 if self.monitor is not None:
                     self.monitor.beat(msg)
             elif isinstance(msg, m.CacheReport):
                 self._cache_report(msg)
             elif isinstance(msg, m.PatchDrained):
-                if self.channel_manager is not None:
+                if self.recovering:
+                    # Buffered: applying it before reconciliation would
+                    # fight the StateReports already collected.
+                    self._recovery_backlog.append(msg)
+                elif self.channel_manager is not None:
                     self.channel_manager.patch_drained(msg)
                     self._retry_queue()  # a refunded patch frees bandwidth
             elif isinstance(msg, m.ChannelDowngrade):
-                if self.channel_manager is not None:
+                if self.recovering:
+                    self._recovery_backlog.append(msg)
+                elif self.channel_manager is not None:
                     self.channel_manager.downgrade(msg)
             elif isinstance(msg, m.StreamTerminated):
+                if self.recovering:
+                    self._recovery_backlog.append(msg)
+                    continue
                 yield from self.machine.cpu.execute(self.TERMINATION_CPU)
                 self.terminations_handled += 1
                 self._trace("terminated", f"group={msg.group_id}",
@@ -227,6 +398,8 @@ class Coordinator:
 
     def _heartbeat_dead(self, msu_name: str) -> None:
         """The heartbeat monitor gave up on an MSU before the TCP break."""
+        if self.dead:
+            return
         self._msu_failed(msu_name, reason="heartbeat")
 
     def _msu_failed(self, msu_name: str, reason: str = "connection-lost") -> None:
@@ -260,9 +433,18 @@ class Coordinator:
             for alloc in group.allocations.values():
                 self.admission.release(alloc)
             group.allocations.clear()
+            dropped_contents = []
             for content_name, _type_name in group.recordings.values():
                 # A half-made recording died with its MSU's buffers.
                 self.db.contents.pop(content_name, None)
+                dropped_contents.append(content_name)
+            self._journal(
+                "group-drop",
+                {
+                    "group_id": group.group_id,
+                    "dropped_contents": dropped_contents,
+                },
+            )
         self.admission.release_msu(msu_name)
         if self.channel_manager is not None:
             # Books already zeroed wholesale; the manager force-closes
@@ -280,6 +462,11 @@ class Coordinator:
             self.migrator.msu_failed(msu_name, affected)
         if self.on_capacity_lost is not None and lost_titles:
             self.on_capacity_lost(msu_name, lost_titles)
+        if self.recovering:
+            # An expected MSU that died mid-recovery will never report.
+            self._recovery_expected.discard(msu_name)
+            if self._recovery_expected <= set(self._recovery_reports):
+                self._complete_recovery()
 
     def _stream_terminated(self, msg: m.StreamTerminated) -> None:
         if self.channel_manager is not None:
@@ -288,13 +475,24 @@ class Coordinator:
         group = self.groups.get(msg.group_id)
         if group is None:
             return
+        self._journal(
+            "stream-end",
+            {
+                "group_id": msg.group_id,
+                "stream_id": msg.stream_id,
+                "reason": msg.reason,
+                "recorded_blocks": msg.recorded_blocks,
+            },
+        )
         alloc = group.allocations.pop(msg.stream_id, None)
         if alloc is not None:
             self.admission.release(alloc, blocks_used=msg.recorded_blocks)
         recording = group.recordings.pop(msg.stream_id, None)
         if recording is not None and msg.reason == "record-complete":
             content_name, _type_name = recording
-            self.db.content(content_name).blocks = msg.recorded_blocks
+            entry = self.db.contents.get(content_name)
+            if entry is not None:  # adopted orphans may lack an entry
+                entry.blocks = msg.recorded_blocks
         if not group.allocations and not group.recordings:
             self.groups.pop(msg.group_id, None)
             session = self.sessions.lookup(group.session_id)
@@ -328,6 +526,10 @@ class Coordinator:
                 elif isinstance(msg, m.DeleteContent):
                     reply = self._delete(msg)
                 elif isinstance(msg, m.CloseSession):
+                    if self.sessions.lookup(msg.session_id) is not None:
+                        self._journal(
+                            "session-close", {"session_id": msg.session_id}
+                        )
                     self.sessions.close(msg.session_id)
                     self._session_channels.pop(msg.session_id, None)
             except Exception as err:  # admission/type errors become replies
@@ -346,6 +548,14 @@ class Coordinator:
         if customer is None:
             return m.RequestFailed(f"unknown customer {msg.customer!r}")
         session = self.sessions.open(customer, client_host)
+        self._journal(
+            "session-open",
+            {
+                "session_id": session.session_id,
+                "customer": customer.name,
+                "client_host": client_host,
+            },
+        )
         if channel is not None:
             # Kept for unsolicited notices (StreamMigrated on failover).
             self._session_channels[session.session_id] = channel
@@ -364,8 +574,11 @@ class Coordinator:
             raise TypeMismatchError(
                 f"type {msg.type_name!r} is composite; register components first"
             )
-        session.register_port(
-            DisplayPort(msg.port_name, msg.type_name, address=tuple(msg.address))
+        port = DisplayPort(msg.port_name, msg.type_name, address=tuple(msg.address))
+        session.register_port(port)
+        self._journal(
+            "port-add",
+            {"session_id": msg.session_id, "port": port_state(port)},
         )
         return m.PortRegistered(msg.port_name)
 
@@ -383,11 +596,14 @@ class Coordinator:
                 f"composite {msg.type_name!r} needs ports of types "
                 f"{component_types}, got {port_types}"
             )
-        session.register_port(
-            DisplayPort(
-                msg.port_name, msg.type_name,
-                component_ports=tuple(msg.component_ports),
-            )
+        port = DisplayPort(
+            msg.port_name, msg.type_name,
+            component_ports=tuple(msg.component_ports),
+        )
+        session.register_port(port)
+        self._journal(
+            "port-add",
+            {"session_id": msg.session_id, "port": port_state(port)},
         )
         return m.PortRegistered(msg.port_name)
 
@@ -435,6 +651,7 @@ class Coordinator:
         if msu_channel is None:
             return
         entry.prefix_pinned = True
+        self._journal("prefix-pin", {"name": entry.name})
         msu_channel.send(
             self.name,
             m.PinPrefix(entry.name, entry.disk_id, self.prefix_pin_pages),
@@ -446,6 +663,10 @@ class Coordinator:
     def _play(
         self, msg: m.PlayRequest, channel: ControlChannel, fresh: bool = True
     ) -> Generator:
+        if self.recovering:
+            # The books are mid-reconciliation; park until they settle.
+            self._enqueue(_QueuedRequest("play", msg.session_id, msg, channel))
+            return None
         session = self.sessions.get(msg.session_id)
         if fresh:  # retries of a queued request are not new demand
             entry = self.db.note_request(msg.content_name)
@@ -477,7 +698,7 @@ class Coordinator:
             if alloc is None:
                 for _, _, granted in allocations:
                     self.admission.release(granted)
-                self.admission.enqueue(
+                self._enqueue(
                     _QueuedRequest(
                         "play", msg.session_id, msg, channel,
                         priority=play_priority(self.db, entry),
@@ -487,7 +708,7 @@ class Coordinator:
                 return None  # queued: the client hears nothing until placed
             msu_pin = alloc.msu_name
             allocations.append((comp_entry, comp_port, alloc))
-        entry.play_count += 1
+        self.db.note_played(entry.name)
         group = GroupRecord(self._next_group, msg.session_id, allocations[0][2].msu_name)
         self._next_group += 1
         msu_channel = self._msu_channels[group.msu_name]
@@ -511,8 +732,7 @@ class Coordinator:
                 ),
                 nbytes=m.WIRE_BYTES,
             )
-        self.groups[group.group_id] = group
-        session.active_groups.append(group.group_id)
+        self.register_group(group, session)
         self._trace("scheduled", msg.content_name,
                     f"group={group.group_id} msu={group.msu_name}")
         return m.StreamScheduled(group.group_id, group.msu_name)
@@ -520,6 +740,9 @@ class Coordinator:
     # -- record --------------------------------------------------------------------------
 
     def _record(self, msg: m.RecordRequest, channel: ControlChannel) -> Generator:
+        if self.recovering:
+            self._enqueue(_QueuedRequest("record", msg.session_id, msg, channel))
+            return None
         session = self.sessions.get(msg.session_id)
         ctype = self.types.get(msg.type_name)
         port = session.port(msg.port_name)
@@ -551,7 +774,7 @@ class Coordinator:
             if alloc is None:
                 for _, _, _, granted in placed:
                     self.admission.release(granted)
-                self.admission.enqueue(
+                self._enqueue(
                     _QueuedRequest("record", msg.session_id, msg, channel)
                 )
                 return None
@@ -591,8 +814,7 @@ class Coordinator:
                     components=tuple(component_names),
                 )
             )
-        self.groups[group.group_id] = group
-        session.active_groups.append(group.group_id)
+        self.register_group(group, session)
         return m.StreamScheduled(group.group_id, group.msu_name)
 
     # -- delete ---------------------------------------------------------------------------
@@ -615,14 +837,13 @@ class Coordinator:
             channel.send(
                 self.name, m.DeleteFile(entry.name, entry.disk_id), nbytes=m.WIRE_BYTES
             )
-            disk = self.db.disk(entry.msu_name, entry.disk_id)
-            disk.free_blocks += entry.blocks
+            self.db.adjust_free_blocks(entry.msu_name, entry.disk_id, entry.blocks)
 
     # -- queued-request retry --------------------------------------------------------------
 
     def queue_resume(self, ticket) -> None:
         """Park an unplaceable resume ticket at the head of the queue."""
-        self.admission.enqueue(
+        self._enqueue(
             _QueuedRequest(
                 "resume", ticket.session_id, ticket, None,
                 priority=PRIORITY_RESUME,
@@ -633,8 +854,11 @@ class Coordinator:
         """Resources changed: re-attempt parked requests in queue order.
 
         The queue is kept priority-sorted by enqueue(); FIFO within a
-        band, resume tickets first.
+        band, resume tickets first.  Suppressed while recovering — the
+        books are not trustworthy until reconciliation finishes.
         """
+        if self.dead or self.recovering:
+            return
         if not self.admission.queue:
             return
         pending = list(self.admission.queue)
@@ -643,6 +867,12 @@ class Coordinator:
             self.sim.process(self._retry_one(req), name="coord.retry")
 
     def _retry_one(self, req: _QueuedRequest) -> Generator:
+        if self.dead:
+            return
+        if req.ticket_id:
+            # At-most-once: the durable ticket is consumed up front; a
+            # failed placement re-enqueues under a fresh ticket id.
+            self._journal("ticket-remove", {"ticket_id": req.ticket_id})
         if req.kind == "resume":
             if self.migrator is not None:
                 yield from self.migrator.migrate(req.message)
@@ -654,7 +884,7 @@ class Coordinator:
                 reply = yield from self._record(req.message, req.channel)
         except Exception as err:
             reply = m.RequestFailed(str(err))
-        if reply is not None:
+        if reply is not None and req.channel is not None:
             request_id = getattr(req.message, "request_id", 0)
             reply = dataclasses.replace(reply, request_id=request_id)
             req.channel.send(self.name, reply, nbytes=m.WIRE_BYTES)

@@ -9,11 +9,19 @@ and how much disk space remains unused."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import UnknownContentError
+from repro.errors import ContentInUseError, UnknownContentError
 
-__all__ = ["Customer", "ContentEntry", "DiskState", "MsuState", "AdminDatabase"]
+__all__ = [
+    "Customer",
+    "ContentEntry",
+    "DiskState",
+    "MsuState",
+    "AdminDatabase",
+    "entry_state",
+    "entry_from_state",
+]
 
 
 @dataclass
@@ -82,6 +90,48 @@ class ContentEntry:
         if location not in self.locations():
             self.replicas = self.replicas + (location,)
 
+    def active_total(self) -> int:
+        """Streams currently reading this title, across every location."""
+        return sum(self.active.values())
+
+
+def entry_state(entry: ContentEntry) -> dict:
+    """JSON-safe image of one content entry (journal/snapshot format)."""
+    return {
+        "name": entry.name,
+        "type_name": entry.type_name,
+        "msu_name": entry.msu_name,
+        "disk_id": entry.disk_id,
+        "blocks": entry.blocks,
+        "duration_us": entry.duration_us,
+        "components": list(entry.components),
+        "replicas": [list(loc) for loc in entry.replicas],
+        "play_count": entry.play_count,
+        "request_count": entry.request_count,
+        "prefix_pinned": entry.prefix_pinned,
+        "active": [[list(loc), count] for loc, count in sorted(entry.active.items())],
+    }
+
+
+def entry_from_state(state: dict) -> ContentEntry:
+    """Rebuild a content entry from its :func:`entry_state` image."""
+    return ContentEntry(
+        name=state["name"],
+        type_name=state["type_name"],
+        msu_name=state.get("msu_name", ""),
+        disk_id=state.get("disk_id", ""),
+        blocks=state.get("blocks", 0),
+        duration_us=state.get("duration_us", 0),
+        components=tuple(state.get("components", ())),
+        replicas=tuple(tuple(loc) for loc in state.get("replicas", ())),
+        play_count=state.get("play_count", 0),
+        request_count=state.get("request_count", 0),
+        prefix_pinned=state.get("prefix_pinned", False),
+        active={
+            tuple(loc): count for loc, count in state.get("active", ())
+        },
+    )
+
 
 @dataclass
 class DiskState:
@@ -137,12 +187,21 @@ class AdminDatabase:
         self.customers: Dict[str, Customer] = {}
         self.contents: Dict[str, ContentEntry] = {}
         self.msus: Dict[str, MsuState] = {}
+        #: Recovery hook: ``callback(kind, payload)`` fired after every
+        #: database mutation so the Coordinator's write-ahead log can
+        #: replay them on restart (repro.recovery).  None disables it.
+        self.on_journal: Optional[Callable[[str, dict], None]] = None
+
+    def _journal(self, kind: str, payload: dict) -> None:
+        if self.on_journal is not None:
+            self.on_journal(kind, payload)
 
     # -- customers -----------------------------------------------------------
 
     def add_customer(self, name: str, admin: bool = False) -> Customer:
         customer = Customer(name, admin)
         self.customers[name] = customer
+        self._journal("customer-add", {"name": name, "admin": admin})
         return customer
 
     def authenticate(self, name: str) -> Optional[Customer]:
@@ -152,6 +211,7 @@ class AdminDatabase:
 
     def add_content(self, entry: ContentEntry) -> None:
         self.contents[entry.name] = entry
+        self._journal("content-add", {"entry": entry_state(entry)})
 
     def content(self, name: str) -> ContentEntry:
         try:
@@ -161,7 +221,23 @@ class AdminDatabase:
 
     def remove_content(self, name: str) -> ContentEntry:
         entry = self.content(name)
+        active = entry.active_total()
+        if active:
+            raise ContentInUseError(
+                f"content {name!r} has {active} active reader(s)"
+            )
         del self.contents[name]
+        self._journal("content-remove", {"name": name})
+        return entry
+
+    def add_replica(self, name: str, msu_name: str, disk_id: str) -> ContentEntry:
+        """Record a new copy of ``name`` at (msu, disk), journaled."""
+        entry = self.content(name)
+        entry.add_replica(msu_name, disk_id)
+        self._journal(
+            "content-replica",
+            {"name": name, "msu_name": msu_name, "disk_id": disk_id},
+        )
         return entry
 
     def listing(self) -> List[Tuple[str, str]]:
@@ -172,6 +248,14 @@ class AdminDatabase:
         """Count one play request against a title (admitted or not)."""
         entry = self.content(name)
         entry.request_count += 1
+        self._journal("note-request", {"name": name})
+        return entry
+
+    def note_played(self, name: str, count: int = 1) -> ContentEntry:
+        """Count ``count`` admitted plays against a title, journaled."""
+        entry = self.content(name)
+        entry.play_count += count
+        self._journal("content-played", {"name": name, "count": count})
         return entry
 
     def top_requested(self, n: int = 10) -> List[ContentEntry]:
@@ -201,6 +285,14 @@ class AdminDatabase:
                 state.disks[disk_id] = DiskState(name, disk_id, free_blocks)
             else:
                 disk.free_blocks = free_blocks
+        self._journal(
+            "msu-register",
+            {
+                "name": name,
+                "disks": [[disk_id, free] for disk_id, free in disks],
+                "cache_bps": cache_bps,
+            },
+        )
         return state
 
     def mark_msu_down(self, name: str) -> None:
@@ -208,6 +300,12 @@ class AdminDatabase:
         if name in self.msus:
             self.msus[name].available = False
         self.clear_active(name)
+        # Its page cache died with it: any prefix pinned there is gone and
+        # must be re-requested once the title runs hot again.
+        for entry in self.contents.values():
+            if entry.prefix_pinned and entry.msu_name == name:
+                entry.prefix_pinned = False
+        self._journal("msu-down", {"name": name})
 
     def clear_active(self, msu_name: str) -> None:
         """Forget active-stream counts on one MSU (its streams died)."""
@@ -221,3 +319,18 @@ class AdminDatabase:
 
     def disk(self, msu_name: str, disk_id: str) -> DiskState:
         return self.msus[msu_name].disks[disk_id]
+
+    def adjust_free_blocks(self, msu_name: str, disk_id: str, delta: int) -> None:
+        """Credit/debit a disk's free-block count, journaled.
+
+        Used outside the admission charge path: replication copies consume
+        space, content deletion returns it.
+        """
+        state = self.msus.get(msu_name)
+        disk = state.disks.get(disk_id) if state is not None else None
+        if disk is not None:
+            disk.free_blocks = max(0, disk.free_blocks + delta)
+        self._journal(
+            "disk-adjust",
+            {"msu_name": msu_name, "disk_id": disk_id, "delta": delta},
+        )

@@ -192,6 +192,9 @@ class Msu:
 
     def attach_coordinator(self, channel: ControlChannel) -> None:
         """Connect to the Coordinator and announce disks (§2.2 MsuHello)."""
+        stale = self.coordinator_channel
+        if stale is not None and stale is not channel and stale.open:
+            stale.close()  # a restarted Coordinator replaces the old link
         self.coordinator_channel = channel
         disks = tuple(
             (disk_id, fs.allocator.free_blocks)
@@ -219,9 +222,11 @@ class Msu:
             if msg is None:
                 # A stale channel replaced during rejoin closes late; only
                 # a break on the *current* channel is a Coordinator loss.
-                if self.coordinator_channel is channel:
-                    self.up = False
-                return  # Coordinator failure is not recovered from (§2.2)
+                # The MSU survives it: streams keep playing unsupervised
+                # until a restarted Coordinator re-attaches and reconciles.
+                if self.up and self.coordinator_channel is channel:
+                    self.coordinator_channel = None
+                return
             if not self.up or self.coordinator_channel is not channel:
                 # A frozen machine processes nothing: a request that raced
                 # with a hang is lost with the rest of the MSU's state, or
@@ -229,7 +234,9 @@ class Msu:
                 # ResumePlay) while officially dead and still hold them
                 # after rejoining — the same group alive on two MSUs.
                 return
-            if isinstance(msg, m.ScheduleRead):
+            if isinstance(msg, m.ReportState):
+                channel.send(self.name, self.state_report(), nbytes=m.WIRE_BYTES)
+            elif isinstance(msg, m.ScheduleRead):
                 self._schedule_read(msg)
             elif isinstance(msg, m.ChannelCreate):
                 self._create_channel(msg)
@@ -250,6 +257,66 @@ class Msu:
                     fs.delete(msg.content_name)
                     if self.cache is not None:
                         self.cache.invalidate((msg.disk_id, msg.content_name))
+
+    def state_report(self) -> m.StateReport:
+        """Answer a restarted Coordinator's ``ReportState`` probe.
+
+        Everything the MSU is serving *right now*: active streams by
+        group (channel-own groups excluded — they travel as channels),
+        multicast channels with their subscriber sets, pinned prefixes,
+        and allocator free-block truth.  Recovery treats this as
+        authoritative (MSU-wins reconciliation).
+        """
+        disks = tuple(
+            (disk_id, fs.allocator.free_blocks)
+            for disk_id, fs in sorted(self.filesystems.items())
+        )
+        cache_bps = self.cache.config.bandwidth if self.cache is not None else 0.0
+        channel_groups = {ch.group.group_id for ch in self.channels.values()}
+        streams = []
+        for group_id in sorted(self.groups):
+            group = self.groups[group_id]
+            if group_id in channel_groups:
+                continue
+            for stream in group.play_streams:
+                if stream.stream_id in group.finished:
+                    continue
+                proc = self._stream_disk.get(stream.stream_id)
+                streams.append((
+                    group_id, stream.stream_id, stream.handle.name,
+                    proc.disk_id if proc is not None else "",
+                    "patch" if stream.is_patch else "play", stream.rate,
+                ))
+            for stream in group.record_streams:
+                if stream.stream_id in group.finished:
+                    continue
+                proc = self._stream_disk.get(stream.stream_id)
+                streams.append((
+                    group_id, stream.stream_id, stream.handle.name,
+                    proc.disk_id if proc is not None else "",
+                    "record", 0.0,
+                ))
+        channels = []
+        for channel_id in sorted(self.channels):
+            ch = self.channels[channel_id]
+            channels.append((
+                channel_id, ch.group.group_id, ch.stream.stream_id,
+                ch.content_name, ch.disk_id,
+                tuple(sorted(
+                    (gid, sid) for gid, (sid, _addr) in ch.subscribers.items()
+                )),
+            ))
+        pins = ()
+        if self.cache is not None:
+            pins = tuple(sorted(
+                (disk_id, content, pages)
+                for (disk_id, content), pages
+                in self.cache.prefix.pinned_titles().items()
+            ))
+        return m.StateReport(
+            self.name, disks=disks, cache_bps=cache_bps,
+            streams=tuple(streams), channels=tuple(channels), pins=pins,
+        )
 
     # -- page-cache plumbing (extension) ----------------------------------------------
 

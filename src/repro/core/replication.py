@@ -144,9 +144,8 @@ class ReplicationManager:
         copy.duration_us = source.duration_us
         copy.fast_forward = source.fast_forward
         copy.fast_backward = source.fast_backward
-        entry.add_replica(msu_name, disk_id)
-        disk = db.disk(msu_name, disk_id)
-        disk.free_blocks = max(0, disk.free_blocks - copy.nblocks)
+        db.add_replica(content_name, msu_name, disk_id)
+        db.adjust_free_blocks(msu_name, disk_id, -copy.nblocks)
         decision = ReplicationDecision(
             content_name, source_loc, (msu_name, disk_id)
         )

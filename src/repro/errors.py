@@ -19,6 +19,10 @@ class UnknownContentError(CalliopeError):
     """A content name is not in the Coordinator's table of contents."""
 
 
+class ContentInUseError(CalliopeError):
+    """Content cannot be removed while streams are actively reading it."""
+
+
 class UnknownPortError(CalliopeError):
     """A display-port name is not registered for this session."""
 

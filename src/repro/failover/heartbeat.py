@@ -123,6 +123,11 @@ class HeartbeatMonitor:
             rec.stopped = True
         # Positions are kept: the migrator reads them *after* death.
 
+    def stop_all(self) -> None:
+        """Disarm every watchdog (the Coordinator itself went down)."""
+        for rec in self._records.values():
+            rec.stopped = True
+
     # -- queries --------------------------------------------------------------
 
     def state(self, msu_name: str) -> str:

@@ -137,6 +137,15 @@ class StreamMigrator:
         from repro.core.coordinator import GroupRecord
 
         coord = self.coordinator
+        if coord.dead:
+            return
+        if coord.recovering:
+            # Books are mid-rebuild; park the ticket durably instead of
+            # placing against stale capacity.  It drains with the queue
+            # once reconciliation completes.
+            coord.queue_resume(ticket)
+            self.queued += 1
+            return
         if ticket.group_id in coord.groups:
             return  # already resumed (double failure signal)
         session = coord.sessions.lookup(ticket.session_id)
@@ -191,9 +200,7 @@ class StreamMigrator:
                 ),
                 nbytes=m.WIRE_BYTES,
             )
-        coord.groups[group.group_id] = group
-        if group.group_id not in session.active_groups:
-            session.active_groups.append(group.group_id)
+        coord.register_group(group, session)
         coord.notify_session(
             ticket.session_id,
             m.StreamMigrated(

@@ -12,6 +12,7 @@ __all__ = [
     "format_cache_summary",
     "format_failover_summary",
     "format_multicast_summary",
+    "format_recovery_summary",
 ]
 
 
@@ -99,4 +100,25 @@ def format_multicast_summary(manager) -> List[Tuple[str, float]]:
         ("slots saved", float(manager.slots_saved())),
         ("merges (patches drained)", float(manager.merges)),
         ("downgrades to unicast", float(manager.downgrades)),
+    ]
+
+
+def format_recovery_summary(outcome) -> List[Tuple[str, float]]:
+    """Key figures of one Coordinator restart (a RecoveryOutcome).
+
+    How long the cold start took, how much journal it replayed, and what
+    the MSU-wins reconciliation had to repair.
+    """
+    return [
+        ("time to recover (s)", outcome.time_to_recover),
+        ("WAL records replayed", float(outcome.wal_records)),
+        ("snapshot seq", float(outcome.snapshot_seq)),
+        ("MSUs reported", float(outcome.msus_reported)),
+        ("MSUs missing", float(outcome.msus_missing)),
+        ("streams kept", float(outcome.streams_kept)),
+        ("streams dropped", float(outcome.streams_dropped)),
+        ("streams adopted", float(outcome.streams_adopted)),
+        ("channels kept", float(outcome.channels_kept)),
+        ("tickets recovered", float(outcome.tickets_recovered)),
+        ("discrepancies logged", float(len(outcome.discrepancies))),
     ]

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.core.admission import Allocation
+from repro.core.admission import Allocation, allocation_state
 from repro.core.database import ContentEntry
 from repro.multicast.ledger import AdmissionLedger
 from repro.net import messages as m
@@ -224,6 +224,15 @@ class ChannelManager:
             self.ledger.charge_patch(
                 record.channel_id, group_id, alloc.bandwidth, cache_covered
             )
+            self.coord._journal(
+                "mcast-patch",
+                {
+                    "channel_id": record.channel_id,
+                    "group_id": group_id,
+                    "rate": alloc.bandwidth,
+                    "cache_covered": cache_covered,
+                },
+            )
         yield from self.coord.machine.cpu.execute(self.coord.SCHEDULE_CPU)
         self._send_subscribe(
             record, group_id, stream_id, session, port,
@@ -246,6 +255,8 @@ class ChannelManager:
         from repro.core.coordinator import _QueuedRequest  # cycle: late import
         from repro.failover import play_priority
 
+        if self.coord.dead:
+            return
         self._batches.pop(batch.content_name, None)
         entry = self.coord.db.contents.get(batch.content_name)
         live = [
@@ -268,7 +279,7 @@ class ChannelManager:
             # then patch onto whichever channel frees up first.
             for req in live:
                 self.fallbacks += 1
-                self.coord.admission.enqueue(
+                self.coord._enqueue(
                     _QueuedRequest(
                         "play", req.session_id, req.message, req.channel,
                         priority=play_priority(self.coord.db, entry),
@@ -294,7 +305,7 @@ class ChannelManager:
                 record, group_id, stream_id, session, port, 0, False
             )
             self._reply(req, m.StreamScheduled(group_id, record.msu_name))
-        entry.play_count += len(live)
+        self.coord.db.note_played(entry.name, len(live))
 
     def _open_channel(
         self, entry: ContentEntry, ctype, alloc: Allocation
@@ -313,6 +324,11 @@ class ChannelManager:
         self._channel_groups[group_id] = channel_id
         self.channels_created += 1
         self.ledger.open_channel(channel_id, entry.name, alloc.bandwidth)
+        from repro.recovery.snapshot import channel_record_state
+
+        self.coord._journal(
+            "mcast-open", {"channel": channel_record_state(record)}
+        )
         msu_channel = self.coord._msu_channels[alloc.msu_name]
         msu_channel.send(
             self.coord.name,
@@ -344,8 +360,7 @@ class ChannelManager:
         group.streams[stream_id] = StreamMeta(
             entry.name, entry.type_name, tuple(port.address)
         )
-        self.coord.groups[group_id] = group
-        session.active_groups.append(group_id)
+        self.coord.register_group(group, session)
         record.subscribers[group_id] = stream_id
         record.viewers_total += 1
         record.peak_subscribers = max(
@@ -354,6 +369,14 @@ class ChannelManager:
         self._subscriber_groups[group_id] = record.channel_id
         self.ledger.note_subscriber(record.channel_id)
         self.viewers_joined += 1
+        self.coord._journal(
+            "mcast-subscribe",
+            {
+                "channel_id": record.channel_id,
+                "group_id": group_id,
+                "stream_id": stream_id,
+            },
+        )
         return group_id, stream_id
 
     def _send_subscribe(
@@ -386,6 +409,14 @@ class ChannelManager:
 
     def patch_drained(self, msg: m.PatchDrained) -> None:
         """A joiner merged onto its channel: refund the patch charge."""
+        self.coord._journal(
+            "mcast-merge",
+            {
+                "channel_id": msg.channel_id,
+                "group_id": msg.group_id,
+                "stream_id": msg.stream_id,
+            },
+        )
         group = self.coord.groups.get(msg.group_id)
         if group is not None:
             alloc = group.allocations.pop(msg.stream_id, None)
@@ -415,8 +446,18 @@ class ChannelManager:
         record.subscribers.pop(msg.group_id, None)
         self._subscriber_groups.pop(msg.group_id, None)
         entry = self.coord.db.contents.get(record.content_name)
-        group.allocations[msg.stream_id] = self.coord.admission.charge_direct(
+        new_alloc = self.coord.admission.charge_direct(
             entry, record.rate, record.msu_name, record.disk_id
+        )
+        group.allocations[msg.stream_id] = new_alloc
+        self.coord._journal(
+            "mcast-downgrade",
+            {
+                "channel_id": msg.channel_id,
+                "group_id": msg.group_id,
+                "stream_id": msg.stream_id,
+                "alloc": allocation_state(new_alloc),
+            },
         )
         self.downgrades += 1
         self.coord._trace("mcast-downgrade", f"group={msg.group_id}",
@@ -442,6 +483,10 @@ class ChannelManager:
             # The default path releases the group's allocations; mirror
             # any still-outstanding patch charge in the ledger.
             self.ledger.refund_patch(channel_id, msg.group_id)
+            self.coord._journal(
+                "mcast-detach",
+                {"channel_id": channel_id, "group_id": msg.group_id},
+            )
         return False
 
     def _close_channel(self, channel_id: int) -> None:
@@ -454,6 +499,9 @@ class ChannelManager:
         for group_id in list(record.subscribers):
             self._subscriber_groups.pop(group_id, None)
         self.ledger.close_channel(channel_id)
+        self.coord._journal(
+            "mcast-close", {"channel_id": channel_id, "forced": False}
+        )
         self.coord._trace("mcast-close", record.content_name,
                           f"channel={channel_id} viewers={record.viewers_total}")
 
@@ -476,6 +524,9 @@ class ChannelManager:
             for group_id in list(record.subscribers):
                 self._subscriber_groups.pop(group_id, None)
             self.ledger.close_channel(channel_id, forced=True)
+            self.coord._journal(
+                "mcast-close", {"channel_id": channel_id, "forced": True}
+            )
 
     # -- statistics --------------------------------------------------------
 

@@ -31,6 +31,8 @@ __all__ = [
     "ScheduleRecord",
     "StreamTerminated",
     "Heartbeat",
+    "ReportState",
+    "StateReport",
     "ResumePlay",
     "StreamMigrated",
     "ChannelCreate",
@@ -274,6 +276,38 @@ class Heartbeat:
     msu_name: str
     seq: int
     positions: Tuple[Tuple[int, int, int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class ReportState:
+    """Coordinator -> MSU: describe everything you are serving right now.
+
+    Sent by a freshly restarted Coordinator (repro.recovery) to each MSU
+    that says hello, so the replayed admission books can be reconciled
+    against what the real-time half actually has in flight.
+    """
+
+
+@dataclass(frozen=True)
+class StateReport:
+    """MSU -> Coordinator: full inventory for crash-recovery reconciliation.
+
+    ``streams`` holds one ``(group_id, stream_id, content_name, disk_id,
+    kind, rate)`` tuple per active unicast stream, where ``kind`` is
+    ``"play"``, ``"record"`` or ``"patch"``.  ``channels`` holds one
+    ``(channel_id, group_id, stream_id, content_name, disk_id,
+    subscribers)`` tuple per multicast channel, with ``subscribers`` as
+    ``(group_id, stream_id)`` pairs.  ``pins`` lists pinned prefixes as
+    ``(disk_id, content_name, pages)``.  ``disks`` mirrors MsuHello's
+    allocator free-block counts.
+    """
+
+    msu_name: str
+    disks: Tuple[Tuple[str, int], ...] = ()
+    cache_bps: float = 0.0
+    streams: Tuple[Tuple[int, int, str, str, str, float], ...] = ()
+    channels: Tuple[Tuple[int, int, int, str, str, Tuple[Tuple[int, int], ...]], ...] = ()
+    pins: Tuple[Tuple[str, str, int], ...] = ()
 
 
 @dataclass(frozen=True)

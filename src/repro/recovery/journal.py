@@ -1,0 +1,143 @@
+"""The Coordinator's write-ahead log (Coordinator crash recovery).
+
+The paper concedes that "Calliope does not recover from Coordinator
+failures" — the admission books, table of contents, sessions and the
+scheduling queue all live in one process's memory.  ``repro.recovery``
+closes that gap with the classic database recipe:
+
+* every mutation of the admin database, the admission books, the group
+  table, the multicast ledger and the scheduling queue appends one
+  JSON-safe :class:`JournalRecord` to a durable :class:`JournalStore`;
+* periodically the whole Coordinator state is serialized into a
+  **snapshot** and the log is truncated (the store keeps the snapshot
+  plus the records appended since);
+* a cold-started Coordinator restores the snapshot, replays the log
+  tail (``repro.recovery.replay``), and then *reconciles* the replayed
+  books against live MSU StateReports (``repro.recovery.reconcile``) —
+  the journal is authoritative for durable facts (customers, contents,
+  sessions, tickets), the MSUs for what is actually streaming.
+
+The store is intentionally a plain in-memory object owned by the
+*cluster*, not the Coordinator: in the simulation it plays the role of
+the Coordinator's local disk, which survives the process.  ``to_json``
+and ``from_json`` give the CLI (``cli recovery``) a portable file format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RecoveryConfig", "JournalRecord", "JournalStore"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Durability and restart-protocol knobs."""
+
+    #: WAL records accumulated before the next snapshot truncates the log.
+    snapshot_every: int = 256
+    #: Seconds a restarted Coordinator waits for every expected MSU's
+    #: StateReport before reconciling without the silent ones (which are
+    #: then treated as failed, exactly like a broken control connection).
+    report_grace: float = 1.0
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One logged mutation: a monotone sequence number, a kind, a payload."""
+
+    seq: int
+    kind: str
+    payload: dict
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalRecord":
+        return cls(int(data["seq"]), str(data["kind"]), dict(data["payload"]))
+
+
+@dataclass
+class JournalStore:
+    """Snapshot + WAL tail; the Coordinator's simulated stable storage."""
+
+    snapshot_every: int = 256
+    #: Last installed snapshot (None until the first one).
+    snapshot: Optional[dict] = None
+    #: Sequence number of the last record folded into the snapshot.
+    snapshot_seq: int = 0
+    #: Records appended since the snapshot, in order.
+    records: List[JournalRecord] = field(default_factory=list)
+    next_seq: int = 1
+    #: Lifetime counters (metrics/report).
+    appends: int = 0
+    snapshots_taken: int = 0
+    truncated_records: int = 0
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, kind: str, payload: dict) -> JournalRecord:
+        """Log one mutation; returns the durable record."""
+        record = JournalRecord(self.next_seq, kind, payload)
+        self.next_seq += 1
+        self.records.append(record)
+        self.appends += 1
+        return record
+
+    def snapshot_due(self) -> bool:
+        """Whether the WAL tail is long enough to warrant a snapshot."""
+        return self.snapshot_every > 0 and len(self.records) >= self.snapshot_every
+
+    def install_snapshot(self, state: dict) -> None:
+        """Replace the snapshot with ``state`` and truncate the log."""
+        self.snapshot = state
+        if self.records:
+            self.snapshot_seq = self.records[-1].seq
+        self.truncated_records += len(self.records)
+        self.records = []
+        self.snapshots_taken += 1
+
+    # -- inspection -----------------------------------------------------------
+
+    def wal_length(self) -> int:
+        return len(self.records)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Record counts per kind in the current WAL tail (inspection)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- file format ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "calliope-journal-v1",
+                "snapshot_every": self.snapshot_every,
+                "snapshot": self.snapshot,
+                "snapshot_seq": self.snapshot_seq,
+                "next_seq": self.next_seq,
+                "records": [record.to_dict() for record in self.records],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "JournalStore":
+        data = json.loads(text)
+        if data.get("format") != "calliope-journal-v1":
+            raise ValueError(f"not a Calliope journal: {data.get('format')!r}")
+        store = cls(snapshot_every=int(data.get("snapshot_every", 256)))
+        store.snapshot = data.get("snapshot")
+        store.snapshot_seq = int(data.get("snapshot_seq", 0))
+        store.next_seq = int(data.get("next_seq", 1))
+        store.records = [
+            JournalRecord.from_dict(rec) for rec in data.get("records", ())
+        ]
+        return store

@@ -1,0 +1,350 @@
+"""WAL replay: re-apply journal records to a fresh Coordinator.
+
+Each :class:`~repro.recovery.journal.JournalRecord` kind maps to one
+handler that repeats the original mutation.  The vocabulary splits
+cleanly in two:
+
+* **book records** (``charge``, ``release``, ``release-msu``) mutate the
+  admission books only, exactly as :class:`AdmissionControl` did live;
+* **structural records** (everything else) mutate tables — customers,
+  contents, sessions, groups, tickets, multicast channels — and never
+  touch the books.
+
+Because every live mutation journals exactly one of the two, replay
+never double-applies anything.  Journaling hooks are quiescent during
+replay (a recovering Coordinator has no journal attached yet), so the
+handlers call the same database/admission methods the live path uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.admission import allocation_from_state
+from repro.core.database import entry_from_state
+from repro.recovery.journal import JournalStore
+from repro.recovery.snapshot import (
+    channel_record_from_state,
+    group_from_state,
+    port_from_state,
+    restore_state,
+    session_from_state,
+    ticket_from_state,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.coordinator import Coordinator
+
+__all__ = ["apply_record", "recover"]
+
+
+def recover(coord: "Coordinator", store: JournalStore) -> int:
+    """Restore the snapshot, replay the WAL tail; returns records replayed.
+
+    The caller attaches the journal *afterwards* — replay itself must not
+    generate new records.
+    """
+    if store.snapshot is not None:
+        restore_state(coord, store.snapshot)
+    for record in store.records:
+        apply_record(coord, record.kind, record.payload)
+    return len(store.records)
+
+
+def apply_record(coord: "Coordinator", kind: str, payload: dict) -> None:
+    """Re-apply one journaled mutation to ``coord``."""
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        raise ValueError(f"unknown journal record kind: {kind!r}")
+    handler(coord, payload)
+
+
+# -- admin database -----------------------------------------------------------
+
+def _customer_add(coord, p):
+    coord.db.add_customer(p["name"], p.get("admin", False))
+
+
+def _content_add(coord, p):
+    coord.db.add_content(entry_from_state(p["entry"]))
+
+
+def _content_remove(coord, p):
+    coord.db.contents.pop(p["name"], None)
+
+
+def _content_replica(coord, p):
+    entry = coord.db.contents.get(p["name"])
+    if entry is not None:
+        entry.add_replica(p["msu_name"], p["disk_id"])
+
+
+def _note_request(coord, p):
+    entry = coord.db.contents.get(p["name"])
+    if entry is not None:
+        entry.request_count += 1
+
+
+def _content_played(coord, p):
+    entry = coord.db.contents.get(p["name"])
+    if entry is not None:
+        entry.play_count += p.get("count", 1)
+
+
+def _msu_register(coord, p):
+    coord.db.register_msu(
+        p["name"],
+        [(disk_id, free) for disk_id, free in p.get("disks", ())],
+        p.get("cache_bps", 0.0),
+    )
+
+
+def _msu_down(coord, p):
+    coord.db.mark_msu_down(p["name"])
+
+
+def _disk_adjust(coord, p):
+    coord.db.adjust_free_blocks(p["msu_name"], p["disk_id"], p["delta"])
+
+
+def _prefix_pin(coord, p):
+    entry = coord.db.contents.get(p["name"])
+    if entry is not None:
+        entry.prefix_pinned = True
+
+
+# -- admission books ----------------------------------------------------------
+
+def _charge(coord, p):
+    coord.admission.apply(allocation_from_state(p["alloc"]))
+
+
+def _release(coord, p):
+    coord.admission.release(
+        allocation_from_state(p["alloc"]), p.get("blocks_used", 0)
+    )
+
+
+def _release_msu(coord, p):
+    coord.admission.release_msu(p["name"])
+
+
+# -- sessions -----------------------------------------------------------------
+
+def _session_open(coord, p):
+    session = session_from_state(
+        {
+            "session_id": p["session_id"],
+            "customer": p["customer"],
+            "client_host": p["client_host"],
+        },
+        coord.db.customers,
+    )
+    coord.sessions._sessions[session.session_id] = session
+    coord.sessions._next_id = max(
+        coord.sessions._next_id, session.session_id + 1
+    )
+
+
+def _session_close(coord, p):
+    coord.sessions._sessions.pop(p["session_id"], None)
+
+
+def _port_add(coord, p):
+    session = coord.sessions.lookup(p["session_id"])
+    if session is not None:
+        port = port_from_state(p["port"])
+        session.ports[port.name] = port
+
+
+# -- stream groups ------------------------------------------------------------
+
+def _group_open(coord, p):
+    group = group_from_state(p["group"])
+    coord.groups[group.group_id] = group
+    session = coord.sessions.lookup(group.session_id)
+    if session is not None and group.group_id not in session.active_groups:
+        session.active_groups.append(group.group_id)
+    coord._next_group = max(coord._next_group, group.group_id + 1)
+    stream_ids = (
+        set(group.allocations) | set(group.streams) | set(group.recordings)
+    )
+    if stream_ids:
+        coord._next_stream = max(coord._next_stream, max(stream_ids) + 1)
+
+
+def _group_drop(coord, p):
+    group = coord.groups.pop(p["group_id"], None)
+    if group is not None:
+        session = coord.sessions.lookup(group.session_id)
+        if session is not None:
+            session.drop_group(group.group_id)
+    for name in p.get("dropped_contents", ()):
+        coord.db.contents.pop(name, None)
+
+
+def _stream_end(coord, p):
+    group = coord.groups.get(p["group_id"])
+    if group is None:
+        return
+    stream_id = p["stream_id"]
+    group.allocations.pop(stream_id, None)  # the book release has its own record
+    recording = group.recordings.pop(stream_id, None)
+    if recording is not None and p.get("reason") == "record-complete":
+        entry = coord.db.contents.get(recording[0])
+        if entry is not None:
+            entry.blocks = p.get("recorded_blocks", 0)
+    if not group.allocations and not group.recordings:
+        coord.groups.pop(group.group_id, None)
+        session = coord.sessions.lookup(group.session_id)
+        if session is not None:
+            session.drop_group(group.group_id)
+
+
+# -- scheduling-queue tickets -------------------------------------------------
+
+def _ticket_add(coord, p):
+    request = ticket_from_state(p)
+    coord.admission.enqueue(request)
+    coord._next_ticket = max(coord._next_ticket, request.ticket_id + 1)
+
+
+def _ticket_remove(coord, p):
+    ticket_id = p["ticket_id"]
+    for request in list(coord.admission.queue):
+        if getattr(request, "ticket_id", 0) == ticket_id:
+            coord.admission.queue.remove(request)
+            break
+
+
+# -- multicast channels -------------------------------------------------------
+
+def _manager(coord):
+    return coord.channel_manager
+
+
+def _mcast_open(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    record = channel_record_from_state(p["channel"])
+    manager.channels[record.channel_id] = record
+    manager._channel_groups[record.group_id] = record.channel_id
+    for gid in record.subscribers:
+        manager._subscriber_groups[gid] = record.channel_id
+    manager.channels_created += 1
+    manager.ledger.open_channel(
+        record.channel_id, record.content_name, record.allocation.bandwidth
+    )
+    manager._next_channel = max(manager._next_channel, record.channel_id + 1)
+    coord._next_group = max(coord._next_group, record.group_id + 1)
+    coord._next_stream = max(coord._next_stream, record.stream_id + 1)
+
+
+def _mcast_subscribe(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    record = manager.channels.get(p["channel_id"])
+    if record is None:
+        return
+    record.subscribers[p["group_id"]] = p["stream_id"]
+    record.viewers_total += 1
+    record.peak_subscribers = max(
+        record.peak_subscribers, len(record.subscribers)
+    )
+    manager._subscriber_groups[p["group_id"]] = record.channel_id
+    manager.ledger.note_subscriber(record.channel_id)
+    manager.viewers_joined += 1
+
+
+def _mcast_patch(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    manager.ledger.charge_patch(
+        p["channel_id"], p["group_id"], p["rate"], p.get("cache_covered", False)
+    )
+
+
+def _mcast_merge(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    group = coord.groups.get(p["group_id"])
+    if group is not None:
+        group.allocations.pop(p["stream_id"], None)
+    if manager.ledger.refund_patch(p["channel_id"], p["group_id"]):
+        manager.merges += 1
+
+
+def _mcast_downgrade(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    group_id = p["group_id"]
+    manager.ledger.refund_patch(p["channel_id"], group_id)
+    record = manager.channels.get(p["channel_id"])
+    if record is not None:
+        record.subscribers.pop(group_id, None)
+    manager._subscriber_groups.pop(group_id, None)
+    group = coord.groups.get(group_id)
+    if group is not None:
+        group.allocations[p["stream_id"]] = allocation_from_state(p["alloc"])
+    manager.downgrades += 1
+
+
+def _mcast_detach(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    record = manager.channels.get(p["channel_id"])
+    if record is not None:
+        record.subscribers.pop(p["group_id"], None)
+    manager._subscriber_groups.pop(p["group_id"], None)
+    manager.ledger.refund_patch(p["channel_id"], p["group_id"])
+
+
+def _mcast_close(coord, p):
+    manager = _manager(coord)
+    if manager is None:
+        return
+    record = manager.channels.pop(p["channel_id"], None)
+    if record is not None:
+        record.released = True
+        manager._channel_groups.pop(record.group_id, None)
+        for gid in record.subscribers:
+            manager._subscriber_groups.pop(gid, None)
+    manager.ledger.close_channel(p["channel_id"], forced=p.get("forced", False))
+
+
+_HANDLERS = {
+    "customer-add": _customer_add,
+    "content-add": _content_add,
+    "content-remove": _content_remove,
+    "content-replica": _content_replica,
+    "note-request": _note_request,
+    "content-played": _content_played,
+    "msu-register": _msu_register,
+    "msu-down": _msu_down,
+    "disk-adjust": _disk_adjust,
+    "prefix-pin": _prefix_pin,
+    "charge": _charge,
+    "release": _release,
+    "release-msu": _release_msu,
+    "session-open": _session_open,
+    "session-close": _session_close,
+    "port-add": _port_add,
+    "group-open": _group_open,
+    "group-drop": _group_drop,
+    "stream-end": _stream_end,
+    "ticket-add": _ticket_add,
+    "ticket-remove": _ticket_remove,
+    "mcast-open": _mcast_open,
+    "mcast-subscribe": _mcast_subscribe,
+    "mcast-patch": _mcast_patch,
+    "mcast-merge": _mcast_merge,
+    "mcast-downgrade": _mcast_downgrade,
+    "mcast-detach": _mcast_detach,
+    "mcast-close": _mcast_close,
+}

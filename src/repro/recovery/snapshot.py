@@ -1,0 +1,496 @@
+"""Whole-Coordinator state images (the snapshot half of the WAL recipe).
+
+:func:`snapshot_state` serializes everything the Coordinator would lose
+in a crash — customers, the table of contents, MSU resource books,
+sessions, stream groups, the multicast manager, the admission ledger and
+the scheduling queue — into one JSON-safe dict.  :func:`restore_state`
+is its exact inverse, applied to a freshly constructed Coordinator.
+
+Only durable control-plane state is captured.  Live wiring (control
+channels, heartbeat records, in-flight batch windows) is deliberately
+absent: channels are re-established when MSUs reattach after a restart,
+and everything the snapshot cannot know about the real-time half is
+reconciled against MSU StateReports afterwards
+(:mod:`repro.recovery.reconcile`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.admission import allocation_from_state, allocation_state
+from repro.core.database import (
+    Customer,
+    DiskState,
+    MsuState,
+    entry_from_state,
+    entry_state,
+)
+from repro.core.sessions import DisplayPort, Session
+from repro.failover.migrator import MemberResume, ResumeTicket, StreamMeta
+from repro.net import messages as m
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.coordinator import Coordinator
+
+__all__ = ["snapshot_state", "restore_state"]
+
+SNAPSHOT_FORMAT = "calliope-snapshot-v1"
+
+
+# -- sessions -----------------------------------------------------------------
+
+def port_state(port: DisplayPort) -> dict:
+    return {
+        "name": port.name,
+        "type_name": port.type_name,
+        "address": list(port.address) if port.address is not None else None,
+        "component_ports": list(port.component_ports),
+    }
+
+
+def port_from_state(state: dict) -> DisplayPort:
+    address = state.get("address")
+    return DisplayPort(
+        name=state["name"],
+        type_name=state["type_name"],
+        address=tuple(address) if address is not None else None,
+        component_ports=tuple(state.get("component_ports", ())),
+    )
+
+
+def session_state(session: Session) -> dict:
+    return {
+        "session_id": session.session_id,
+        "customer": session.customer.name,
+        "client_host": session.client_host,
+        "ports": [port_state(p) for p in session.ports.values()],
+        "active_groups": list(session.active_groups),
+    }
+
+
+def session_from_state(state: dict, customers: dict) -> Session:
+    name = state["customer"]
+    customer = customers.get(name) or Customer(name)
+    session = Session(
+        session_id=state["session_id"],
+        customer=customer,
+        client_host=state["client_host"],
+    )
+    for port_data in state.get("ports", ()):
+        port = port_from_state(port_data)
+        session.ports[port.name] = port
+    session.active_groups.extend(state.get("active_groups", ()))
+    return session
+
+
+# -- stream groups ------------------------------------------------------------
+
+def stream_meta_state(meta: StreamMeta) -> dict:
+    return {
+        "content_name": meta.content_name,
+        "type_name": meta.type_name,
+        "display_address": list(meta.display_address),
+    }
+
+
+def stream_meta_from_state(state: dict) -> StreamMeta:
+    return StreamMeta(
+        content_name=state["content_name"],
+        type_name=state["type_name"],
+        display_address=tuple(state["display_address"]),
+    )
+
+
+def group_state(group) -> dict:
+    return {
+        "group_id": group.group_id,
+        "session_id": group.session_id,
+        "msu_name": group.msu_name,
+        "allocations": [
+            [sid, allocation_state(alloc)]
+            for sid, alloc in sorted(group.allocations.items())
+        ],
+        "recordings": [
+            [sid, list(pair)] for sid, pair in sorted(group.recordings.items())
+        ],
+        "streams": [
+            [sid, stream_meta_state(meta)]
+            for sid, meta in sorted(group.streams.items())
+        ],
+    }
+
+
+def group_from_state(state: dict):
+    from repro.core.coordinator import GroupRecord
+
+    group = GroupRecord(
+        group_id=state["group_id"],
+        session_id=state["session_id"],
+        msu_name=state["msu_name"],
+    )
+    for sid, alloc in state.get("allocations", ()):
+        group.allocations[sid] = allocation_from_state(alloc)
+    for sid, pair in state.get("recordings", ()):
+        group.recordings[sid] = (pair[0], pair[1])
+    for sid, meta in state.get("streams", ()):
+        group.streams[sid] = stream_meta_from_state(meta)
+    return group
+
+
+# -- scheduling-queue tickets -------------------------------------------------
+
+def message_state(message) -> dict:
+    """Tag-and-image a queued request's message for the journal."""
+    if isinstance(message, m.PlayRequest):
+        return {
+            "type": "play-request",
+            "session_id": message.session_id,
+            "content_name": message.content_name,
+            "port_name": message.port_name,
+            "request_id": message.request_id,
+        }
+    if isinstance(message, m.RecordRequest):
+        return {
+            "type": "record-request",
+            "session_id": message.session_id,
+            "content_name": message.content_name,
+            "type_name": message.type_name,
+            "port_name": message.port_name,
+            "estimate_seconds": message.estimate_seconds,
+            "request_id": message.request_id,
+        }
+    if isinstance(message, ResumeTicket):
+        return {
+            "type": "resume-ticket",
+            "group_id": message.group_id,
+            "session_id": message.session_id,
+            "client_host": message.client_host,
+            "from_msu": message.from_msu,
+            "failed_at": message.failed_at,
+            "members": [
+                {
+                    "stream_id": member.stream_id,
+                    "content_name": member.content_name,
+                    "type_name": member.type_name,
+                    "display_address": list(member.display_address),
+                    "start_page": member.start_page,
+                    "start_us": member.start_us,
+                }
+                for member in message.members
+            ],
+        }
+    raise ValueError(f"unjournalable queued message: {message!r}")
+
+
+def message_from_state(state: dict):
+    tag = state["type"]
+    if tag == "play-request":
+        return m.PlayRequest(
+            session_id=state["session_id"],
+            content_name=state["content_name"],
+            port_name=state["port_name"],
+            request_id=state.get("request_id", 0),
+        )
+    if tag == "record-request":
+        return m.RecordRequest(
+            session_id=state["session_id"],
+            content_name=state["content_name"],
+            type_name=state["type_name"],
+            port_name=state["port_name"],
+            estimate_seconds=state["estimate_seconds"],
+            request_id=state.get("request_id", 0),
+        )
+    if tag == "resume-ticket":
+        return ResumeTicket(
+            group_id=state["group_id"],
+            session_id=state["session_id"],
+            client_host=state["client_host"],
+            from_msu=state["from_msu"],
+            failed_at=state["failed_at"],
+            members=tuple(
+                MemberResume(
+                    stream_id=member["stream_id"],
+                    content_name=member["content_name"],
+                    type_name=member["type_name"],
+                    display_address=tuple(member["display_address"]),
+                    start_page=member.get("start_page", 0),
+                    start_us=member.get("start_us", 0),
+                )
+                for member in state.get("members", ())
+            ),
+        )
+    raise ValueError(f"unknown queued message tag: {tag!r}")
+
+
+def ticket_state(request) -> dict:
+    """JSON-safe image of one :class:`_QueuedRequest` ticket."""
+    return {
+        "ticket_id": request.ticket_id,
+        "kind": request.kind,
+        "session_id": request.session_id,
+        "priority": request.priority,
+        "message": message_state(request.message),
+    }
+
+
+def ticket_from_state(state: dict):
+    from repro.core.coordinator import _QueuedRequest
+
+    request = _QueuedRequest(
+        kind=state["kind"],
+        session_id=state["session_id"],
+        message=message_from_state(state["message"]),
+        channel=None,  # the requester's connection died with the crash
+        priority=state.get("priority", 2),
+    )
+    request.ticket_id = state.get("ticket_id", 0)
+    return request
+
+
+# -- multicast ----------------------------------------------------------------
+
+def channel_record_state(record) -> dict:
+    return {
+        "channel_id": record.channel_id,
+        "content_name": record.content_name,
+        "msu_name": record.msu_name,
+        "disk_id": record.disk_id,
+        "group_id": record.group_id,
+        "stream_id": record.stream_id,
+        "rate": record.rate,
+        "started_at": record.started_at,
+        "duration_us": record.duration_us,
+        "blocks": record.blocks,
+        "allocation": allocation_state(record.allocation),
+        "mcast_host": record.mcast_host,
+        "subscribers": [
+            [gid, sid] for gid, sid in sorted(record.subscribers.items())
+        ],
+        "peak_subscribers": record.peak_subscribers,
+        "viewers_total": record.viewers_total,
+        "released": record.released,
+    }
+
+
+def channel_record_from_state(state: dict):
+    from repro.multicast.channel import ChannelRecord
+
+    record = ChannelRecord(
+        channel_id=state["channel_id"],
+        content_name=state["content_name"],
+        msu_name=state["msu_name"],
+        disk_id=state["disk_id"],
+        group_id=state["group_id"],
+        stream_id=state["stream_id"],
+        rate=state["rate"],
+        started_at=state["started_at"],
+        duration_us=state["duration_us"],
+        blocks=state["blocks"],
+        allocation=allocation_from_state(state["allocation"]),
+        mcast_host=state["mcast_host"],
+    )
+    for gid, sid in state.get("subscribers", ()):
+        record.subscribers[gid] = sid
+    record.peak_subscribers = state.get("peak_subscribers", 0)
+    record.viewers_total = state.get("viewers_total", 0)
+    record.released = state.get("released", False)
+    return record
+
+
+def _ledger_state(ledger) -> dict:
+    return {
+        "channels_opened": ledger.channels_opened,
+        "channels_closed": ledger.channels_closed,
+        "patches_charged": ledger.patches_charged,
+        "patches_refunded": ledger.patches_refunded,
+        "patches_cache_covered": ledger.patches_cache_covered,
+        "channels": [
+            {
+                "channel_id": entry.channel_id,
+                "content_name": entry.content_name,
+                "rate": entry.rate,
+                "channel_charge": entry.channel_charge,
+                "patch_charges": [
+                    [gid, rate] for gid, rate in sorted(entry.patch_charges.items())
+                ],
+                "subscribers_total": entry.subscribers_total,
+                "patches_charged": entry.patches_charged,
+                "patches_refunded": entry.patches_refunded,
+                "patches_cache_covered": entry.patches_cache_covered,
+                "closed": entry.closed,
+                "forced": entry.forced,
+            }
+            for _, entry in sorted(ledger.channels.items())
+        ],
+    }
+
+
+def _restore_ledger(ledger, state: dict) -> None:
+    from repro.multicast.ledger import ChannelLedger
+
+    ledger.channels_opened = state.get("channels_opened", 0)
+    ledger.channels_closed = state.get("channels_closed", 0)
+    ledger.patches_charged = state.get("patches_charged", 0)
+    ledger.patches_refunded = state.get("patches_refunded", 0)
+    ledger.patches_cache_covered = state.get("patches_cache_covered", 0)
+    for data in state.get("channels", ()):
+        entry = ChannelLedger(
+            channel_id=data["channel_id"],
+            content_name=data["content_name"],
+            rate=data["rate"],
+            channel_charge=data.get("channel_charge", 0.0),
+        )
+        for gid, rate in data.get("patch_charges", ()):
+            entry.patch_charges[gid] = rate
+        entry.subscribers_total = data.get("subscribers_total", 0)
+        entry.patches_charged = data.get("patches_charged", 0)
+        entry.patches_refunded = data.get("patches_refunded", 0)
+        entry.patches_cache_covered = data.get("patches_cache_covered", 0)
+        entry.closed = data.get("closed", False)
+        entry.forced = data.get("forced", False)
+        ledger.channels[entry.channel_id] = entry
+
+
+# -- MSU resource books -------------------------------------------------------
+
+def _msu_state(state: MsuState) -> dict:
+    return {
+        "name": state.name,
+        "available": state.available,
+        "delivery_capacity": state.delivery_capacity,
+        "delivery_used": state.delivery_used,
+        "active_streams": state.active_streams,
+        "cache_capacity": state.cache_capacity,
+        "cache_used": state.cache_used,
+        "disks": [
+            {
+                "disk_id": disk.disk_id,
+                "free_blocks": disk.free_blocks,
+                "bandwidth_capacity": disk.bandwidth_capacity,
+                "bandwidth_used": disk.bandwidth_used,
+            }
+            for _, disk in sorted(state.disks.items())
+        ],
+    }
+
+
+def _msu_from_state(data: dict) -> MsuState:
+    state = MsuState(data["name"])
+    state.available = data.get("available", True)
+    state.delivery_capacity = data.get("delivery_capacity", state.delivery_capacity)
+    state.delivery_used = data.get("delivery_used", 0.0)
+    state.active_streams = data.get("active_streams", 0)
+    state.cache_capacity = data.get("cache_capacity", 0.0)
+    state.cache_used = data.get("cache_used", 0.0)
+    for disk_data in data.get("disks", ()):
+        disk = DiskState(
+            state.name,
+            disk_data["disk_id"],
+            disk_data["free_blocks"],
+            bandwidth_capacity=disk_data.get("bandwidth_capacity", 2.3e6),
+        )
+        disk.bandwidth_used = disk_data.get("bandwidth_used", 0.0)
+        state.disks[disk.disk_id] = disk
+    return state
+
+
+# -- the whole Coordinator ----------------------------------------------------
+
+def snapshot_state(coord: "Coordinator") -> dict:
+    """One JSON-safe image of every durable Coordinator structure."""
+    db = coord.db
+    manager = coord.channel_manager
+    multicast: Optional[dict] = None
+    if manager is not None:
+        multicast = {
+            "next_channel": manager._next_channel,
+            "channels": [
+                channel_record_state(record)
+                for _, record in sorted(manager.channels.items())
+            ],
+            "ledger": _ledger_state(manager.ledger),
+        }
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "customers": [
+            {"name": c.name, "admin": c.admin}
+            for _, c in sorted(db.customers.items())
+        ],
+        "contents": [entry_state(e) for _, e in sorted(db.contents.items())],
+        "msus": [_msu_state(s) for _, s in sorted(db.msus.items())],
+        "sessions": [
+            session_state(s) for _, s in sorted(coord.sessions._sessions.items())
+        ],
+        "next_session_id": coord.sessions._next_id,
+        "groups": [group_state(g) for _, g in sorted(coord.groups.items())],
+        "queue": [ticket_state(req) for req in coord.admission.queue],
+        "counters": {
+            "next_group": coord._next_group,
+            "next_stream": coord._next_stream,
+            "next_ticket": coord._next_ticket,
+            "admitted": coord.admission.admitted,
+            "queued": coord.admission.queued,
+            "rejected": coord.admission.rejected,
+            "cache_admitted": coord.admission.cache_admitted,
+        },
+        "multicast": multicast,
+    }
+
+
+def restore_state(coord: "Coordinator", state: dict) -> None:
+    """Load a :func:`snapshot_state` image into a fresh Coordinator.
+
+    Journaling must be off while restoring (a restarting Coordinator has
+    no journal attached yet), so the database/admission hooks see nothing.
+    """
+    if state.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(f"not a Calliope snapshot: {state.get('format')!r}")
+    db = coord.db
+    db.customers.clear()
+    for data in state.get("customers", ()):
+        db.customers[data["name"]] = Customer(data["name"], data.get("admin", False))
+    db.contents.clear()
+    for data in state.get("contents", ()):
+        entry = entry_from_state(data)
+        db.contents[entry.name] = entry
+    db.msus.clear()
+    for data in state.get("msus", ()):
+        msu = _msu_from_state(data)
+        db.msus[msu.name] = msu
+    coord.sessions._sessions.clear()
+    for data in state.get("sessions", ()):
+        session = session_from_state(data, db.customers)
+        coord.sessions._sessions[session.session_id] = session
+    coord.sessions._next_id = state.get("next_session_id", 1)
+    coord.groups.clear()
+    for data in state.get("groups", ()):
+        group = group_from_state(data)
+        coord.groups[group.group_id] = group
+    coord.admission.queue.clear()
+    for data in state.get("queue", ()):
+        coord.admission.queue.append(ticket_from_state(data))
+    counters = state.get("counters", {})
+    coord._next_group = counters.get("next_group", 1)
+    coord._next_stream = counters.get("next_stream", 1)
+    coord._next_ticket = counters.get("next_ticket", 1)
+    coord.admission.admitted = counters.get("admitted", 0)
+    coord.admission.queued = counters.get("queued", 0)
+    coord.admission.rejected = counters.get("rejected", 0)
+    coord.admission.cache_admitted = counters.get("cache_admitted", 0)
+    multicast = state.get("multicast")
+    manager = coord.channel_manager
+    if multicast is not None and manager is not None:
+        manager._next_channel = multicast.get("next_channel", 1)
+        manager.channels.clear()
+        manager._channel_groups.clear()
+        manager._subscriber_groups.clear()
+        for data in multicast.get("channels", ()):
+            record = channel_record_from_state(data)
+            manager.channels[record.channel_id] = record
+            if not record.released:
+                manager._channel_groups[record.group_id] = record.channel_id
+                for gid in record.subscribers:
+                    manager._subscriber_groups[gid] = record.channel_id
+        manager.ledger.channels.clear()
+        _restore_ledger(manager.ledger, multicast["ledger"])

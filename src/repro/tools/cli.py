@@ -8,12 +8,14 @@ Usage::
     python -m repro.tools.cli all --duration 30
     python -m repro.tools.cli verify --seed 1..5 --ops 50
     python -m repro.tools.cli verify --replay repro.json
+    python -m repro.tools.cli recovery journal.json --replay
 
 Each experiment subcommand runs the corresponding runner and prints the
 same rows/series the paper reports (see EXPERIMENTS.md).  ``verify``
 runs the chaos harness instead: seed-deterministic fault schedules with
 cross-subsystem invariant checking (DESIGN.md §9); a failing schedule is
-shrunk and written to a replayable repro file.
+shrunk and written to a replayable repro file.  ``recovery`` inspects,
+replays or compacts a Coordinator journal file (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -133,6 +135,12 @@ def _multicast(duration: Optional[float]) -> str:
     return format_multicast(run_multicast(duration=duration or 120.0))
 
 
+def _recovery(duration: Optional[float]) -> str:
+    from repro.experiments.recovery import format_recovery, run_recovery
+
+    return format_recovery(run_recovery())
+
+
 def _cluster_scale(duration: Optional[float]) -> str:
     from repro.experiments.cluster_scale import (
         format_cluster_scale,
@@ -162,6 +170,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "recording": (_recording, "§2.3 simultaneous recording capacity (extension)"),
     "failover": (_failover, "§2.2 MSU failover: heartbeats + migration (extension)"),
     "multicast": (_multicast, "§2.2/§3.2 multicast channels + patching (extension)"),
+    "coordinator-recovery": (
+        _recovery, "§2.2 Coordinator WAL replay + reconciliation (extension)"
+    ),
 }
 
 
@@ -240,6 +251,77 @@ def verify_main(argv) -> int:
     return 1 if failures else 0
 
 
+def build_recovery_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="calliope-experiments recovery",
+        description="Inspect, replay or compact a Coordinator journal file.",
+    )
+    parser.add_argument(
+        "journal", metavar="FILE",
+        help="journal JSON (calliope-journal-v1), e.g. saved by a harness run",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="replay snapshot+WAL into a fresh Coordinator and summarize "
+             "the resulting state",
+    )
+    parser.add_argument(
+        "--compact", metavar="OUT", default=None,
+        help="replay, fold the WAL into a fresh snapshot, write to OUT",
+    )
+    return parser
+
+
+def _replay_journal(store):
+    """Cold-start a throwaway Coordinator from ``store``; returns it."""
+    from repro.core.coordinator import Coordinator
+    from repro.recovery import recover
+    from repro.sim import Simulator
+
+    coord = Coordinator(Simulator())
+    coord.replayed_records = recover(coord, store)
+    return coord
+
+
+def recovery_main(argv) -> int:
+    import pathlib
+
+    from repro.recovery import JournalStore
+
+    args = build_recovery_parser().parse_args(argv)
+    try:
+        store = JournalStore.from_json(pathlib.Path(args.journal).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.journal}: {exc}")
+        return 1
+    print(f"journal {args.journal}")
+    print(f"  snapshot: {'yes' if store.snapshot is not None else 'no'}"
+          f" (seq {store.snapshot_seq})")
+    print(f"  WAL records: {store.wal_length()}")
+    for kind, count in sorted(store.counts_by_kind().items()):
+        print(f"    {kind:<16} {count}")
+    if not (args.replay or args.compact):
+        return 0
+    coord = _replay_journal(store)
+    db = coord.db
+    print(f"replayed {coord.replayed_records} records:")
+    print(f"  MSUs: {len(db.msus)} "
+          f"({sum(1 for s in db.msus.values() if s.available)} available)")
+    print(f"  content entries: {len(db.contents)}")
+    print(f"  customers: {len(db.customers)}")
+    print(f"  sessions: {len(coord.sessions._sessions)}")
+    print(f"  stream groups: {len(coord.groups)}")
+    print(f"  queued tickets: {len(coord.admission.queue)}")
+    if args.compact:
+        from repro.recovery import snapshot_state
+
+        store.install_snapshot(snapshot_state(coord))
+        pathlib.Path(args.compact).write_text(store.to_json())
+        print(f"compacted journal written to {args.compact} "
+              f"(snapshot seq {store.snapshot_seq}, WAL 0)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="calliope-experiments",
@@ -263,6 +345,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "verify":
         return verify_main(argv[1:])
+    if argv and argv[0] == "recovery":
+        return recovery_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

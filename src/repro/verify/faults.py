@@ -20,6 +20,9 @@ The op vocabulary covers the failure surface the subsystems expose:
 ``net_delay``         delivery-network latency spike for a while
 ``net_partition``     one client falls off the delivery network for a while
 ``disk_slow``         one MSU's disks serve at a fraction of media rate
+``coordinator_crash``   kill the Coordinator; MSUs keep serving alone
+``coordinator_restart`` cold-start a Coordinator from the journal and
+                        reconcile against live MSU state
 ``bug_double_charge`` deliberately charge a drained channel's ledger twice
                       (harness self-test: the ledger invariant must catch
                       it and the shrinker must isolate it)
@@ -48,6 +51,8 @@ FAULT_KINDS: Dict[str, float] = {
     "net_delay": 3.0,
     "net_partition": 3.0,
     "disk_slow": 5.0,
+    "coordinator_crash": 3.0,
+    "coordinator_restart": 4.0,
 }
 
 #: VCR command bursts a storm draws from.
@@ -146,6 +151,8 @@ class ChaosSchedule:
                 "factor": round(rng.uniform(1.5, 4.0), 1),
                 "duration": round(rng.uniform(0.5, 2.0), 2),
             }
+        if kind in ("coordinator_crash", "coordinator_restart"):
+            return {}
         if kind == "bug_double_charge":
             return {}
         raise ValueError(f"unknown fault kind {kind!r}")

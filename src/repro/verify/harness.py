@@ -138,6 +138,10 @@ class ChaosCluster:
         return self.cluster.coordinator
 
     @property
+    def coordinator_down(self):
+        return self.cluster.coordinator_down
+
+    @property
     def msus(self):
         return self.cluster.msus
 
@@ -211,11 +215,17 @@ class ChaosCluster:
         )
 
     def _viewer_life(self, name: str, op: FaultOp):
-        client = Client(
-            self.sim, self.cluster, name,
-            reconnect_retries=2, reconnect_backoff=0.3,
-        )
         title = f"title{op.args['title'] % self.chaos_config.n_titles}"
+        try:
+            # Construction dials the Coordinator; with it down the join
+            # fails the way a real connect would.
+            client = Client(
+                self.sim, self.cluster, name,
+                reconnect_retries=2, reconnect_backoff=0.3,
+            )
+        except CalliopeError:
+            self._bump("joins_failed")
+            return
         viewer = SimpleNamespace(name=name, client=client, view=None)
         self.viewers.append(viewer)
         try:
@@ -341,6 +351,16 @@ class ChaosCluster:
         for drive, params in restore:
             drive.params = params
 
+    def _op_coordinator_crash(self, op: FaultOp) -> None:
+        if not self.cluster.coordinator_down:
+            self.cluster.crash_coordinator()
+            self._bump("coordinator_crashes")
+
+    def _op_coordinator_restart(self, op: FaultOp) -> None:
+        if self.cluster.coordinator_down:
+            self.cluster.restart_coordinator()
+            self._bump("coordinator_restarts")
+
     def _op_bug_double_charge(self, op: FaultOp) -> None:
         """Deliberate accounting bug (harness self-test).
 
@@ -384,8 +404,12 @@ class ChaosCluster:
         sync = sim.process(self._sync_all(), name="chaos.sync")
         sim.run(until=horizon)
 
-        # Drain: a clean world again, then let everything wind down.
+        # Drain: a clean world again, then let everything wind down.  The
+        # Coordinator restarts first so rejoining MSUs have someone to
+        # say hello to.
         self._restore_environment()
+        if self.cluster.coordinator_down:
+            self.cluster.restart_coordinator()
         for index, msu in enumerate(self.cluster.msus):
             if not msu.up:
                 self.cluster.rejoin_msu(index)

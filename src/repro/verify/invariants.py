@@ -418,8 +418,119 @@ def check_streams_drained(cluster) -> List[str]:
     return problems
 
 
+# -- 8. coordinator recovery reconciliation ----------------------------------
+
+
+def check_recovery_reconciliation(cluster) -> List[str]:
+    """The Coordinator's tables match what every live MSU is serving.
+
+    The same correspondence a fresh ``reconcile`` would compute: every
+    charged coordinator stream is served by its MSU, every served MSU
+    stream is known to the Coordinator, channel records and subscriber
+    sets match, a coordinator-claimed prefix pin exists MSU-side, and
+    the books equal a from-scratch rebuild.  Trivially green without a
+    recovery; after one it is exactly the state a restart must restore.
+    """
+    from repro.recovery import books_state, expected_books
+
+    coord = cluster.coordinator
+    if getattr(coord, "dead", False):
+        return ["coordinator left dead at drain"]
+    if getattr(coord, "recovering", False):
+        return ["coordinator still reconciling at drain"]
+    problems = []
+    manager = coord.channel_manager
+    for msu in cluster.msus:
+        if not msu.up or msu.coordinator_channel is None:
+            continue
+        report = msu.state_report()
+        served = {(gid, sid) for gid, sid, *_ in report.streams}
+        subscribed = set()
+        reported_channels = {}
+        for cid, gid, sid, content, disk, pairs in report.channels:
+            reported_channels[cid] = {tuple(p) for p in pairs}
+            subscribed |= reported_channels[cid]
+        charged = set()
+        for group in coord.groups.values():
+            if group.msu_name != msu.name:
+                continue
+            for stream_id in set(group.allocations) | set(group.recordings):
+                charged.add((group.group_id, stream_id))
+        for key in sorted(charged - served - subscribed):
+            problems.append(
+                f"{msu.name}: coordinator charges stream {key[0]}/{key[1]} "
+                f"the MSU is not serving"
+            )
+        known = set(charged)
+        for group in coord.groups.values():
+            if group.msu_name == msu.name:
+                known |= {(group.group_id, s) for s in group.streams}
+        for key in sorted(served - known):
+            problems.append(
+                f"{msu.name}: serves stream {key[0]}/{key[1]} the "
+                f"coordinator has no record of"
+            )
+        if manager is not None:
+            coord_channels = {
+                cid: set(rec.subscribers.items())
+                for cid, rec in manager.channels.items()
+                if rec.msu_name == msu.name
+            }
+            for cid in sorted(set(coord_channels) ^ set(reported_channels)):
+                where = "coordinator" if cid in coord_channels else "MSU"
+                problems.append(
+                    f"{msu.name}: channel {cid} exists only {where}-side"
+                )
+            for cid in sorted(set(coord_channels) & set(reported_channels)):
+                if coord_channels[cid] != reported_channels[cid]:
+                    problems.append(
+                        f"{msu.name}: channel {cid} subscriber sets differ "
+                        f"(coordinator {sorted(coord_channels[cid])} vs "
+                        f"MSU {sorted(reported_channels[cid])})"
+                    )
+        pinned = {
+            (disk_id, content) for disk_id, content, pages in report.pins
+            if pages > 0
+        }
+        for entry in coord.db.contents.values():
+            if entry.msu_name != msu.name or not entry.prefix_pinned:
+                continue
+            if (entry.disk_id, entry.name) not in pinned:
+                problems.append(
+                    f"{msu.name}: coordinator claims {entry.name!r} prefix "
+                    f"pinned; cache has no pages"
+                )
+    # Live charge/release interleaving accrues float dust the
+    # deterministic rebuild order does not, hence EPS (not ==).
+    have, want = books_state(coord), expected_books(coord)
+    for name in sorted(set(have["msus"]) | set(want["msus"])):
+        h = have["msus"].get(name, {})
+        w = want["msus"].get(name, {})
+        close = (
+            abs(h.get("delivery_used", 0.0) - w.get("delivery_used", 0.0)) <= EPS
+            and abs(h.get("cache_used", 0.0) - w.get("cache_used", 0.0)) <= EPS
+            and h.get("active_streams", 0) == w.get("active_streams", 0)
+            and set(h.get("disks", {})) == set(w.get("disks", {}))
+            and all(
+                abs(bw - w["disks"][d]) <= EPS
+                for d, bw in h.get("disks", {}).items()
+            )
+        )
+        if not close:
+            problems.append(
+                f"books for {name} diverge from a from-scratch rebuild: "
+                f"{h} != {w}"
+            )
+    if have["active"] != want["active"]:
+        problems.append(
+            "active-reader counts diverge from a from-scratch rebuild: "
+            f"{have['active']} != {want['active']}"
+        )
+    return problems
+
+
 def builtin_registry() -> InvariantRegistry:
-    """The six built-in invariant families, one per subsystem."""
+    """The built-in invariant families, one per subsystem."""
     registry = InvariantRegistry()
     registry.register("admission-books", check_admission_books, "both")
     registry.register(
@@ -434,4 +545,7 @@ def builtin_registry() -> InvariantRegistry:
     registry.register("storage-fsck", check_storage, "drain")
     registry.register("stream-deadlines", check_stream_accounting, "both")
     registry.register("stream-drain", check_streams_drained, "drain")
+    registry.register(
+        "recovery-reconciliation", check_recovery_reconciliation, "drain"
+    )
     return registry

@@ -199,6 +199,36 @@ PINNED_PLANS = {
         (6.6111, "msu_crash", {"msu": 0}),
         (7.8425, "msu_powercycle", {"msu": 1}),
     ]),
+    # Coordinator-recovery scenarios (pinned by construction, not shrunk):
+    # a kill/restart mid-schedule with admitted streams riding through the
+    # outage, an MSU dying *during* the outage so reconciliation must
+    # declare it failed from a missing StateReport, and a crash the drain
+    # itself has to recover from.  All must end with zero violations.
+    "coordinator-crash-restart-mid-stream": plan(31, [
+        (1.0, "client_join", {"title": 0, "patience": 4.0}),
+        (1.2, "client_join", {"title": 1, "patience": 4.0}),
+        (3.5, "coordinator_crash", {}),
+        (4.0, "client_join", {"title": 0, "patience": 3.0}),
+        (6.0, "coordinator_restart", {}),
+        (7.0, "client_join", {"title": 1, "patience": 4.0}),
+    ]),
+    "coordinator-outage-msu-churn": plan(32, [
+        (1.0, "client_join", {"title": 0, "patience": 4.0}),
+        (2.0, "client_join", {"title": 1, "patience": 4.0}),
+        (3.0, "coordinator_crash", {}),
+        (3.8, "msu_crash", {"msu": 1}),
+        (5.5, "coordinator_restart", {}),
+        (6.5, "msu_rejoin", {"msu": 1}),
+        (8.0, "client_join", {"title": 0, "patience": 4.0}),
+    ]),
+    "coordinator-down-until-drain": plan(33, [
+        (1.0, "client_join", {"title": 0, "patience": 4.0}),
+        (2.0, "client_join", {"title": 1, "patience": 4.0}),
+        (2.5, "vcr_storm",
+         {"pick": 11, "commands": ["pause", "play"], "position": 1.0}),
+        (10.0, "coordinator_crash", {}),
+        (12.0, "client_join", {"title": 0, "patience": 3.0}),
+    ]),
 }
 
 
