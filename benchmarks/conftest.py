@@ -8,9 +8,18 @@ tables inline; they are also attached to the benchmark JSON via
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: One consolidated perf-trajectory artifact all benchmarks append to.
+#: Every ``test_bench_*`` publishes its headline numbers here under a
+#: single schema, so a CI run (or a human) can diff the whole perf
+#: surface across commits from one JSON file instead of scraping
+#: nineteen rendered tables.
+TRAJECTORY_SCHEMA = "calliope-bench-trajectory-v1"
+TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
 
 
 def publish(benchmark, name: str, text: str, **extra) -> None:
@@ -22,3 +31,35 @@ def publish(benchmark, name: str, text: str, **extra) -> None:
     benchmark.extra_info["report"] = text
     for key, value in extra.items():
         benchmark.extra_info[key] = value
+
+
+def headline(bench: str, metric: str, value, units: str, **context) -> None:
+    """Record one headline number in the shared trajectory artifact.
+
+    Entries are keyed on ``(bench, metric)`` — re-running a benchmark
+    replaces its previous numbers, so the file always holds exactly one
+    row per headline across a whole ``pytest benchmarks`` run.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entries = []
+    try:
+        doc = json.loads(TRAJECTORY_PATH.read_text())
+        if isinstance(doc, dict) and doc.get("schema") == TRAJECTORY_SCHEMA:
+            entries = [
+                e for e in doc.get("entries", [])
+                if (e.get("bench"), e.get("metric")) != (bench, metric)
+            ]
+    except (OSError, ValueError):
+        pass
+    entries.append({
+        "bench": bench,
+        "metric": metric,
+        "value": value,
+        "units": units,
+        "context": dict(context),
+    })
+    entries.sort(key=lambda e: (e["bench"], e["metric"]))
+    TRAJECTORY_PATH.write_text(
+        json.dumps({"schema": TRAJECTORY_SCHEMA, "entries": entries},
+                   indent=2, sort_keys=True) + "\n"
+    )

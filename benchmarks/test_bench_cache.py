@@ -1,6 +1,6 @@
 """Benchmark E16 — interval/prefix caching on the disk-bound VoD workload."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.cache import format_cache, run_cache
 
 
@@ -15,6 +15,11 @@ def test_bench_cache(benchmark):
         slots_saved=on.snapshot.slots_saved,
         cache_admitted=on.cache_admitted,
     )
+    headline(
+        "cache", "concurrent_peak_gain",
+        round(on.concurrent_peak / off.concurrent_peak, 2), "x",
+    )
+    headline("cache", "hit_ratio", round(on.snapshot.hit_ratio, 3), "fraction")
     # The acceptance bar: the same disk sustains >=20% more concurrent
     # streams with the cache on, and the gain really came from the cache.
     assert not off.cache_enabled and on.cache_enabled

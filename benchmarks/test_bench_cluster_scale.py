@@ -1,6 +1,6 @@
 """Benchmark E13 — scaling by adding MSUs (abstract / §3.3, extension)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.cluster_scale import format_cluster_scale, run_cluster_scale
 
 
@@ -10,6 +10,15 @@ def test_bench_cluster_scale(benchmark):
         benchmark, "cluster_scale", format_cluster_scale(points),
         aggregate=[p.aggregate_mb_s for p in points],
         worst_quality=[p.worst_within_50ms for p in points],
+    )
+    headline(
+        "cluster_scale", "aggregate_mb_s",
+        round(points[-1].aggregate_mb_s, 2), "MB/s",
+        n_msus=points[-1].n_msus,
+    )
+    headline(
+        "cluster_scale", "coordinator_cpu",
+        round(max(p.coordinator_cpu for p in points), 4), "fraction",
     )
     base, last = points[0], points[-1]
     scale = last.n_msus / base.n_msus

@@ -1,0 +1,41 @@
+"""Benchmark E21 — the edge proxy tier vs. the E18 multicast baseline."""
+
+from benchmarks.conftest import headline, publish
+from repro.experiments.edge import format_edge, run_edge
+
+
+def test_bench_edge(benchmark):
+    points = benchmark.pedantic(run_edge, rounds=1)
+    off, on = points
+    gain = on.concurrent_peak / off.concurrent_peak
+    publish(
+        benchmark, "edge", format_edge(points),
+        peak_off=off.concurrent_peak,
+        peak_on=on.concurrent_peak,
+        edge_patches=on.edge_patches,
+        msu_patches=on.msu_patches,
+        edge_hit_ratio=on.edge_hit_ratio,
+        edge_admitted=on.edge_admitted,
+        edge_bytes_served=on.edge_bytes_served,
+    )
+    headline(
+        "edge", "viewers_per_disk_gain", round(gain, 2), "x",
+        zipf_s=1.0, baseline="E18 multicast, same offered load",
+    )
+    headline("edge", "concurrent_peak", on.concurrent_peak, "viewers")
+    headline(
+        "edge", "edge_covered_patches", on.edge_patches, "joins",
+        msu_patches=on.msu_patches,
+    )
+    # Acceptance bar: with edges the same disk sustains at least twice
+    # the concurrent viewers of the multicast baseline, the gain really
+    # came from edge-covered (zero-disk-cost) patches, and every book —
+    # multicast ledger and edge uplink — balances once the world drains.
+    assert not off.edges_enabled and on.edges_enabled
+    assert on.concurrent_peak >= 2 * off.concurrent_peak
+    assert on.edge_patches > 0
+    assert on.edge_admitted > 0
+    assert on.edge_bytes_served > 0
+    assert on.msu_patches <= on.edge_patches
+    assert on.ledger_outstanding == 0.0
+    assert on.edge_uplink_outstanding == 0.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.elevator import format_elevator, run_elevator
 
 
@@ -11,6 +11,10 @@ def test_bench_elevator(benchmark):
     publish(
         benchmark, "elevator", format_elevator(result),
         fcfs=result.fcfs, elevator=result.elevator, gain=result.elevator_gain,
+    )
+    headline(
+        "elevator", "throughput_gain", round(result.elevator_gain, 4),
+        "fraction", paper_claim=0.06,
     )
     # Paper: "an elevator scheduling algorithm improves throughput by only
     # about 6% for our disks".

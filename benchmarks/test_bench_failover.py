@@ -1,6 +1,6 @@
 """Benchmark E17 — MSU failover: heartbeat detection and stream migration."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.failover import format_failover, run_failover
 
 
@@ -18,6 +18,16 @@ def test_bench_failover(benchmark):
         victims_single_copy=single_copy.victim_streams,
         queued_resumes=single_copy.queued_resumes,
         served_after_recovery=single_copy.served_after_recovery,
+    )
+    headline(
+        "failover", "resumed_within_budget",
+        with_replicas.resumed_within_budget, "streams",
+        victims=with_replicas.victim_streams,
+    )
+    headline(
+        "failover", "max_resume_gap_s",
+        round(with_replicas.max_resume_gap_s, 3), "seconds",
+        budget_s=with_replicas.detection_budget_s,
     )
     # The acceptance bar: with replicas, >=80% of the dead MSU's streams
     # resume on survivors within the heartbeat timeout plus one duty

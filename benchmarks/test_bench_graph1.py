@@ -1,6 +1,6 @@
 """Benchmark E2 — regenerates Graph 1 (constant-rate lateness CDFs)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.graph1 import format_graph1, run_graph1
 
 
@@ -15,6 +15,14 @@ def test_bench_graph1(benchmark):
         within_50ms_at_23=curves[23].fraction_within(50) * 100,
         within_50ms_at_24=curves[24].fraction_within(50) * 100,
         max_ms_at_22=curves[22].max_late_ms,
+    )
+    headline(
+        "graph1", "within_50ms_at_22",
+        round(curves[22].fraction_within(50), 4), "fraction",
+        paper_claim=0.996,
+    )
+    headline(
+        "graph1", "max_late_ms_at_22", round(curves[22].max_late_ms, 1), "ms",
     )
     # Paper: 22 streams excellent (99.6% within 50 ms, none past 150 ms);
     # 23 degrades gradually; 24 collapses.

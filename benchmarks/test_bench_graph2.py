@@ -1,6 +1,6 @@
 """Benchmarks E3/E4 — regenerate Graph 2 (variable-rate lateness CDFs)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.graph2 import format_graph2, run_graph2
 
 
@@ -13,6 +13,10 @@ def test_bench_graph2(benchmark):
         benchmark, "graph2", text,
         within_50ms_at_15=curves[15].fraction_within(50) * 100,
         within_50ms_at_17=curves[17].fraction_within(50) * 100,
+    )
+    headline(
+        "graph2", "within_50ms_at_15",
+        round(curves[15].fraction_within(50), 4), "fraction",
     )
     # Paper shape: worse than constant rate, degrading from 15 to 17.
     assert curves[15].fraction_within(50) > curves[17].fraction_within(50)
@@ -31,5 +35,9 @@ def test_bench_graph2_single_file(benchmark):
         benchmark, "graph2_single_file", text,
         within_100ms_at_11=curves[11].fraction_within(100) * 100,
         within_100ms_at_15=curves[15].fraction_within(100) * 100,
+    )
+    headline(
+        "graph2_single_file", "within_100ms_at_11",
+        round(curves[11].fraction_within(100), 4), "fraction",
     )
     assert curves[11].fraction_within(100) > curves[15].fraction_within(100)

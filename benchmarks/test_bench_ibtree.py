@@ -1,6 +1,6 @@
 """Benchmark E8 — regenerates the IB-tree integration ablation (§2.2.1)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.ibtree_ablation import (
     format_ibtree_ablation,
     run_ibtree_ablation,
@@ -16,6 +16,11 @@ def test_bench_ibtree(benchmark):
         read_overhead=result.read_overhead_fraction,
         write_penalty=result.write_penalty,
     )
+    headline(
+        "ibtree", "read_overhead_fraction",
+        round(result.read_overhead_fraction, 5), "fraction", paper_claim=0.001,
+    )
+    headline("ibtree", "write_penalty", round(result.write_penalty, 4), "fraction")
     # Paper: embedded internal pages appear in ~0.1% of data pages and do
     # not appreciably affect read bandwidth; separate pages cost extra
     # duty-cycle slots and seeks on the write path.

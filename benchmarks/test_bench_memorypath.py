@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.memorypath import format_memorypath, run_memorypath
 
 
@@ -11,6 +11,10 @@ def test_bench_memorypath(benchmark):
     publish(
         benchmark, "memorypath", format_memorypath(result),
         theoretical=result.theoretical, measured=result.measured,
+    )
+    headline(
+        "memorypath", "measured_mb_s", round(result.measured, 2), "MB/s",
+        theoretical=round(result.theoretical, 2),
     )
     assert result.theoretical == pytest.approx(7.5, abs=0.05)
     assert result.measured == pytest.approx(6.3, abs=0.3)

@@ -1,6 +1,6 @@
 """Benchmark E18 — multicast channels vs. unicast on the Zipf VoD workload."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.multicast import format_multicast, run_multicast
 
 
@@ -17,6 +17,15 @@ def test_bench_multicast(benchmark):
         slots_saved=on.slots_saved,
         merges=on.merges,
     )
+    headline(
+        "multicast", "viewers_per_disk_gain",
+        round(on.concurrent_peak / off.concurrent_peak, 2), "x",
+    )
+    headline(
+        "multicast", "channel_occupancy",
+        round(on.channel_occupancy, 2), "viewers/channel",
+    )
+    headline("multicast", "slots_saved", on.slots_saved, "disk slots")
     # The acceptance bar: one disk sustains at least twice the concurrent
     # viewers with multicast on, the gain really came from batching and
     # patching, and the admission books balance once everything drains.

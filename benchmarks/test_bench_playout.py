@@ -1,6 +1,6 @@
 """Benchmark E14 — client playout quality across the capacity cliff."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.playout import format_playout, run_playout
 
 
@@ -13,6 +13,12 @@ def test_bench_playout(benchmark):
         benchmark, "playout", format_playout(points),
         stalls_at_22=inside.total_underflows,
         stalls_at_24=beyond.total_underflows,
+    )
+    headline(
+        "playout", "underflows_at_22", inside.total_underflows, "still-frames",
+    )
+    headline(
+        "playout", "underflows_at_24", beyond.total_underflows, "still-frames",
     )
     # §2.2.1's buffer argument holds inside capacity: zero still-frames.
     assert inside.underflowing_streams == 0

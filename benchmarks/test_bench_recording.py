@@ -1,6 +1,6 @@
 """Benchmark E15 — simultaneous recording capacity (extension)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.recording import format_recording, run_recording
 
 
@@ -9,6 +9,11 @@ def test_bench_recording(benchmark):
     publish(
         benchmark, "recording", format_recording(points),
         drains=[p.drain_seconds for p in points],
+    )
+    headline(
+        "recording", "max_drain_seconds",
+        round(max(p.drain_seconds for p in points), 3), "seconds",
+        all_complete=all(p.complete for p in points),
     )
     # Every packet of every recording is durably stored ...
     assert all(p.complete for p in points)

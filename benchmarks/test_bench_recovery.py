@@ -1,6 +1,6 @@
 """Benchmark E20 — Coordinator recovery: WAL replay and reconciliation."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.recovery import format_recovery, run_recovery
 
 
@@ -16,6 +16,15 @@ def test_bench_recovery(benchmark):
         streams_dropped=biggest.streams_dropped,
         tickets_recovered=biggest.tickets_recovered,
         books_identical=all(p.books_identical for p in points),
+    )
+    headline(
+        "recovery", "time_to_recover_s",
+        round(biggest.time_to_recover_s, 4), "seconds",
+        viewers=biggest.viewers,
+    )
+    headline(
+        "recovery", "wal_records", biggest.wal_records, "records",
+        viewers=biggest.viewers,
     )
     # The acceptance bar: every stream admitted before the kill survives
     # the outage and the restart (kept by reconciliation, none dropped),

@@ -1,6 +1,6 @@
 """Benchmark E11 — the §2.3.3 replication alternative (extension)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.replication import format_replication, run_replication
 
 
@@ -11,6 +11,11 @@ def test_bench_replication(benchmark):
         benchmark, "replication", format_replication(results),
         single_admitted=single.admitted,
         replicated_admitted=replicated.admitted,
+        copy_blocks=replicated.extra_blocks,
+    )
+    headline(
+        "replication", "admitted_gain",
+        replicated.admitted - single.admitted, "streams",
         copy_blocks=replicated.extra_blocks,
     )
     # A second copy of the hot item converts the idle disk's bandwidth

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.scalability import format_scalability, run_scalability
 
 
@@ -15,6 +15,11 @@ def test_bench_scalability(benchmark):
         request_rate=result.request_rate,
         cpu_utilization=result.cpu_utilization,
         network_utilization=result.network_utilization,
+    )
+    headline(
+        "scalability", "coordinator_cpu_utilization",
+        round(result.cpu_utilization, 4), "fraction",
+        request_rate=round(result.request_rate, 1), paper_claim=0.14,
     )
     # Paper: ~60 req/s -> CPU 14%, network 6%, "relatively insignificant".
     assert result.cpu_utilization == pytest.approx(0.14, abs=0.03)

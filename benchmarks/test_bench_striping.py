@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.striping import (
     format_startup_latency,
     format_striping,
@@ -18,6 +18,11 @@ def test_bench_striping(benchmark):
         benchmark, "striping", format_striping(results),
         per_disk_fetch_ms=per_disk.mean_fetch_ms,
         striped_fetch_ms=striped.mean_fetch_ms,
+    )
+    headline(
+        "striping", "mean_fetch_ms_striped",
+        round(striped.mean_fetch_ms, 3), "ms",
+        per_disk=round(per_disk.mean_fetch_ms, 3),
     )
     # Striping balances the skewed load across disks ...
     spread = max(per_disk.per_disk_mb_s) - min(per_disk.per_disk_mb_s)
@@ -35,6 +40,11 @@ def test_bench_striping_vcr_startup(benchmark):
         benchmark, "striping_startup", format_startup_latency(results),
         per_disk_mean_ms=float(np.mean(results["per-disk"]) * 1000),
         striped_mean_ms=float(np.mean(results["striped"]) * 1000),
+    )
+    headline(
+        "striping_startup", "striped_startup_ms",
+        round(float(np.mean(results["striped"]) * 1000), 2), "ms",
+        per_disk=round(float(np.mean(results["per-disk"]) * 1000), 2),
     )
     per_disk = np.mean(results["per-disk"])
     striped = np.mean(results["striped"])

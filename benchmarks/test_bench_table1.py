@@ -1,6 +1,6 @@
 """Benchmark E1 — regenerates Table 1 (baseline measurements)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
 
 
@@ -13,6 +13,14 @@ def test_bench_table1(benchmark):
         fddi_only=by_label["0 disk"].fddi_only,
         one_disk=by_label["1 disk (one HBA)"].disks_only[0],
         two_hba_combined_fddi=by_label["2 disk (two HBA)"].combined_fddi,
+    )
+    headline(
+        "table1", "fddi_only_mb_s",
+        round(by_label["0 disk"].fddi_only, 2), "MB/s",
+    )
+    headline(
+        "table1", "two_hba_combined_fddi_mb_s",
+        round(by_label["2 disk (two HBA)"].combined_fddi, 2), "MB/s",
     )
     # Paper shape: FDDI-only tops the chart; two active HBAs collapse it.
     assert by_label["0 disk"].fddi_only > 8.0

@@ -1,6 +1,6 @@
 """Benchmark E12 — offered-load admission sweep (extension)."""
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import headline, publish
 from repro.experiments.vod_load import format_vod_load, run_vod_load
 
 
@@ -9,6 +9,11 @@ def test_bench_vod_load(benchmark):
     publish(
         benchmark, "vod_load", format_vod_load(points),
         blocking=[p.blocking_probability for p in points],
+    )
+    headline(
+        "vod_load", "peak_blocking_probability",
+        round(points[-1].blocking_probability, 4), "fraction",
+        concurrent_peak=max(p.concurrent_peak for p in points),
     )
     # Blocking is monotone in offered load and concurrency never exceeds
     # the MSU's stream capacity.

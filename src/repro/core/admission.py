@@ -42,6 +42,10 @@ class Allocation:
     #: True when the grant charges the MSU's cache budget instead of the
     #: disk's raw bandwidth (an interval-cache leader covers the stream).
     cache_covered: bool = False
+    #: Non-empty when the grant rides the zero-disk-cost edge lane: the
+    #: charge lands on this edge proxy's uplink book and touches no MSU
+    #: resource at all (``msu_name``/``disk_id`` are then empty).
+    edge_name: str = ""
 
 
 def allocation_state(alloc: Allocation) -> dict:
@@ -68,6 +72,12 @@ class AdmissionControl:
         #: Admissions served from an MSU page cache rather than a disk
         #: slot (the popularity-aware second chance of place_read).
         self.cache_admitted = 0
+        #: Grants that rode the zero-disk-cost edge lane.
+        self.edge_admitted = 0
+        #: The edge tier's uplink books (a PlacementManager when edges
+        #: are configured): must expose ``charge``/``release``/``feasible``.
+        #: None means no edge tier — place_edge then always declines.
+        self.edge_books = None
         #: Recovery hook: ``callback(kind, payload)`` fired for every
         #: charge/release so the write-ahead log can replay the books
         #: mutation-for-mutation on restart.  None disables it.
@@ -225,6 +235,33 @@ class AdmissionControl:
             )
         )
 
+    def place_edge(
+        self,
+        entry: ContentEntry,
+        ctype: ContentType,
+        edge_name: str,
+    ) -> Optional[Allocation]:
+        """Admit an edge-covered serve: the zero-disk-cost lane.
+
+        The grant charges the edge proxy's uplink only — no MSU disk
+        slot, no MSU delivery flow, no cache budget, and deliberately no
+        ``note_active`` bump (the edge holds no interval-cache leader a
+        follower could trail on a disk).  It still flows through
+        :meth:`apply`/:meth:`release`, so the journal, replay and audits
+        see it like any other grant.
+        """
+        if self.edge_books is None:
+            return None
+        rate = ctype.bandwidth_rate
+        if not self.edge_books.feasible(edge_name, rate):
+            return None
+        self.edge_admitted += 1
+        return self.apply(
+            Allocation(
+                "", "", rate, content_name=entry.name, edge_name=edge_name
+            )
+        )
+
     def charge_direct(
         self,
         entry: Optional[ContentEntry],
@@ -292,7 +329,15 @@ class AdmissionControl:
         Coordinator restart.  ``reserve_blocks=False`` skips the recording
         space debit — the reconciliation path rebuilds free-block counts
         from MSU allocator truth instead.
+
+        Edge-lane grants (``alloc.edge_name``) touch no MSU book: the
+        whole charge routes to the edge tier's uplink accounting.
         """
+        if alloc.edge_name:
+            if self.edge_books is not None:
+                self.edge_books.charge(alloc)
+            self._journal("charge", {"alloc": allocation_state(alloc)})
+            return alloc
         if alloc.content_name:
             entry = self.db.contents.get(alloc.content_name)
             if entry is not None:
@@ -313,11 +358,24 @@ class AdmissionControl:
         return alloc
 
     def release(self, alloc: Allocation, blocks_used: int = 0) -> None:
-        """Return a stream's resources (and a recording's unused space)."""
+        """Return a stream's resources (and a recording's unused space).
+
+        The journal append comes *after* the books move (like ``apply``):
+        the append may trigger a snapshot install, and a snapshot taken
+        mid-release would capture still-charged books while truncating
+        the very record that undoes them.
+        """
+        if alloc.edge_name:
+            if self.edge_books is not None:
+                self.edge_books.release(alloc)
+        else:
+            self._release_books(alloc, blocks_used)
         self._journal(
             "release",
             {"alloc": allocation_state(alloc), "blocks_used": blocks_used},
         )
+
+    def _release_books(self, alloc: Allocation, blocks_used: int) -> None:
         if alloc.content_name:
             entry = self.db.contents.get(alloc.content_name)
             if entry is not None:
@@ -386,6 +444,17 @@ class AdmissionControl:
                         f"content {entry.name!r}: active count {count} < 0 "
                         f"at {location}"
                     )
+        if self.edge_books is not None:
+            for view in self.edge_books.edges.values():
+                if view.uplink_used < -eps:
+                    problems.append(
+                        f"edge {view.name}: uplink_used {view.uplink_used} < 0"
+                    )
+                if view.attached and view.uplink_used > view.uplink_bps + eps:
+                    problems.append(
+                        f"edge {view.name}: uplink_used {view.uplink_used} "
+                        f"exceeds capacity {view.uplink_bps}"
+                    )
         return problems
 
     def release_msu(self, msu_name: str) -> None:
@@ -393,10 +462,12 @@ class AdmissionControl:
         state = self.db.msus.get(msu_name)
         if state is None:
             return
-        self._journal("release-msu", {"name": msu_name})
         state.delivery_used = 0.0
         state.active_streams = 0
         state.cache_used = 0.0
         for disk in state.disks.values():
             disk.bandwidth_used = 0.0
         self.db.clear_active(msu_name)
+        # Journaled after the wipe, like release(): a snapshot install
+        # triggered by this append must observe the zeroed books.
+        self._journal("release-msu", {"name": msu_name})

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.manager import CacheConfig
 from repro.core.coordinator import Coordinator
+from repro.edge.proxy import EdgeConfig, EdgeProxy
 from repro.core.msu.msu import Msu
 from repro.errors import CalliopeError
 from repro.failover import FailoverConfig
@@ -60,6 +61,9 @@ class ClusterConfig:
     #: Coordinator WAL + snapshots + MSU-state reconciliation (extension);
     #: None reproduces the paper's unrecoverable Coordinator.
     recovery: Optional[RecoveryConfig] = field(default_factory=RecoveryConfig)
+    #: Edge proxy tier — popularity-aware prefix caches between the MSUs
+    #: and the clients (extension); None keeps the paper's two-tier shape.
+    edge: Optional[EdgeConfig] = None
     seed: int = 42
 
 
@@ -74,6 +78,7 @@ class CalliopeCluster:
         self.coordinator = Coordinator(
             sim, types=config.types, block_size=config.ibtree_config.data_page_size,
             failover=config.failover, multicast=config.multicast,
+            edge=config.edge,
         )
         self.journal: Optional[JournalStore] = None
         self.coordinator_down = False
@@ -112,6 +117,23 @@ class CalliopeCluster:
             self.coordinator.attach_msu(channel)
             msu.attach_coordinator(channel)
             self.msus.append(msu)
+        self.edges: List[EdgeProxy] = []
+        if config.edge is not None:
+            for i in range(config.edge.n_edges):
+                proxy = EdgeProxy(
+                    sim, f"edge{i}", self.delivery_net, config.edge
+                )
+                self.edges.append(proxy)
+                self._connect_edge(proxy)
+
+    def _connect_edge(self, proxy: EdgeProxy) -> None:
+        """Wire one edge proxy to the (current) Coordinator."""
+        channel = ControlChannel(
+            self.sim, self.coordinator.name, proxy.name,
+            latency=self.config.intra_latency, network=self.intra_net,
+        )
+        self.coordinator.attach_edge(channel)
+        proxy.attach_coordinator(channel)
 
     # -- client plumbing ----------------------------------------------------------
 
@@ -195,6 +217,23 @@ class CalliopeCluster:
         """Bring a failed MSU back (alias for :meth:`rejoin_msu`)."""
         self.rejoin_msu(index)
 
+    def fail_edge(self, index: int) -> None:
+        """Kill an edge proxy (failure injection).
+
+        Its pinned prefixes and running serves are gone; the broken
+        control connection tells the Coordinator, which refunds the
+        in-flight serves and drops the placement view.  Clients fall
+        through to plain MSU admission until the edge returns.
+        """
+        self.edges[index].crash()
+
+    def recover_edge(self, index: int) -> None:
+        """Bring a crashed edge back, cold, and re-wire it."""
+        proxy = self.edges[index]
+        proxy.recover()
+        if not self.coordinator_down:
+            self._connect_edge(proxy)
+
     def crash_coordinator(self) -> None:
         """Kill the Coordinator machine (failure injection).
 
@@ -220,6 +259,13 @@ class CalliopeCluster:
             if channel.open:
                 channel.close()
         self._client_channels.clear()
+        for proxy in self.edges:
+            if (
+                proxy.coordinator_channel is not None
+                and proxy.coordinator_channel.open
+            ):
+                proxy.coordinator_channel.close()
+            proxy.coordinator_channel = None
         self.coordinator_down = True
 
     def restart_coordinator(self) -> None:
@@ -240,6 +286,7 @@ class CalliopeCluster:
             self.sim, types=config.types,
             block_size=config.ibtree_config.data_page_size,
             failover=config.failover, multicast=config.multicast,
+            edge=config.edge,
         )
         coord.tracer = old.tracer
         coord.on_capacity_lost = old.on_capacity_lost
@@ -262,6 +309,11 @@ class CalliopeCluster:
             )
             coord.attach_msu(channel)
             msu.attach_coordinator(channel)
+        # Live edges reconnect too; each hello triggers edge-wins
+        # reconciliation against the replayed placement view.
+        for proxy in self.edges:
+            if not proxy.down:
+                self._connect_edge(proxy)
 
     # -- administrative helpers -----------------------------------------------------
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 if TYPE_CHECKING:
+    from repro.edge import EdgeConfig, PlacementManager
     from repro.multicast import ChannelManager, MulticastConfig
 
 from repro.core.admission import AdmissionControl, Allocation
@@ -110,6 +111,7 @@ class Coordinator:
         name: str = "coordinator",
         failover: Optional[FailoverConfig] = None,
         multicast: Optional[MulticastConfig] = None,
+        edge: Optional[EdgeConfig] = None,
     ):
         self.sim = sim
         self.name = name
@@ -144,6 +146,15 @@ class Coordinator:
             from repro.multicast import ChannelManager
 
             self.channel_manager = ChannelManager(self, multicast)
+        #: Edge-tier placement manager (prefix caches near the clients);
+        #: None keeps every byte flowing from the MSUs.
+        self.placement: Optional[PlacementManager] = None
+        if edge is not None:
+            # Imported here for the same cycle reason as ChannelManager.
+            from repro.edge.placement import PlacementManager
+
+            self.placement = PlacementManager(self, edge)
+            self.admission.edge_books = self.placement
         #: Hook fired as ``callback(msu_name, lost_titles)`` after a
         #: failure; the ReplicationManager's watch() uses it to restore
         #: replica counts for titles that just lost a copy.
@@ -323,6 +334,42 @@ class Coordinator:
     def connect_client(self, channel: ControlChannel, client_host: str) -> None:
         """Accept a client control connection."""
         self.sim.process(self._client_loop(channel, client_host), name="coord.client")
+
+    def attach_edge(self, channel: ControlChannel) -> None:
+        """Accept an edge proxy control connection; it will say hello."""
+        self.sim.process(self._edge_loop(channel), name="coord.edge")
+
+    # -- edge side ---------------------------------------------------------------
+
+    def _edge_loop(self, channel: ControlChannel) -> Generator:
+        edge_name = None
+        while True:
+            msg = yield channel.recv(self.name)
+            if msg is None:
+                # Like MSUs: only a break on the edge's *current* channel
+                # means it is gone; a halted Coordinator's own closing
+                # channels are not edge failures.
+                if (
+                    not self.dead
+                    and edge_name is not None
+                    and self.placement is not None
+                ):
+                    view = self.placement.edges.get(edge_name)
+                    if view is not None and view.channel is channel:
+                        self.placement.edge_down(edge_name)
+                return
+            if self.placement is None:
+                continue
+            if isinstance(msg, m.EdgeHello):
+                edge_name = msg.edge_name
+                self.placement.edge_hello(msg, channel)
+                self._trace("edge-up", edge_name,
+                            f"budget={msg.memory_budget} "
+                            f"pinned={len(msg.pinned)}")
+            elif isinstance(msg, m.EdgeReport):
+                self.placement.edge_report(msg)
+            elif isinstance(msg, m.EdgeServeDone):
+                self.placement.serve_done(msg)
 
     # -- MSU side -------------------------------------------------------------------
 
@@ -670,6 +717,8 @@ class Coordinator:
         session = self.sessions.get(msg.session_id)
         if fresh:  # retries of a queued request are not new demand
             entry = self.db.note_request(msg.content_name)
+            if self.placement is not None:
+                self.placement.note_request(msg.content_name)
         else:
             entry = self.db.content(msg.content_name)
         self._maybe_pin_prefix(entry)
@@ -708,6 +757,24 @@ class Coordinator:
                 return None  # queued: the client hears nothing until placed
             msu_pin = alloc.msu_name
             allocations.append((comp_entry, comp_port, alloc))
+        # Edge leg (zero-disk-cost lane): a single-member play whose
+        # client's assigned edge pins this title's prefix (or holds a
+        # fresh interval window) starts from the edge while the MSU tail
+        # stream begins at the splice page.  The tail keeps its full slot
+        # — the win is client-side (instant start) and, for multicast
+        # patches, MSU-side; here the splice mostly proves the lane.
+        edge_plan: Optional[Tuple[str, int, str, Allocation]] = None
+        if (
+            self.placement is not None
+            and len(members) == 1
+            and not entry.components
+        ):
+            ctype = self.types.get(entry.type_name)
+            plan = self.placement.plan_prefix(entry, ctype, session.client_host)
+            if plan is not None:
+                edge_alloc = self.admission.place_edge(entry, ctype, plan[0])
+                if edge_alloc is not None:
+                    edge_plan = plan + (edge_alloc,)
         self.db.note_played(entry.name)
         group = GroupRecord(self._next_group, msg.session_id, allocations[0][2].msu_name)
         self._next_group += 1
@@ -729,10 +796,23 @@ class Coordinator:
                     ctype.protocol, ctype.bandwidth_rate, ctype.variable,
                     tuple(comp_port.address), session.client_host, group_size=size,
                     cached=alloc.cache_covered,
+                    start_page=edge_plan[1] if edge_plan is not None else 0,
                 ),
                 nbytes=m.WIRE_BYTES,
             )
         self.register_group(group, session)
+        if edge_plan is not None:
+            # The edge serves pages [0, splice) under the tail stream's
+            # ids; the serve is registered outside group.allocations so
+            # group teardown and the books conservation audit never see
+            # an MSU-shaped charge for it.
+            edge_name, splice, kind, edge_alloc = edge_plan
+            ctype = self.types.get(entry.type_name)
+            self.placement.begin_serve(
+                edge_name, group.group_id, stream_id, entry,
+                0, splice, ctype.bandwidth_rate, kind,
+                tuple(allocations[0][1].address), edge_alloc,
+            )
         self._trace("scheduled", msg.content_name,
                     f"group={group.group_id} msu={group.msu_name}")
         return m.StreamScheduled(group.group_id, group.msu_name)

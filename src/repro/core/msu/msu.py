@@ -417,7 +417,9 @@ class Msu:
         return group
 
     def _schedule_read(self, msg: m.ScheduleRead) -> None:
-        self._install_play(msg, label="play")
+        # start_page > 0: an edge proxy serves the opening pages, the
+        # MSU tail stream picks up at the splice.
+        self._install_play(msg, start_page=msg.start_page, label="play")
 
     def _resume_play(self, msg: m.ResumePlay) -> None:
         """Pick up a migrated stream from its last reported position."""

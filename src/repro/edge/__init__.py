@@ -1,0 +1,19 @@
+"""Edge proxy tier: popularity-aware prefix caches near the clients.
+
+Calliope's capacity story stops at the MSU — every admitted stream
+ultimately costs a disk duty-cycle slot, so the cluster tops out at its
+aggregate disk bandwidth.  The edge tier breaks that bound for popular
+titles: an :class:`~repro.edge.proxy.EdgeProxy` sits between the MSUs
+and the clients on the delivery network, pins hot-title prefixes in
+memory, and serves prefix playouts, multicast patch streams and interval
+hits without touching an MSU disk.  The Coordinator-side
+:class:`~repro.edge.placement.PlacementManager` tracks per-title
+popularity with a decayed estimator and pre-positions/evicts prefixes
+across edges ahead of demand (Jayarekha & Nair: prefix- and
+popularity-aware interval caching for multicast VoD).
+"""
+
+from repro.edge.placement import EdgeView, PlacementManager
+from repro.edge.proxy import EdgeConfig, EdgeProxy
+
+__all__ = ["EdgeConfig", "EdgeProxy", "EdgeView", "PlacementManager"]

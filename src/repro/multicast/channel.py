@@ -131,6 +131,7 @@ class ChannelManager:
         self.merges = 0
         self.downgrades = 0
         self.fallbacks = 0  # requests parked when no channel was placeable
+        self.edge_patched = 0  # patch joins served by an edge proxy
 
     # -- applicability -----------------------------------------------------
 
@@ -151,7 +152,7 @@ class ChannelManager:
         queue).
         """
         ctype = self.coord.types.get(entry.type_name)
-        record = self._joinable_channel(entry)
+        record = self._joinable_channel(entry, session.client_host)
         if record is not None:
             reply = yield from self._join_in_flight(
                 record, msg, session, entry, ctype, port
@@ -167,21 +168,50 @@ class ChannelManager:
         batch.requests.append(_BatchedRequest(msg, channel, msg.session_id))
         return None
 
-    def _joinable_channel(self, entry: ContentEntry) -> Optional[ChannelRecord]:
-        """The youngest in-flight channel still inside the patch horizon."""
+    def _joinable_channel(
+        self, entry: ContentEntry, client_host: Optional[str] = None
+    ) -> Optional[ChannelRecord]:
+        """The youngest in-flight channel still inside the patch horizon.
+
+        When the client's assigned edge pins this title's prefix, the
+        horizon stretches to the prefix's media time: the whole catch-up
+        window then comes from edge memory, so a much older channel is
+        still joinable at zero MSU cost — the mechanism that lets one
+        disk stream carry an entire Zipf head of viewers.
+        """
         horizon_us = self.config.patch_horizon * 1e6
+        edge_pages = self._edge_prefix_pages(entry, client_host)
         best = None
         for record in self.channels.values():
             if record.content_name != entry.name or record.released:
                 continue
             if record.page_us() <= 0.0:
                 continue  # no duration metadata: patches cannot be bounded
+            allowed_us = horizon_us
+            if edge_pages > self.config.patch_margin_pages:
+                allowed_us = max(
+                    allowed_us,
+                    (edge_pages - self.config.patch_margin_pages)
+                    * record.page_us(),
+                )
             offset_us = (self.sim.now - record.started_at) * 1e6
-            if offset_us >= record.duration_us or offset_us > horizon_us:
+            if offset_us >= record.duration_us or offset_us > allowed_us:
                 continue
             if best is None or record.started_at > best.started_at:
                 best = record
         return best
+
+    def _edge_prefix_pages(
+        self, entry: ContentEntry, client_host: Optional[str]
+    ) -> int:
+        """Pages of this title the client's assigned edge pins (0 = none)."""
+        placement = getattr(self.coord, "placement", None)
+        if placement is None or client_host is None:
+            return 0
+        view = placement.edge_for(client_host)
+        if view is None:
+            return 0
+        return view.pinned.get(entry.name, 0)
 
     # -- patching (join an in-flight channel) ------------------------------
 
@@ -198,29 +228,51 @@ class ChannelManager:
             )
         alloc = None
         cache_covered = False
+        edge_name = None
         if patch_pages > 0:
-            prefix_covered = (
-                entry.prefix_pinned and patch_pages <= self.coord.prefix_pin_pages
-            )
-            alloc = self.coord.admission.place_patch(
-                entry, ctype, record.msu_name, record.disk_id,
-                prefix_covered=prefix_covered,
-            )
-            if alloc is None:
-                return None  # no room for the patch: caller batches instead
-            cache_covered = alloc.cache_covered
+            placement = getattr(self.coord, "placement", None)
+            if placement is not None:
+                edge_name = placement.cover_patch(
+                    entry, patch_pages, ctype.bandwidth_rate,
+                    session.client_host,
+                )
+                if edge_name is not None:
+                    alloc = self.coord.admission.place_edge(
+                        entry, ctype, edge_name
+                    )
+                    if alloc is None:
+                        edge_name = None
+            if edge_name is None:
+                if offset_us > self.config.patch_horizon * 1e6:
+                    # Joinable only because of the edge's extended
+                    # horizon; without its coverage an MSU patch this
+                    # long would break the patch bound — batch instead.
+                    return None
+                prefix_covered = (
+                    entry.prefix_pinned
+                    and patch_pages <= self.coord.prefix_pin_pages
+                )
+                alloc = self.coord.admission.place_patch(
+                    entry, ctype, record.msu_name, record.disk_id,
+                    prefix_covered=prefix_covered,
+                )
+                if alloc is None:
+                    return None  # no room for the patch: caller batches instead
+                cache_covered = alloc.cache_covered
         group_id, stream_id = self._attach_subscriber(
-            record, msg, session, entry, port, alloc
+            record, msg, session, entry, port,
+            alloc if edge_name is None else None,
         )
         self.patched_joins += 1
         patch_us = int(patch_pages * record.page_us())
-        self.patch_joins.append(
-            PatchJoin(
-                record.channel_id, group_id, offset_us,
-                patch_pages, patch_us, cache_covered,
+        if edge_name is None:
+            self.patch_joins.append(
+                PatchJoin(
+                    record.channel_id, group_id, offset_us,
+                    patch_pages, patch_us, cache_covered,
+                )
             )
-        )
-        if alloc is not None:
+        if alloc is not None and edge_name is None:
             self.ledger.charge_patch(
                 record.channel_id, group_id, alloc.bandwidth, cache_covered
             )
@@ -233,15 +285,27 @@ class ChannelManager:
                     "cache_covered": cache_covered,
                 },
             )
+        if edge_name is not None:
+            # An edge serves the whole catch-up window from its pinned
+            # prefix: no MSU patch stream, no disk slot, no ledger
+            # charge — the serve is registered placement-side and its
+            # uplink grant is refunded on EdgeServeDone.
+            self.edge_patched += 1
+            self.coord.placement.begin_serve(
+                edge_name, group_id, stream_id, entry,
+                0, patch_pages, ctype.bandwidth_rate, "patch",
+                tuple(port.address), alloc,
+            )
         yield from self.coord.machine.cpu.execute(self.coord.SCHEDULE_CPU)
         self._send_subscribe(
             record, group_id, stream_id, session, port,
-            patch_pages, cache_covered,
+            patch_pages if edge_name is None else 0, cache_covered,
         )
         self.coord._trace(
             "mcast-patch", entry.name,
             f"channel={record.channel_id} group={group_id} "
-            f"pages={patch_pages} offset_us={offset_us}",
+            f"pages={patch_pages} offset_us={offset_us} "
+            f"edge={edge_name or '-'}",
         )
         return m.StreamScheduled(group_id, record.msu_name)
 

@@ -41,6 +41,12 @@ __all__ = [
     "ChannelDowngrade",
     "PinPrefix",
     "CacheReport",
+    "EdgeHello",
+    "PlacePrefix",
+    "EvictPrefix",
+    "EdgeReport",
+    "EdgeServe",
+    "EdgeServeDone",
     "StreamReady",
     "VcrCommand",
     "EndOfStream",
@@ -194,6 +200,10 @@ class ScheduleRead:
     #: cache (a leader is active on the same content/disk); the disk
     #: process falls back to disk reads on a miss either way.
     cached: bool = False
+    #: First page the MSU should deliver.  Non-zero when an edge proxy
+    #: serves the opening pages ``[0, start_page)`` from its pinned
+    #: prefix while this MSU tail stream runs the rest.
+    start_page: int = 0
 
 
 @dataclass(frozen=True)
@@ -413,6 +423,95 @@ class ChannelDowngrade:
     group_id: int
     stream_id: int
     position_us: int = 0
+
+
+# -- edge proxies (Coordinator <-> EdgeProxy) ---------------------------------
+
+@dataclass(frozen=True)
+class EdgeHello:
+    """Sent when an edge proxy (re)connects to the Coordinator.
+
+    ``pinned`` carries the edge's surviving prefix inventory as
+    ``(content_name, pages)`` pairs — the authoritative truth the
+    Coordinator's placement view adopts wholesale (edge-wins
+    reconciliation, mirroring the MSU StateReport contract).
+    """
+
+    edge_name: str
+    memory_budget: int
+    uplink_bps: float
+    pinned: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class PlacePrefix:
+    """Coordinator -> edge: fetch and pin a title's opening pages.
+
+    The edge trickle-fetches ``pages`` pages of ``page_size`` bytes from
+    the title's home MSU and pins them; the fill is best effort and the
+    Coordinator learns the outcome from the next :class:`EdgeReport`.
+    """
+
+    content_name: str
+    msu_name: str
+    disk_id: str
+    pages: int
+    page_size: int
+    rate: float
+
+
+@dataclass(frozen=True)
+class EvictPrefix:
+    """Coordinator -> edge: drop a title's pinned prefix (placement loop)."""
+
+    content_name: str
+
+
+@dataclass(frozen=True)
+class EdgeReport:
+    """Edge -> Coordinator: periodic inventory + counters report."""
+
+    edge_name: str
+    pinned: Tuple[Tuple[str, int], ...] = ()
+    bytes_pinned: int = 0
+    uplink_used_bps: float = 0.0
+    prefix_bytes_served: int = 0
+    patch_bytes_served: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+@dataclass(frozen=True)
+class EdgeServe:
+    """Coordinator -> edge: pace pages ``[start_page, end_page)`` of a
+    title at ``rate`` to ``display_address``.
+
+    ``kind`` is ``"prefix"`` (opening leg of a spliced unicast play,
+    sharing the MSU tail stream's ids), ``"patch"`` (a late joiner's
+    multicast catch-up window) or ``"interval"`` (a trailing viewer
+    riding a recently-served window).
+    """
+
+    group_id: int
+    stream_id: int
+    content_name: str
+    display_address: Tuple[str, int]
+    start_page: int
+    end_page: int
+    rate: float
+    page_size: int
+    kind: str = "prefix"
+
+
+@dataclass(frozen=True)
+class EdgeServeDone:
+    """Edge -> Coordinator: a serve finished; refund its uplink charge."""
+
+    edge_name: str
+    group_id: int
+    stream_id: int
+    nbytes: int
+    kind: str = "prefix"
 
 
 # -- MSU <-> client ------------------------------------------------------------

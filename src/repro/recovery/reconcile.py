@@ -78,6 +78,8 @@ def reconcile(
     _reconcile_streams(coord, by_msu, outcome)
     _reconcile_channels(coord, by_msu, outcome)
     _reconcile_pins(coord, reports, outcome)
+    if coord.placement is not None:
+        outcome.discrepancies.extend(coord.placement.reconcile_edges())
     rebuild_books(coord)
     outcome.tickets_recovered = len(coord.admission.queue)
     return outcome

@@ -217,6 +217,50 @@ def _ticket_remove(coord, p):
             break
 
 
+# -- edge tier ----------------------------------------------------------------
+
+def _placement(coord):
+    return coord.placement
+
+
+def _edge_attach(coord, p):
+    placement = _placement(coord)
+    if placement is not None:
+        placement.replay_attach(p)
+
+
+def _edge_down(coord, p):
+    placement = _placement(coord)
+    if placement is not None:
+        placement.replay_down(p)
+
+
+def _edge_place(coord, p):
+    placement = _placement(coord)
+    if placement is not None:
+        placement.replay_place(p)
+
+
+def _edge_evict(coord, p):
+    placement = _placement(coord)
+    if placement is not None:
+        placement.replay_evict(p)
+
+
+def _edge_serve(coord, p):
+    # The uplink charge replays through its own "charge" record; this
+    # only rebuilds the serve registry entry.
+    placement = _placement(coord)
+    if placement is not None:
+        placement.replay_serve(p)
+
+
+def _edge_serve_done(coord, p):
+    placement = _placement(coord)
+    if placement is not None:
+        placement.replay_serve_done(p)
+
+
 # -- multicast channels -------------------------------------------------------
 
 def _manager(coord):
@@ -340,6 +384,12 @@ _HANDLERS = {
     "stream-end": _stream_end,
     "ticket-add": _ticket_add,
     "ticket-remove": _ticket_remove,
+    "edge-attach": _edge_attach,
+    "edge-down": _edge_down,
+    "edge-place": _edge_place,
+    "edge-evict": _edge_evict,
+    "edge-serve": _edge_serve,
+    "edge-serve-done": _edge_serve_done,
     "mcast-open": _mcast_open,
     "mcast-subscribe": _mcast_subscribe,
     "mcast-patch": _mcast_patch,

@@ -433,8 +433,10 @@ def snapshot_state(coord: "Coordinator") -> dict:
             "queued": coord.admission.queued,
             "rejected": coord.admission.rejected,
             "cache_admitted": coord.admission.cache_admitted,
+            "edge_admitted": coord.admission.edge_admitted,
         },
         "multicast": multicast,
+        "edge": coord.placement.state() if coord.placement is not None else None,
     }
 
 
@@ -478,6 +480,10 @@ def restore_state(coord: "Coordinator", state: dict) -> None:
     coord.admission.queued = counters.get("queued", 0)
     coord.admission.rejected = counters.get("rejected", 0)
     coord.admission.cache_admitted = counters.get("cache_admitted", 0)
+    coord.admission.edge_admitted = counters.get("edge_admitted", 0)
+    edge = state.get("edge")
+    if edge is not None and coord.placement is not None:
+        coord.placement.restore(edge)
     multicast = state.get("multicast")
     manager = coord.channel_manager
     if multicast is not None and manager is not None:

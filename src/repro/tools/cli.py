@@ -9,6 +9,7 @@ Usage::
     python -m repro.tools.cli verify --seed 1..5 --ops 50
     python -m repro.tools.cli verify --replay repro.json
     python -m repro.tools.cli recovery journal.json --replay
+    python -m repro.tools.cli edge --edges 2 --duration 30
 
 Each experiment subcommand runs the corresponding runner and prints the
 same rows/series the paper reports (see EXPERIMENTS.md).  ``verify``
@@ -141,6 +142,12 @@ def _recovery(duration: Optional[float]) -> str:
     return format_recovery(run_recovery())
 
 
+def _edge_cache(duration: Optional[float]) -> str:
+    from repro.experiments.edge import format_edge, run_edge
+
+    return format_edge(run_edge(duration=duration or 120.0))
+
+
 def _cluster_scale(duration: Optional[float]) -> str:
     from repro.experiments.cluster_scale import (
         format_cluster_scale,
@@ -170,6 +177,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "recording": (_recording, "§2.3 simultaneous recording capacity (extension)"),
     "failover": (_failover, "§2.2 MSU failover: heartbeats + migration (extension)"),
     "multicast": (_multicast, "§2.2/§3.2 multicast channels + patching (extension)"),
+    "edge-cache": (_edge_cache, "abstract edge proxy tier vs. multicast alone (extension)"),
     "coordinator-recovery": (
         _recovery, "§2.2 Coordinator WAL replay + reconciliation (extension)"
     ),
@@ -322,6 +330,116 @@ def recovery_main(argv) -> int:
     return 0
 
 
+def build_edge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="calliope-experiments edge",
+        description="Run a short edged workload and show per-edge state: "
+                    "pinned prefixes, hit ratios, uplink and bytes served.",
+    )
+    parser.add_argument(
+        "--edges", type=int, default=2,
+        help="number of EdgeProxy nodes (default 2)",
+    )
+    parser.add_argument(
+        "--titles", type=int, default=6,
+        help="catalog size for the Zipf workload (default 6)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated seconds of offered load (default 30)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed (default 7)",
+    )
+    return parser
+
+
+def edge_main(argv) -> int:
+    """Drive a small edged cluster and print the edge tier's state."""
+    from repro.clients.client import Client
+    from repro.clients.population import ViewerPopulation
+    from repro.core.cluster import CalliopeCluster, ClusterConfig
+    from repro.edge import EdgeConfig
+    from repro.media.mpeg import MpegEncoder, packetize_cbr
+    from repro.multicast import MulticastConfig
+    from repro.sim import Simulator
+    from repro.units import MPEG1_RATE
+
+    args = build_edge_parser().parse_args(argv)
+    sim = Simulator()
+    cluster = CalliopeCluster(
+        sim,
+        ClusterConfig(
+            n_msus=1,
+            disks_per_hba=(1,),
+            multicast=MulticastConfig(batch_window=0.5, patch_horizon=6.0),
+            edge=EdgeConfig(
+                n_edges=max(1, args.edges),
+                prefix_pages=128,
+                placement_period=0.5,
+                promote_score=0.5,
+                evict_score=0.01,
+                decay=0.9,
+            ),
+        ),
+    )
+    cluster.coordinator.db.add_customer("user")
+    packets = packetize_cbr(MpegEncoder(seed=args.seed).bitstream(48.0),
+                            MPEG1_RATE, 1024)
+    titles = []
+    for t in range(max(1, args.titles)):
+        name = f"title{t}"
+        cluster.load_content(name, "mpeg1", packets, disk_index=0)
+        titles.append(name)
+    sim.run(until=0.01)
+    client = Client(sim, cluster, "audience")
+    population = ViewerPopulation(
+        sim, client, titles,
+        arrival_rate=6.0, mean_watch_seconds=8.0, zipf_s=1.0,
+        queue_patience=2.0, seed=args.seed,
+    )
+    population.start()
+    sim.run(until=args.duration)
+    population.stop()
+    sim.run(until=args.duration + 30.0)
+
+    placement = cluster.coordinator.placement
+    print(f"edge tier after {args.duration:.0f}s of Zipf(1.0) load "
+          f"({len(cluster.edges)} edge(s), {len(titles)} titles)")
+    for proxy in cluster.edges:
+        view = placement.edges.get(proxy.name) if placement else None
+        total = proxy.hits + proxy.misses
+        ratio = proxy.hits / total if total else 0.0
+        state = "down" if proxy.down else (
+            "attached" if view is not None and view.attached else "detached")
+        print(f"  {proxy.name} [{state}]")
+        print(f"    pinned bytes:  {proxy.pool.used}")
+        pinned = proxy.pinned_titles()
+        if pinned:
+            for name in sorted(pinned):
+                print(f"      {name:<12} {pinned[name]:>4} pages")
+        else:
+            print("      (nothing pinned)")
+        print(f"    serve hit ratio: {ratio:.2f} "
+              f"({proxy.hits} hits / {proxy.misses} misses)")
+        print(f"    bytes served:  {proxy.prefix_bytes_served} prefix, "
+              f"{proxy.patch_bytes_served} patch")
+        print(f"    uplink in use: {proxy.uplink_used:.0f} B/s "
+              f"of {proxy.config.uplink_bps:.0f}")
+    if placement is not None:
+        print("  placement loop")
+        print(f"    plan hit ratio:  {placement.hit_ratio():.2f}")
+        print(f"    prefix serves:   {placement.prefix_serves}")
+        print(f"    patch serves:    {placement.patch_serves}")
+        hot = placement.hot_titles()[:5]
+        if hot:
+            print("    hottest titles (decayed score):")
+            for name, score in hot:
+                print(f"      {name:<12} {score:>7.2f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="calliope-experiments",
@@ -347,6 +465,8 @@ def main(argv=None) -> int:
         return verify_main(argv[1:])
     if argv and argv[0] == "recovery":
         return recovery_main(argv[1:])
+    if argv and argv[0] == "edge":
+        return edge_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -23,6 +23,8 @@ The op vocabulary covers the failure surface the subsystems expose:
 ``coordinator_crash``   kill the Coordinator; MSUs keep serving alone
 ``coordinator_restart`` cold-start a Coordinator from the journal and
                         reconcile against live MSU state
+``edge_crash``        an edge proxy dies; its pins and serves vanish
+``edge_restart``      bring a downed edge proxy back (empty cache)
 ``bug_double_charge`` deliberately charge a drained channel's ledger twice
                       (harness self-test: the ledger invariant must catch
                       it and the shrinker must isolate it)
@@ -53,6 +55,8 @@ FAULT_KINDS: Dict[str, float] = {
     "disk_slow": 5.0,
     "coordinator_crash": 3.0,
     "coordinator_restart": 4.0,
+    "edge_crash": 3.0,
+    "edge_restart": 4.0,
 }
 
 #: VCR command bursts a storm draws from.
@@ -99,6 +103,7 @@ class ChaosSchedule:
         n_msus: int = 2,
         n_titles: int = 2,
         kinds: Optional[Dict[str, float]] = None,
+        n_edges: int = 1,
     ) -> "ChaosSchedule":
         """Draw ``n_ops`` weighted ops over ``[0.5, horizon)``.
 
@@ -112,16 +117,24 @@ class ChaosSchedule:
         for _ in range(max(0, n_ops)):
             at = round(rng.uniform(0.5, horizon), 4)
             kind = rng.choices(names, weights=[weights[k] for k in names])[0]
-            ops.append(FaultOp(at, kind, cls._draw_args(rng, kind, n_msus, n_titles)))
+            ops.append(
+                FaultOp(
+                    at, kind,
+                    cls._draw_args(rng, kind, n_msus, n_titles, n_edges),
+                )
+            )
         ops.sort(key=lambda op: (op.at, op.kind))
         return cls(seed=seed, horizon=horizon, ops=tuple(ops))
 
     @staticmethod
     def _draw_args(
-        rng: random.Random, kind: str, n_msus: int, n_titles: int
+        rng: random.Random, kind: str, n_msus: int, n_titles: int,
+        n_edges: int = 1,
     ) -> Dict[str, Any]:
         if kind in ("msu_hang", "msu_crash", "msu_powercycle", "msu_rejoin"):
             return {"msu": rng.randrange(n_msus)}
+        if kind in ("edge_crash", "edge_restart"):
+            return {"edge": rng.randrange(max(1, n_edges))}
         if kind == "client_join":
             return {
                 "title": rng.randrange(n_titles),

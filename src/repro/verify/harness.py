@@ -24,6 +24,7 @@ from repro.cache.manager import CacheConfig
 from repro.clients import Client
 from repro.core import CalliopeCluster, ClusterConfig
 from repro.core.replication import ReplicationManager
+from repro.edge import EdgeConfig
 from repro.errors import CalliopeError
 from repro.failover import FailoverConfig, HeartbeatConfig
 from repro.media import MpegEncoder, packetize_cbr
@@ -49,6 +50,14 @@ FAST = HeartbeatConfig(
 #: The ghost channel id the deliberate double-charge bug books against.
 GHOST_CHANNEL = 99_999
 
+#: Eager edge tier: one proxy, short pinned prefixes (serves must finish
+#: inside the drain window), a hot placement loop so a 20-second horizon
+#: sees pins appear, serve, and churn.
+EDGE = EdgeConfig(
+    n_edges=1, prefix_pages=24, placement_period=0.5,
+    promote_score=0.5, evict_score=0.05, report_period=0.5,
+)
+
 
 @dataclass(frozen=True)
 class ChaosConfig:
@@ -64,6 +73,8 @@ class ChaosConfig:
     check_period: float = 0.5
     #: Seed offset for title content (independent of the fault seed).
     content_seed: int = 11
+    #: Edge proxy tier fronting the MSUs (None runs without edges).
+    edge: Optional[EdgeConfig] = EDGE
 
 
 @dataclass
@@ -112,6 +123,7 @@ class ChaosCluster:
                 failover=FailoverConfig(heartbeat=FAST),
                 multicast=MulticastConfig(batch_window=0.2, patch_horizon=6.0),
                 cache=CacheConfig(),
+                edge=self.chaos_config.edge,
                 seed=schedule.seed,
             ),
         )
@@ -144,6 +156,10 @@ class ChaosCluster:
     @property
     def msus(self):
         return self.cluster.msus
+
+    @property
+    def edges(self):
+        return self.cluster.edges
 
     @property
     def delivery_net(self):
@@ -361,6 +377,24 @@ class ChaosCluster:
             self.cluster.restart_coordinator()
             self._bump("coordinator_restarts")
 
+    def _op_edge_crash(self, op: FaultOp) -> None:
+        edges = self.cluster.edges
+        if not edges:
+            return
+        index = op.args.get("edge", 0) % len(edges)
+        if not edges[index].down:
+            self.cluster.fail_edge(index)
+            self._bump("edge_crashes")
+
+    def _op_edge_restart(self, op: FaultOp) -> None:
+        edges = self.cluster.edges
+        if not edges:
+            return
+        index = op.args.get("edge", 0) % len(edges)
+        if edges[index].down:
+            self.cluster.recover_edge(index)
+            self._bump("edge_restarts")
+
     def _op_bug_double_charge(self, op: FaultOp) -> None:
         """Deliberate accounting bug (harness self-test).
 
@@ -413,6 +447,9 @@ class ChaosCluster:
         for index, msu in enumerate(self.cluster.msus):
             if not msu.up:
                 self.cluster.rejoin_msu(index)
+        for index, proxy in enumerate(self.cluster.edges):
+            if proxy.down:
+                self.cluster.recover_edge(index)
         sim.run(until=horizon + 0.5)
         for viewer in self._live_views():
             try:

@@ -15,11 +15,12 @@ patience classes:
     admission books equal the sum of live allocations, the multicast
     ledger balances, file systems check clean, no stream state lingers.
 
-The registry's six built-in families mirror the subsystems the prior
+The registry's built-in families mirror the subsystems the prior
 tentpoles added — admission, multicast ledger + subscriber accounting,
 cache pin/refcount balance, failover group identity, storage
-allocator/free-map consistency, and per-stream delivery-deadline
-accounting.
+allocator/free-map consistency, per-stream delivery-deadline
+accounting, edge-lane charge isolation (no double charge between an
+edge serve and the MSU books), and recovery reconciliation.
 """
 
 from __future__ import annotations
@@ -418,7 +419,123 @@ def check_streams_drained(cluster) -> List[str]:
     return problems
 
 
-# -- 8. coordinator recovery reconciliation ----------------------------------
+# -- 8. edge proxy tier -------------------------------------------------------
+
+
+def check_edge_books(cluster) -> List[str]:
+    """Edge-lane charge isolation (any instant).
+
+    The zero-disk-cost lane promises an edge-served stream never lands
+    on an MSU book: no group or channel allocation may carry an edge
+    name, every registered edge serve must hold an edge-lane allocation,
+    and an edge-covered patch group must not *also* hold a multicast
+    ledger patch charge or a per-stream MSU allocation — the
+    no-double-charge property.
+    """
+    coord = cluster.coordinator
+    problems = []
+    for group in coord.groups.values():
+        for stream_id, alloc in group.allocations.items():
+            if alloc.edge_name:
+                problems.append(
+                    f"group {group.group_id}/{stream_id}: edge-lane "
+                    f"allocation ({alloc.edge_name}) sits on the MSU books"
+                )
+    manager = coord.channel_manager
+    if manager is not None:
+        for channel_id, record in manager.channels.items():
+            if record.allocation.edge_name:
+                problems.append(
+                    f"channel {channel_id}: edge-lane allocation "
+                    f"({record.allocation.edge_name}) backs an MSU channel"
+                )
+    placement = getattr(coord, "placement", None)
+    if placement is None:
+        return problems
+    patch_charged = set()
+    if manager is not None:
+        for entry in manager.ledger.channels.values():
+            patch_charged |= set(entry.patch_charges)
+    settled = not getattr(coord, "recovering", False) and not getattr(
+        coord, "dead", False
+    )
+    for (group_id, stream_id), serve in placement.serves.items():
+        alloc = serve.allocation
+        if alloc is None or not alloc.edge_name:
+            problems.append(
+                f"edge serve {group_id}/{stream_id}: allocation is not "
+                f"edge-lane"
+            )
+        if serve.kind == "patch" and group_id in patch_charged:
+            problems.append(
+                f"edge serve {group_id}/{stream_id}: patch also charged "
+                f"in the multicast ledger (double charge)"
+            )
+        # A serve held for an edge that is not attached is a charge with
+        # no one left to complete or refund it — the stale-serve shape a
+        # restart can replay.  (An MSU allocation coexisting with a patch
+        # serve is legitimate: failover may migrate the subscriber to a
+        # direct stream while the edge still fills in the missed prefix.)
+        # During an outage the books are frozen with the dead process,
+        # and during recovery the grace window legitimately holds
+        # replayed serves until edges re-hello or reconcile_edges
+        # refunds them — skip the staleness check in both states.
+        view = placement.edges.get(serve.edge_name)
+        if settled and (view is None or not view.attached):
+            problems.append(
+                f"edge serve {group_id}/{stream_id}: held for detached "
+                f"edge {serve.edge_name} (stale charge)"
+            )
+    return problems
+
+
+def check_edge_cache_balance(cluster) -> List[str]:
+    """Every edge pool byte is explained by a pinned prefix page."""
+    problems = []
+    for proxy in getattr(cluster, "edges", []):
+        pinned = proxy.prefix.pinned_bytes()
+        if proxy.pool.used != pinned:
+            problems.append(
+                f"{proxy.name}: pool holds {proxy.pool.used} bytes but "
+                f"pinned pages explain {pinned}"
+            )
+    return problems
+
+
+def check_edge_drain(cluster) -> List[str]:
+    """After drain no edge serve lingers, the uplink books read zero,
+    and the Coordinator's pin map matches each live proxy's cache."""
+    coord = cluster.coordinator
+    placement = getattr(coord, "placement", None)
+    if placement is None:
+        return []
+    problems = []
+    if placement.serves:
+        problems.append(
+            f"{len(placement.serves)} edge serves outlive the drain: "
+            f"{sorted(placement.serves)}"
+        )
+    proxies = {proxy.name: proxy for proxy in getattr(cluster, "edges", [])}
+    for name in sorted(placement.edges):
+        view = placement.edges[name]
+        if abs(view.uplink_used) > EPS:
+            problems.append(
+                f"{name}: uplink_used {view.uplink_used} != 0 after drain"
+            )
+        proxy = proxies.get(name)
+        if proxy is None or proxy.down or not view.attached:
+            continue
+        have = proxy.pinned_titles()
+        if dict(view.pinned) != have:
+            problems.append(
+                f"{name}: coordinator pin map "
+                f"{sorted(view.pinned.items())} != proxy cache "
+                f"{sorted(have.items())}"
+            )
+    return problems
+
+
+# -- 9. coordinator recovery reconciliation ----------------------------------
 
 
 def check_recovery_reconciliation(cluster) -> List[str]:
@@ -545,6 +662,9 @@ def builtin_registry() -> InvariantRegistry:
     registry.register("storage-fsck", check_storage, "drain")
     registry.register("stream-deadlines", check_stream_accounting, "both")
     registry.register("stream-drain", check_streams_drained, "drain")
+    registry.register("edge-books", check_edge_books, "both")
+    registry.register("edge-cache-balance", check_edge_cache_balance, "both")
+    registry.register("edge-drain", check_edge_drain, "drain")
     registry.register(
         "recovery-reconciliation", check_recovery_reconciliation, "drain"
     )

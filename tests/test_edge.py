@@ -1,0 +1,198 @@
+"""Edge proxy tier: placement loop, zero-disk-cost lane, crash, failover.
+
+The multicast tests already exercise edge-covered patches; everything
+here runs with ``multicast=None`` so plays take the plain unicast path
+in ``Coordinator._play`` — the only route to the *prefix* serve lane
+(an edged multicast play is intercepted by the channel manager first).
+"""
+
+import pytest
+
+from repro.core import CalliopeCluster, ClusterConfig
+from repro.core.replication import ReplicationManager
+from repro.edge import EdgeConfig
+from repro.failover import FailoverConfig
+from repro.sim import Simulator
+
+from tests.helpers import FAST, SMALL, make_packets, open_client, start_stream
+
+#: Fast enough for test horizons: one play pins the title on the next
+#: placement tick (score 1.0 decays to 0.9, above promote at 0.5) and
+#: the 48-page fill trickle completes in ~0.1 s.
+EDGE = EdgeConfig(
+    n_edges=1, prefix_pages=48, placement_period=0.25,
+    decay=0.9, promote_score=0.5, evict_score=0.05, report_period=0.25,
+)
+
+
+def build_edged(*, n_msus=1, edge=EDGE, failover=None, length=30.0, seed=3):
+    sim = Simulator()
+    cluster = CalliopeCluster(
+        sim,
+        ClusterConfig(
+            n_msus=n_msus, ibtree_config=SMALL, failover=failover,
+            multicast=None, edge=edge,
+        ),
+    )
+    cluster.coordinator.db.add_customer("user")
+    return sim, cluster, make_packets(length, seed=seed)
+
+
+class TestEdgeConfig:
+    def test_decay_must_stay_below_one(self):
+        with pytest.raises(ValueError):
+            EdgeConfig(decay=1.0)
+
+    def test_evict_must_stay_below_promote(self):
+        with pytest.raises(ValueError):
+            EdgeConfig(promote_score=1.0, evict_score=1.0)
+
+
+class TestPlacementLoop:
+    def test_popular_title_is_pinned_then_evicted_when_cold(self):
+        sim, cluster, packets = build_edged(
+            edge=EdgeConfig(
+                n_edges=1, prefix_pages=48, placement_period=0.25,
+                decay=0.7, promote_score=0.5, evict_score=0.3,
+                report_period=0.25,
+            ),
+        )
+        cluster.load_content("movie", "mpeg1", packets)
+        sim.run(until=0.05)
+        placement = cluster.coordinator.placement
+        proxy = cluster.edges[0]
+        placement.note_request("movie")
+        # Score 1.0 decays to 0.7 at the first tick — pinned and filled.
+        sim.run(until=0.8)
+        assert placement.edges[proxy.name].pinned.get("movie", 0) == 48
+        assert proxy.pinned_titles() == {"movie": 48}
+        assert proxy.pool.used == 48 * EDGE.page_size
+        # No further requests: 0.7 -> 0.49 -> 0.343 -> 0.24 <= evict.
+        sim.run(until=3.0)
+        assert "movie" not in placement.edges[proxy.name].pinned
+        assert proxy.pinned_titles() == {}
+        assert proxy.pool.used == 0
+
+    def test_hot_titles_sorted_by_decayed_score(self):
+        sim, cluster, _ = build_edged()
+        placement = cluster.coordinator.placement
+        placement.note_request("a")
+        placement.note_request("b")
+        placement.note_request("b")
+        assert placement.hot_titles()[0] == ("b", 2.0)
+        placement.decay()
+        assert placement.scores["b"] == pytest.approx(1.8)
+
+
+class TestPrefixServeUnicast:
+    def test_second_play_splices_from_the_edge(self):
+        sim, cluster, packets = build_edged()
+        coord = cluster.coordinator
+        placement = coord.placement
+        proxy = cluster.edges[0]
+        cluster.load_content("movie", "mpeg1", packets)
+        sim.run(until=0.05)
+        client = open_client(sim, cluster)
+        # First play: nothing pinned yet — a plan miss, served MSU-only.
+        start_stream(sim, client, "movie", "cold")
+        assert placement.prefix_serves == 0
+        assert coord.admission.edge_admitted == 0
+        # The placement loop pins the now-hot title.
+        sim.run(until=sim.now + 1.0)
+        assert proxy.pinned_titles() == {"movie": 48}
+        view = start_stream(sim, client, "movie", "tv")
+        assert placement.prefix_serves == 1
+        assert coord.admission.edge_admitted == 1
+        # The serve is live: charged against the edge uplink, and the
+        # group's books hold only MSU-lane allocations.
+        assert placement.edges[proxy.name].uplink_used > 0.0
+        assert proxy.uplink_used > 0.0
+        group = coord.groups[view.group_id]
+        assert all(not a.edge_name for a in group.allocations.values())
+        # 48 pages at the MPEG-1 rate take ~4 s; let the serve finish.
+        sim.run(until=sim.now + 6.0)
+        assert proxy.prefix_bytes_served == 48 * EDGE.page_size
+        assert proxy.hits >= 1
+        assert placement.serves == {}
+        assert placement.edges[proxy.name].uplink_used == pytest.approx(0.0)
+
+    def test_edge_crash_mid_serve_does_not_stall_the_stream(self):
+        sim, cluster, packets = build_edged()
+        coord = cluster.coordinator
+        placement = coord.placement
+        cluster.load_content("movie", "mpeg1", packets)
+        sim.run(until=0.05)
+        client = open_client(sim, cluster)
+        start_stream(sim, client, "movie", "cold")
+        sim.run(until=sim.now + 1.0)
+        view = start_stream(sim, client, "movie", "tv")
+        assert placement.prefix_serves == 1
+        cluster.fail_edge(0)
+        sim.run(until=sim.now + 1.0)
+        # The broken control channel told the Coordinator: the serve is
+        # refunded, no uplink charge lingers, the pins are gone.
+        assert placement.serves == {}
+        assert all(
+            v.uplink_used == pytest.approx(0.0)
+            for v in placement.edges.values()
+        )
+        assert cluster.edges[0].pinned_titles() == {}
+        # The MSU tail stream never depended on the edge: data still flows.
+        frozen = client.ports["tv"].stats.packets
+        sim.run(until=sim.now + 2.0)
+        assert client.ports["tv"].stats.packets > frozen
+        assert not view.done_event.triggered
+
+
+class TestFailoverMissPath:
+    def test_backing_msu_death_migrates_without_losing_edge_position(self):
+        """The satellite case: a client spliced onto an edge prefix whose
+        backing MSU dies mid-stream migrates to the replica via the
+        migrator while the edge keeps serving its prefix leg — the
+        stream is charged once per leg, never twice."""
+        sim, cluster, packets = build_edged(
+            n_msus=2, failover=FailoverConfig(heartbeat=FAST),
+        )
+        coord = cluster.coordinator
+        placement = coord.placement
+        proxy = cluster.edges[0]
+        cluster.load_content("movie", "mpeg1", packets, msu_index=0)
+        sim.run(until=0.05)
+        client = open_client(sim, cluster)
+        warm = start_stream(sim, client, "movie", "warm")
+        sim.run(until=sim.now + 1.0)
+        assert proxy.pinned_titles() == {"movie": 48}
+        view = start_stream(sim, client, "movie", "tv")
+        assert coord.groups[view.group_id].msu_name == "msu0"
+        serve_key = next(iter(placement.serves))
+        assert serve_key[0] == view.group_id
+        served_before = proxy.prefix_bytes_served
+        # The replica appears only now, so both streams started on msu0
+        # and the migrator has somewhere to move them.
+        replica_disk = cluster.msus[1].disk_ids()[0]
+        ReplicationManager(cluster).replicate("movie", "msu1", replica_disk)
+
+        cluster.hang_msu(0)
+        sim.run(until=sim.now + FAST.detection_latency + 1.5)
+        # Both groups moved to the replica without a fresh PlayRequest.
+        assert coord.groups[view.group_id].msu_name == "msu1"
+        assert view.migrations == 1
+        assert warm.migrations == 1
+        # The edge leg never noticed: the serve record survived the
+        # migration under its original ids (the 48-page serve outlives
+        # the ~0.8 s detection + resume window) and keeps streaming.
+        assert serve_key in placement.serves
+        assert placement.serves[serve_key].edge_name == proxy.name
+        frozen = client.ports["tv"].stats.packets
+        sim.run(until=sim.now + 6.0)
+        assert client.ports["tv"].stats.packets > frozen
+        # The serve ran to completion from edge memory ...
+        assert proxy.prefix_bytes_served >= served_before + 48 * EDGE.page_size
+        assert placement.serves == {}
+        # ... and nothing is double-charged once the dust settles: the
+        # uplink refunded, and the migrated group's books are MSU-lane
+        # only (one place_read charge per leg).
+        assert placement.edges[proxy.name].uplink_used == pytest.approx(0.0)
+        group = coord.groups[view.group_id]
+        assert all(not a.edge_name for a in group.allocations.values())
+        assert all(a.msu_name == "msu1" for a in group.allocations.values())

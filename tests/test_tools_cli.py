@@ -37,3 +37,21 @@ class TestMain:
         assert main(["scalability"]) == 0
         out = capsys.readouterr().out
         assert "Coordinator CPU" in out
+
+
+class TestEdgeSubcommand:
+    def test_edge_cache_is_an_experiment_choice(self):
+        assert "edge-cache" in EXPERIMENTS
+        args = build_parser().parse_args(["edge-cache"])
+        assert args.experiment == "edge-cache"
+
+    def test_edge_reports_pins_and_hit_ratio(self, capsys):
+        assert main(["edge", "--edges", "1", "--duration", "10",
+                     "--titles", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "edge0" in out
+        assert "pinned bytes" in out
+        assert "serve hit ratio" in out
+        assert "placement loop" in out
+        # The Zipf head gets pinned within a 10s window.
+        assert "title0" in out

@@ -229,6 +229,22 @@ PINNED_PLANS = {
         (10.0, "coordinator_crash", {}),
         (12.0, "client_join", {"title": 0, "patience": 3.0}),
     ]),
+    # Shrunk from generated seed 1 (50 ops): an edge-covered patch serve
+    # was live when the edge and its backing MSU both died *during* a
+    # Coordinator outage, so no edge_down ever refunded it; the restarted
+    # Coordinator replayed the serve record from the WAL while failover
+    # re-admitted the orphaned subscriber with a fresh MSU allocation —
+    # the same stream charged twice (fix: reconcile_edges refunds serves
+    # of edges that never re-attach, the silent-MSU rule applied to the
+    # edge tier).
+    "stale-edge-serve-survives-restart": plan(1, [
+        (8.2476, "client_join", {"title": 0, "patience": 3.34}),
+        (9.4531, "client_join", {"title": 0, "patience": 3.15}),
+        (10.373, "coordinator_crash", {}),
+        (15.6796, "edge_crash", {"edge": 0}),
+        (16.1356, "msu_crash", {"msu": 0}),
+        (16.7974, "coordinator_restart", {}),
+    ]),
 }
 
 
