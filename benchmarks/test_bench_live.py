@@ -1,0 +1,54 @@
+"""Benchmark E22 — live TV channels under a channel-surfing population."""
+
+from benchmarks.conftest import headline, publish
+from repro.experiments.live import format_live, run_live, run_live_chaos
+
+
+def test_bench_live(benchmark):
+    def run():
+        return run_live(), run_live_chaos()
+
+    point, reports = benchmark.pedantic(run, rounds=1)
+    publish(
+        benchmark, "live", format_live(point, reports),
+        channels=point.n_channels,
+        surfers=point.n_surfers,
+        joins=point.joins,
+        peak_viewers=point.peak_viewers,
+        pauses=point.pauses,
+        rewinds=point.rewinds,
+        merges=point.merges,
+        pages_trimmed=point.pages_trimmed,
+        chaos_seeds=len(reports),
+    )
+    headline(
+        "live", "viewers_per_disk", round(point.viewers_per_disk, 1),
+        "viewers", peak=point.peak_viewers, busy_disks=point.busy_disks,
+        note="disk cost is per channel, not per viewer",
+    )
+    headline(
+        "live", "rewind_hit_rate", round(point.rewind_hit_rate, 3), "ratio",
+        rewinds=point.rewinds, ring_seconds=5.0,
+    )
+    headline(
+        "live", "surf_join_latency_p95",
+        round(point.join_latency_p95 * 1e3, 1), "ms",
+        mean_ms=round(point.join_latency_mean * 1e3, 1),
+        joins=point.joins,
+    )
+    # Acceptance bar: >=3 channels ingest live while >=50 viewers surf
+    # with pause/rewind-live; one fan-out slot per channel carries many
+    # viewers; the time-shift ring both serves rewinds and reclaims its
+    # blocks; and the seeded chaos sweep ends with zero invariant
+    # violations across every tier.
+    assert point.n_channels >= 3
+    assert point.n_surfers >= 50
+    assert point.channels_opened == point.n_channels
+    assert point.channels_closed == point.n_channels
+    assert point.joins >= point.n_surfers
+    assert point.peak_viewers > 2 * point.busy_disks
+    assert point.rewinds > 0 and point.rewind_hit_rate > 0.5
+    assert point.merges > 0
+    assert point.pages_trimmed > 0
+    assert point.drain_violations == 0
+    assert reports and all(report.ok for report in reports)

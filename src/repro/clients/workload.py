@@ -3,19 +3,27 @@
 :class:`OpenLoopRequester` drives the Coordinator with play requests at a
 fixed aggregate rate regardless of completion (the §3.3 measurement used
 two such clients jointly producing ~60 requests/second).
+
+:class:`ChannelSurfer` models a live-TV viewer flipping through the EPG
+lineup: Zipf-weighted channel picks, short dwell times, and occasional
+pause-live / rewind-live excursions into the time-shift ring.  A fleet
+of surfers is the join/leave storm the live tier's surf-churn admission
+gate exists for.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.clients.client import Client
+from repro.errors import CalliopeError
 from repro.net import messages as m
 from repro.net.network import ControlChannel
 from repro.sim import Simulator
 
-__all__ = ["OpenLoopRequester"]
+__all__ = ["OpenLoopRequester", "ChannelSurfer"]
 
 
 class OpenLoopRequester:
@@ -92,3 +100,115 @@ class OpenLoopRequester:
                 return
             if isinstance(reply, m.RequestFailed):
                 self.failed += 1
+
+
+class ChannelSurfer:
+    """A live-TV viewer hopping through the channel lineup.
+
+    Each hop: pick a channel (Zipf over the lineup order, so channel 1
+    is the hottest), tune with bounded patience, watch for an
+    exponentially distributed dwell, maybe pause and resume or
+    rewind-live into the ring window, then quit and hop again.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster,
+        name: str,
+        channel_names: Sequence[str],
+        hops: int = 5,
+        dwell_mean: float = 4.0,
+        tune_timeout: float = 3.0,
+        pause_chance: float = 0.15,
+        rewind_chance: float = 0.15,
+        rewind_seconds: float = 5.0,
+        zipf_s: float = 1.0,
+        seed: int = 7,
+    ):
+        self.sim = sim
+        self.name = name
+        self.channel_names = list(channel_names)
+        self.hops = hops
+        self.dwell_mean = dwell_mean
+        self.tune_timeout = tune_timeout
+        self.pause_chance = pause_chance
+        self.rewind_chance = rewind_chance
+        self.rewind_seconds = rewind_seconds
+        self._rng = np.random.default_rng(seed)
+        weights = np.array(
+            [1.0 / (i + 1) ** zipf_s for i in range(len(self.channel_names))]
+        )
+        self._weights = weights / weights.sum()
+        self.client = Client(sim, cluster, name)
+        self.joins = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.pauses = 0
+        self.rewinds = 0
+        self.join_latencies: List[float] = []
+        self.done = sim.event(name=f"{name}.done")
+
+    def start(self) -> None:
+        self.sim.process(self._run(), name=f"{self.name}.surf")
+
+    def _pick(self) -> str:
+        index = int(self._rng.choice(len(self.channel_names), p=self._weights))
+        return self.channel_names[index]
+
+    def _run(self) -> Generator:
+        client = self.client
+        yield from client.open_session("user")
+        yield from client.register_port("tv", "mpeg1")
+        for _ in range(self.hops):
+            name = self._pick()
+            asked = self.sim.now
+            try:
+                view = yield from client.play_with_timeout(
+                    name, "tv", self.tune_timeout
+                )
+            except CalliopeError:
+                # Channel off the air (or not yet on it): flip onward.
+                self.errors += 1
+                yield self.sim.timeout(float(self._rng.exponential(0.2)))
+                continue
+            if view is None:
+                self.timeouts += 1
+                continue
+            remaining = self.tune_timeout - (self.sim.now - asked)
+            index, _ = yield self.sim.any_of(
+                [view.ready_event, self.sim.timeout(max(0.01, remaining))]
+            )
+            if index != 0:
+                client.quit(view.group_id)
+                self.timeouts += 1
+                continue
+            self.joins += 1
+            self.join_latencies.append(self.sim.now - asked)
+            yield self.sim.timeout(float(self._rng.exponential(self.dwell_mean)))
+            roll = float(self._rng.random())
+            if view.done_event.triggered:
+                continue  # the channel signed off mid-dwell
+            if roll < self.pause_chance:
+                client.vcr(view.group_id, m.VCR_PAUSE)
+                self.pauses += 1
+                yield self.sim.timeout(
+                    float(self._rng.exponential(self.dwell_mean / 2))
+                )
+                if not view.done_event.triggered:
+                    client.vcr(view.group_id, m.VCR_PLAY)
+            elif roll < self.pause_chance + self.rewind_chance:
+                client.vcr(
+                    view.group_id, m.VCR_REWIND,
+                    position_seconds=float(
+                        self._rng.uniform(1.0, self.rewind_seconds)
+                    ),
+                )
+                self.rewinds += 1
+                yield self.sim.timeout(
+                    float(self._rng.exponential(self.dwell_mean / 2))
+                )
+            if not view.done_event.triggered:
+                client.quit(view.group_id)
+        if not self.done.triggered:
+            self.done.succeed(self.joins)

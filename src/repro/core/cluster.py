@@ -18,6 +18,7 @@ from repro.core.msu.msu import Msu
 from repro.errors import CalliopeError
 from repro.failover import FailoverConfig
 from repro.hardware.params import MachineParams
+from repro.live.manager import LiveConfig
 from repro.media.content import ContentType
 from repro.media.filtering import make_fast_backward, make_fast_forward
 from repro.media.mpeg import packetize_cbr
@@ -64,6 +65,9 @@ class ClusterConfig:
     #: Edge proxy tier — popularity-aware prefix caches between the MSUs
     #: and the clients (extension); None keeps the paper's two-tier shape.
     edge: Optional[EdgeConfig] = None
+    #: Live-TV tier (EPG lineup, channel ingest, rewind-live); None
+    #: keeps the server pure video-on-demand.
+    live: Optional[LiveConfig] = None
     seed: int = 42
 
 
@@ -78,7 +82,7 @@ class CalliopeCluster:
         self.coordinator = Coordinator(
             sim, types=config.types, block_size=config.ibtree_config.data_page_size,
             failover=config.failover, multicast=config.multicast,
-            edge=config.edge,
+            edge=config.edge, live=config.live,
         )
         self.journal: Optional[JournalStore] = None
         self.coordinator_down = False
@@ -286,7 +290,7 @@ class CalliopeCluster:
             self.sim, types=config.types,
             block_size=config.ibtree_config.data_page_size,
             failover=config.failover, multicast=config.multicast,
-            edge=config.edge,
+            edge=config.edge, live=config.live,
         )
         coord.tracer = old.tracer
         coord.on_capacity_lost = old.on_capacity_lost

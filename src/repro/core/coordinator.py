@@ -112,6 +112,7 @@ class Coordinator:
         failover: Optional[FailoverConfig] = None,
         multicast: Optional[MulticastConfig] = None,
         edge: Optional[EdgeConfig] = None,
+        live=None,
     ):
         self.sim = sim
         self.name = name
@@ -155,6 +156,14 @@ class Coordinator:
 
             self.placement = PlacementManager(self, edge)
             self.admission.edge_books = self.placement
+        #: Live-TV manager (EPG, channel ingest + fan-out, rewind-live);
+        #: None keeps the server pure video-on-demand.
+        self.live_manager = None
+        if live is not None:
+            # Imported here for the same cycle reason as ChannelManager.
+            from repro.live.manager import LiveManager
+
+            self.live_manager = LiveManager(self, live)
         #: Hook fired as ``callback(msu_name, lost_titles)`` after a
         #: failure; the ReplicationManager's watch() uses it to restore
         #: replica counts for titles that just lost a copy.
@@ -294,8 +303,16 @@ class Coordinator:
                 self.terminations_handled += 1
                 self._stream_terminated(msg)
             elif isinstance(msg, m.PatchDrained):
-                if self.channel_manager is not None:
+                if (
+                    self.live_manager is not None
+                    and self.live_manager.owns_channel(msg.channel_id)
+                ):
+                    self.live_manager.patch_drained(msg)
+                elif self.channel_manager is not None:
                     self.channel_manager.patch_drained(msg)
+            elif isinstance(msg, m.LiveRewound):
+                if self.live_manager is not None:
+                    self.live_manager.rewound(msg)
             elif isinstance(msg, m.ChannelDowngrade):
                 if self.channel_manager is not None:
                     self.channel_manager.downgrade(msg)
@@ -412,9 +429,21 @@ class Coordinator:
                     # Buffered: applying it before reconciliation would
                     # fight the StateReports already collected.
                     self._recovery_backlog.append(msg)
+                elif (
+                    self.live_manager is not None
+                    and self.live_manager.owns_channel(msg.channel_id)
+                ):
+                    self.live_manager.patch_drained(msg)
+                    self._retry_queue()  # the rewound viewer's extra
+                    # unicast stream is refunded on re-merge
                 elif self.channel_manager is not None:
                     self.channel_manager.patch_drained(msg)
                     self._retry_queue()  # a refunded patch frees bandwidth
+            elif isinstance(msg, m.LiveRewound):
+                if self.recovering:
+                    self._recovery_backlog.append(msg)
+                elif self.live_manager is not None:
+                    self.live_manager.rewound(msg)
             elif isinstance(msg, m.ChannelDowngrade):
                 if self.recovering:
                     self._recovery_backlog.append(msg)
@@ -499,6 +528,9 @@ class Coordinator:
             # subscriber groups in ``affected`` resume as plain unicast
             # via the migrator below (one place_read charge each).
             self.channel_manager.msu_failed(msu_name)
+        if self.live_manager is not None:
+            # Same deal: every live channel on the dead MSU went dark.
+            self.live_manager.msu_failed(msu_name)
         lost_titles = [
             entry.name
             for entry in self.db.contents.values()
@@ -516,6 +548,9 @@ class Coordinator:
                 self._complete_recovery()
 
     def _stream_terminated(self, msg: m.StreamTerminated) -> None:
+        if self.live_manager is not None:
+            if self.live_manager.handle_terminated(msg):
+                return  # a live channel's own termination: fully handled
         if self.channel_manager is not None:
             if self.channel_manager.handle_terminated(msg):
                 return  # a channel stream's own termination: fully handled
@@ -728,6 +763,15 @@ class Coordinator:
                 f"content is {entry.type_name!r} but port is {port.type_name!r}"
             )
         members = self._members_for_play(session, entry, port)
+        if self.live_manager is not None and not entry.components:
+            live_rec = self.live_manager.channel_for(entry.name)
+            if live_rec is not None:
+                # Tuning into a live channel: subscribe to its fan-out
+                # (no disk slot — the broadcast is already on the air).
+                reply = yield from self.live_manager.tune(
+                    msg, channel, session, entry, port, live_rec
+                )
+                return reply
         if self.channel_manager is not None and self.channel_manager.handles(entry):
             # Multicast delivery: batch onto a new channel or patch onto
             # an in-flight one.  Replies flow exactly like the unicast

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Generator, List, Optional
 
 from repro.cache.manager import MsuPageCache
+from repro.errors import OutOfSpaceError
 from repro.core.msu.queues import Signal
 from repro.core.msu.streams import PlayStream, RecordStream
 from repro.sim import Simulator
@@ -39,6 +40,7 @@ class DiskProcess:
         disk_id: str,
         on_page_loaded: Optional[Callable] = None,
         on_record_drained: Optional[Callable] = None,
+        on_page_written: Optional[Callable] = None,
         cache: Optional[MsuPageCache] = None,
     ):
         self.sim = sim
@@ -51,6 +53,9 @@ class DiskProcess:
         self.on_page_loaded = on_page_loaded
         #: Called with (stream,) when a finishing recording is fully on disk.
         self.on_record_drained = on_record_drained
+        #: Called with (stream,) after each recorded page lands on disk —
+        #: the live subsystem's hook for ring-window reclamation.
+        self.on_page_written = on_page_written
         #: Shared MSU page cache; None reproduces the paper's no-cache MSU.
         self.cache = cache
         self.pages_read = 0  # pages that actually spent a disk slot
@@ -124,16 +129,27 @@ class DiskProcess:
                 if not stream.pending_pages:
                     if stream.drained and not stream.finished:
                         stream.finished = True
+                        stream.commit_root()
                         self.remove(stream)
                         if self.on_record_drained is not None:
                             self.on_record_drained(stream)
                     continue
                 page = stream.pending_pages.popleft()
-                yield from stream.handle.append_block(page)
+                try:
+                    yield from stream.handle.append_block(page)
+                except OutOfSpaceError:
+                    # One stream's exhausted space must not kill the whole
+                    # disk's duty cycle: truncate that recording and let
+                    # the normal drain path close it out.
+                    stream.abort()
+                    continue
                 self.pages_written += 1
                 did_work = True
+                if self.on_page_written is not None:
+                    self.on_page_written(stream)
                 if stream.drained and not stream.finished:
                     stream.finished = True
+                    stream.commit_root()
                     self.remove(stream)
                     if self.on_record_drained is not None:
                         self.on_record_drained(stream)

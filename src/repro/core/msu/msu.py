@@ -81,6 +81,24 @@ class ChannelState:
     subscribers: Dict[int, tuple] = field(default_factory=dict)
 
 
+@dataclass
+class LiveState:
+    """MSU-side state of one live channel's ingest + time-shift ring."""
+
+    channel_id: int
+    record: RecordStream
+    handle: FileHandle
+    #: Ring window size in data pages; 0 keeps every page (a scheduled
+    #: recording that becomes ordinary VoD when the channel signs off).
+    ring_blocks: int
+    #: viewer group_id -> live-edge page noted when they paused.
+    paused: Dict[int, int] = field(default_factory=dict)
+    rewinds: int = 0
+    rewind_hits: int = 0
+    trims: int = 0
+    pages_trimmed: int = 0
+
+
 class Msu:
     """One Multimedia Storage Unit."""
 
@@ -137,6 +155,7 @@ class Msu:
                 sim, fs, disk_id,
                 on_page_loaded=self._on_page_loaded,
                 on_record_drained=self._on_record_drained,
+                on_page_written=self._on_page_written,
                 cache=self.cache,
             )
         else:
@@ -148,6 +167,7 @@ class Msu:
                     sim, fs, drive.name,
                     on_page_loaded=self._on_page_loaded,
                     on_record_drained=self._on_record_drained,
+                    on_page_written=self._on_page_written,
                     cache=self.cache,
                 )
         self.data_socket = self.host.bind(self.DATA_PORT)
@@ -159,6 +179,10 @@ class Msu:
         self.groups: Dict[int, GroupState] = {}
         #: Active multicast channels, by channel id.
         self.channels: Dict[int, ChannelState] = {}
+        #: Live channels layered on top of ``channels``, by channel id.
+        self.live: Dict[int, LiveState] = {}
+        #: ingest stream id -> live channel id (ring-trim dispatch).
+        self._live_by_record: Dict[int, int] = {}
         self._stream_disk: Dict[int, DiskProcess] = {}
         self._stream_group: Dict[int, GroupState] = {}
         self.coordinator_channel: Optional[ControlChannel] = None
@@ -242,6 +266,10 @@ class Msu:
                 self._create_channel(msg)
             elif isinstance(msg, m.ChannelSubscribe):
                 self._channel_subscribe(msg)
+            elif isinstance(msg, m.LiveOpen):
+                self._open_live(msg)
+            elif isinstance(msg, m.LiveStop):
+                self._stop_live(msg)
             elif isinstance(msg, m.ResumePlay):
                 self._resume_play(msg)
             elif isinstance(msg, m.ScheduleRecord):
@@ -257,6 +285,11 @@ class Msu:
                     fs.delete(msg.content_name)
                     if self.cache is not None:
                         self.cache.invalidate((msg.disk_id, msg.content_name))
+                    # Deletes are durable: a remount must not resurrect
+                    # a torn-down live ring as an orphan file.
+                    self.sim.process(
+                        fs.sync_metadata(), name=f"{self.name}.sync"
+                    )
 
     def state_report(self) -> m.StateReport:
         """Answer a restarted Coordinator's ``ReportState`` probe.
@@ -297,14 +330,23 @@ class Msu:
                     "record", 0.0,
                 ))
         channels = []
+        live_channels = []
         for channel_id in sorted(self.channels):
             ch = self.channels[channel_id]
+            members = tuple(sorted(
+                (gid, sid) for gid, (sid, _addr) in ch.subscribers.items()
+            ))
+            if channel_id in self.live:
+                # Live channels travel in their own field: the multicast
+                # reconciler must not adopt them as VoD channels.
+                live_channels.append((
+                    channel_id, ch.group.group_id, ch.stream.stream_id,
+                    ch.content_name, ch.disk_id, ch.stream.rate, members,
+                ))
+                continue
             channels.append((
                 channel_id, ch.group.group_id, ch.stream.stream_id,
-                ch.content_name, ch.disk_id,
-                tuple(sorted(
-                    (gid, sid) for gid, (sid, _addr) in ch.subscribers.items()
-                )),
+                ch.content_name, ch.disk_id, members,
             ))
         pins = ()
         if self.cache is not None:
@@ -316,6 +358,7 @@ class Msu:
         return m.StateReport(
             self.name, disks=disks, cache_bps=cache_bps,
             streams=tuple(streams), channels=tuple(channels), pins=pins,
+            live_channels=tuple(live_channels),
         )
 
     # -- page-cache plumbing (extension) ----------------------------------------------
@@ -587,13 +630,19 @@ class Msu:
         stream_id, address = entry
         ch.stream.unsubscribe(group.group_id)
         self.host.network.leave_group(ch.mcast_host, address)
-        if ch.stream.idle:
+        if ch.channel_id in self.live:
+            self.live[ch.channel_id].paused.pop(group.group_id, None)
+        if ch.stream.idle and not ch.stream.live:
+            # A live channel stays on the air with zero viewers — the
+            # next surfer tunes straight in; only VoD channels close
+            # when their audience is gone.
             self._close_channel(ch, "channel-idle")
         return stream_id
 
     def _close_channel(self, ch: ChannelState, reason: str) -> None:
         """Tear down a channel stream and report its termination."""
         self.channels.pop(ch.channel_id, None)
+        self._forget_live(ch.channel_id)
         stream = ch.stream
         stream.state = StreamState.DONE
         self.iop.remove(stream)
@@ -617,9 +666,16 @@ class Msu:
         if group.channel is not None and group.channel.open:
             group.channel.close()
 
+    def _forget_live(self, channel_id: Optional[int]) -> None:
+        """Drop a closing channel's live-channel bookkeeping, if any."""
+        live = self.live.pop(channel_id, None)
+        if live is not None:
+            self._live_by_record.pop(live.record.stream_id, None)
+
     def _channel_complete(self, stream: ChannelStream) -> None:
         """The channel played its file to the end: finish every viewer."""
         ch = self.channels.pop(stream.channel_id, None)
+        self._forget_live(stream.channel_id)
         if ch is None:
             return
         self.groups.pop(ch.group.group_id, None)
@@ -706,6 +762,183 @@ class Msu:
                     f"page={stream.next_page}")
         return stream
 
+    # -- live channels (extension) ------------------------------------------------
+
+    def _open_live(self, msg: m.LiveOpen) -> None:
+        """Start a live channel: one ingest stream, one fan-out stream.
+
+        The broadcaster's packets append to a growing file while the
+        channel stream follows the tail (``live`` keeps it from being
+        reaped when it momentarily catches the writer); viewers attach
+        through the ordinary :class:`~repro.net.messages.ChannelSubscribe`
+        path.  ``ring_blocks`` > 0 turns the file into a time-shift ring:
+        pages older than the window are reclaimed as new ones land.
+        """
+        fs = self.filesystems[msg.disk_id]
+        handle = fs.create(msg.content_name, "", reserve_blocks=msg.reserve_blocks)
+        record = RecordStream(
+            msg.ingest_stream_id, msg.ingest_group_id, handle,
+            self.protocols.get(msg.protocol), self.ibtree_config,
+        )
+        socket = self.host.bind()  # the broadcaster sends media here
+        ingest_group = self._group_for(msg.ingest_group_id, msg.source_host, 1)
+        ingest_group.record_streams.append(record)
+        self._stream_disk[msg.ingest_stream_id] = self.disk_processes[msg.disk_id]
+        self._stream_group[msg.ingest_stream_id] = ingest_group
+        stream = ChannelStream(
+            msg.stream_id, msg.group_id, handle,
+            self.protocols.get(msg.protocol), msg.rate,
+            tuple(msg.mcast_address), self.ibtree_config,
+            channel_id=msg.channel_id,
+        )
+        stream.live = True
+        group = GroupState(msg.group_id, "", 1)  # server-internal fan-out group
+        self.groups[msg.group_id] = group
+        group.play_streams.append(stream)
+        self._stream_disk[msg.stream_id] = self.disk_processes[msg.disk_id]
+        self._stream_group[msg.stream_id] = group
+        self.channels[msg.channel_id] = ChannelState(
+            msg.channel_id, stream, group, msg.disk_id,
+            msg.content_name, msg.mcast_address[0],
+        )
+        self.live[msg.channel_id] = LiveState(
+            msg.channel_id, record, handle, msg.ring_blocks
+        )
+        self._live_by_record[msg.ingest_stream_id] = msg.channel_id
+        self.disk_processes[msg.disk_id].add_record(record)
+        self.disk_processes[msg.disk_id].add_play(stream)
+        self.iop.add_record(record, socket)
+        self.iop.add_play(stream)
+        self.streams_served += 2
+        self._trace("live-open", msg.content_name,
+                    f"channel={msg.channel_id} disk={msg.disk_id} "
+                    f"ring={msg.ring_blocks}")
+        if ingest_group.channel is not None:
+            ingest_group.channel.send(
+                self.name,
+                m.StreamReady(
+                    msg.ingest_group_id, self.name, msg.ingest_stream_id,
+                    msg.content_name, record_address=socket.address,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+
+    def _stop_live(self, msg: m.LiveStop) -> None:
+        """Coordinator takes the channel off the air (EPG slot over)."""
+        live = self.live.get(msg.channel_id)
+        if live is None or live.record.finishing:
+            return
+        live.record.begin_finish()
+        self._kick_record(live.record)
+
+    def _on_page_written(self, stream: RecordStream) -> None:
+        """A recorded page landed: reclaim ring pages past the window.
+
+        Never trims under an active reader: the duty cycle bumps a
+        reader's ``next_page`` before its read completes, so the floor
+        stays two pages below the slowest tail-follower on this handle.
+        """
+        channel_id = self._live_by_record.get(stream.stream_id)
+        if channel_id is None:
+            return
+        live = self.live.get(channel_id)
+        if live is None or live.ring_blocks <= 0:
+            return
+        handle = live.handle
+        if handle.live_span <= live.ring_blocks:
+            return
+        floor = handle.nblocks - live.ring_blocks
+        proc = self._stream_disk.get(stream.stream_id)
+        if proc is not None:
+            for reader in proc.play_streams:
+                if reader.handle is handle:
+                    floor = min(floor, max(0, reader.next_page - 2))
+        if floor <= handle.trimmed or proc is None:
+            return
+        freed = proc.fs.trim_file_front(handle, floor)
+        if freed:
+            live.trims += 1
+            live.pages_trimmed += freed
+            if self.cache is not None:
+                self.cache.invalidate((proc.disk_id, handle.name))
+
+    def _apply_live_vcr(self, group: GroupState, live: LiveState,
+                        msg: m.VcrCommand) -> None:
+        """Pause-live / rewind-live for one viewer of a live channel.
+
+        The shared fan-out never pauses; the viewer's time shift rides a
+        bounded unicast patch over the ring window (PR 3's patch/merge
+        machinery), after which they live on the multicast again.
+        """
+        ch = self.channels.get(live.channel_id)
+        if ch is None:
+            return
+        entry = ch.subscribers.get(group.group_id)
+        if entry is None:
+            return
+        stream_id, address = entry
+        handle = live.handle
+        edge = handle.nblocks
+        if msg.command == m.VCR_PAUSE:
+            live.paused[group.group_id] = edge
+            self._trace("live-pause", f"group={group.group_id}",
+                        f"channel={live.channel_id} page={edge}")
+            return
+        if msg.command == m.VCR_PLAY:
+            base = live.paused.pop(group.group_id, None)
+            if base is None:
+                return
+            want = base
+        elif msg.command == m.VCR_REWIND:
+            base = live.paused.pop(group.group_id, edge)
+            started = live.record.started
+            elapsed = max(1e-9, self.sim.now - (started or self.sim.now))
+            pages_per_sec = edge / elapsed
+            want = base - max(1, int(msg.position_seconds * pages_per_sec))
+        else:
+            return  # seek/scan have no meaning against a growing tail
+        if edge == 0:
+            return
+        hit = want >= handle.trimmed
+        start = min(max(want, handle.trimmed), edge)
+        if start >= edge:
+            return  # nothing missed (paused for under a page's worth)
+        live.rewinds += 1
+        if hit:
+            live.rewind_hits += 1
+        # A newer time shift replaces any patch still draining.
+        for patch in list(group.play_streams):
+            patch.state = StreamState.DONE
+            self.iop.remove(patch)
+            proc = self._stream_disk.pop(patch.stream_id, None)
+            if proc is not None:
+                proc.remove(patch)
+            group.play_streams.remove(patch)
+        fs = self.filesystems[ch.disk_id]
+        patch = PatchStream(
+            stream_id, group.group_id, fs.open(ch.content_name),
+            ch.stream.protocol, ch.stream.rate, address,
+            self.ibtree_config,
+            end_page=edge, channel_id=live.channel_id, start_page=start,
+        )
+        group.play_streams.append(patch)
+        self._stream_disk[stream_id] = self.disk_processes[ch.disk_id]
+        self.disk_processes[ch.disk_id].add_play(patch)
+        self.iop.add_play(patch)
+        self.streams_served += 1
+        if self.coordinator_channel is not None:
+            self.coordinator_channel.send(
+                self.name,
+                m.LiveRewound(
+                    live.channel_id, group.group_id, stream_id,
+                    start, edge, hit=hit,
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+        self._trace("live-rewind", f"group={group.group_id}",
+                    f"channel={live.channel_id} pages=[{start},{edge}) "
+                    f"hit={hit}")
+
     # -- VCR handling --------------------------------------------------------------
 
     def _vcr_loop(self, group: GroupState) -> Generator:
@@ -723,6 +956,12 @@ class Msu:
     def _apply_vcr(self, group: GroupState, msg: m.VcrCommand) -> Generator:
         now = self.sim.now
         self._trace("vcr", f"group={group.group_id}", msg.command)
+        if group.channel_id is not None and group.channel_id in self.live:
+            # Live viewers never downgrade: pause-live and rewind-live
+            # ride the time-shift ring while the fan-out keeps flowing.
+            self._apply_live_vcr(group, self.live[group.channel_id], msg)
+            self.iop.wakeup.set()
+            return
         if group.channel_id is not None:
             # A shared channel cannot pause/seek/scan for one viewer:
             # leave it for a private unicast stream, then apply the
@@ -843,6 +1082,15 @@ class Msu:
 
     def _on_record_drained(self, stream: RecordStream) -> None:
         """Disk process flushed a finishing recording's last page."""
+        channel_id = self._live_by_record.pop(stream.stream_id, None)
+        if channel_id is not None:
+            # Live ingest signed off: the fan-out stream stops being a
+            # tail-follower and drains to the (now final) end of file.
+            ch = self.channels.get(channel_id)
+            if ch is not None:
+                ch.stream.live = False
+                self._kick_disk_for(ch.stream)
+                self.iop.wakeup.set()
         group = self._stream_group.get(stream.stream_id)
         handle = stream.handle
         handle.duration_us = stream.last_delivery_us
@@ -880,6 +1128,8 @@ class Msu:
             for _group_id, (_stream_id, address) in ch.subscribers.items():
                 self.host.network.leave_group(ch.mcast_host, address)
         self.channels.clear()
+        self.live.clear()
+        self._live_by_record.clear()
 
     # -- crash injection ------------------------------------------------------------------
 

@@ -109,6 +109,10 @@ class PlayStream:
         self.position_us = 0  # delivery offset of the last record sent
         self.packets_sent = 0
         self.epoch = 0  # bumped by seeks/switches to drop in-flight reads
+        #: True while the file is still being appended (live ingest): the
+        #: stream follows the growing tail and must not be reaped as
+        #: finished when it momentarily catches up with the writer.
+        self.live = False
 
     # -- buffer protocol (network side) -----------------------------------
 
@@ -138,6 +142,11 @@ class PlayStream:
     @property
     def at_end(self) -> bool:
         """All pages read and all records sent."""
+        if self.live:
+            # A live tail-follower is only idle, never finished; the MSU
+            # clears ``live`` once the ingest drains, and the stream then
+            # ends at the true end of file.
+            return False
         return self.next_page >= self.handle.nblocks and self.front() is None
 
     # -- buffer protocol (disk side) ----------------------------------------
@@ -242,18 +251,29 @@ class ChannelStream(PlayStream):
 
 
 class PatchStream(PlayStream):
-    """A late joiner's bounded unicast patch: pages ``[0, end_page)``.
+    """A joiner's bounded unicast patch: pages ``[start_page, end_page)``.
 
-    Ends as soon as the missed prefix has been delivered — the viewer
-    then lives entirely on the multicast channel it subscribed to.
+    Ends as soon as the missed window has been delivered — the viewer
+    then lives entirely on the multicast channel it subscribed to.  A
+    late VoD joiner patches the opening prefix (``start_page`` 0); a
+    rewound live viewer patches a slice of the time-shift ring and
+    re-merges with the live fan-out the same way.
     """
 
     is_patch = True
 
-    def __init__(self, *args, end_page: int = 0, channel_id: int = 0, **kwargs):
+    def __init__(
+        self, *args, end_page: int = 0, channel_id: int = 0,
+        start_page: int = 0, **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         self.channel_id = channel_id
         self.end_page = min(max(1, end_page), self.handle.nblocks)
+        if start_page > 0:
+            # Clamp into the resident window of a ring-trimmed file.
+            self.next_page = min(
+                max(start_page, self.handle.trimmed), self.end_page
+            )
 
     def wants_page(self) -> bool:
         return (
@@ -290,6 +310,7 @@ class RecordStream:
         self.pending_pages: Deque[bytes] = deque()
         self.finishing = False
         self.finished = False
+        self._final_root: Optional[Tuple[int, int, int]] = None
         self.packets_received = 0
         self.last_delivery_us = 0
 
@@ -316,7 +337,25 @@ class RecordStream:
         self.finishing = True
         pages, root = self.writer.finish()
         self.pending_pages.extend(pages)
-        self.handle.root = root
+        # The root references the trailer pages just queued; it is only
+        # installed once they are actually on disk (commit_root), so a
+        # crash mid-drain never leaves metadata pointing past EOF.
+        self._final_root = root
+
+    def commit_root(self) -> None:
+        """Install the tree root: every page it references is on disk."""
+        self.handle.root = self._final_root
+
+    def abort(self) -> None:
+        """No space for the remaining pages: truncate the recording here.
+
+        The pages already on disk stay readable; the root is withheld
+        (it would reference pages that never landed) and the normal
+        drain path completes the stream as a short recording.
+        """
+        self.finishing = True
+        self.pending_pages.clear()
+        self._final_root = None
 
     @property
     def drained(self) -> bool:

@@ -304,6 +304,20 @@ class PlacementManager:
             f"edge={edge_name} group={group_id} kind={kind} "
             f"pages=[{start_page},{end_page})",
         )
+        # When the serve's whole span is already resident (pinned) on the
+        # edge, the interval window is rideable *now* — a trailing viewer
+        # need not wait for this serve to complete before hitting it.
+        if (
+            kind != "patch"
+            and view is not None
+            and view.pinned.get(entry.name, 0) >= end_page
+        ):
+            windows = self.recent.setdefault(edge_name, {})
+            current = windows.get(entry.name)
+            if current is None or current[0] <= end_page:
+                windows[entry.name] = (
+                    end_page, self.sim.now + self.config.interval_ttl
+                )
 
     def serve_done(self, msg: m.EdgeServeDone) -> None:
         """An edge finished a serve: release its charge (idempotent —

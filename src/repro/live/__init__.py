@@ -1,0 +1,28 @@
+"""Live & time-shifted TV: channel ingest, fan-out, and rewind-live.
+
+A live channel couples one recording stream (the broadcaster's feed,
+appended onto an MSU file) with one multicast fan-out stream following
+the growing tail.  A time-shift ring window layered on the IB-tree lets
+viewers pause-live and rewind-live within the last N seconds; ring
+blocks past the window return to the allocator.  The Coordinator runs
+an EPG scheduler (channel lineup, scheduled recordings) and a
+surf-churn admission gate for join/leave storms.
+"""
+
+from repro.live.manager import (
+    LIVE_CHANNEL_BASE,
+    ChannelSpec,
+    LiveChannelRecord,
+    LiveConfig,
+    LiveManager,
+)
+from repro.live.source import LiveSource
+
+__all__ = [
+    "LIVE_CHANNEL_BASE",
+    "ChannelSpec",
+    "LiveChannelRecord",
+    "LiveConfig",
+    "LiveManager",
+    "LiveSource",
+]

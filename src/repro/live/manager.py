@@ -1,0 +1,532 @@
+"""The Coordinator's live-channel manager: EPG, tuning, time shift.
+
+One :class:`LiveManager` owns the channel lineup.  For each
+:class:`ChannelSpec` an EPG process fires at the scheduled start time,
+admits an ingest slot (``place_record``) plus a fan-out delivery slot on
+the same MSU, and sends the MSU a single ``LiveOpen`` that wires both
+ends of the channel: the broadcaster's RecordStream appending onto a
+growing file and the multicast ChannelStream following its tail.
+
+Viewers *tune* by playing the channel's content name; the manager
+intercepts the play before the VoD paths see it, applies a token-bucket
+surf gate (channel-surf storms must not starve the request queue), and
+subscribes the viewer to the fan-out.  Rewind-live charges a bounded
+unicast slot (``charge_direct``, like a channel downgrade) that is
+refunded when the time-shift patch drains and the viewer re-merges.
+
+Everything structural is journaled (``live-*`` records) and captured by
+snapshots, so a restarted Coordinator re-adopts channels mid-broadcast;
+reconciliation trusts the MSU's ``live_channels`` report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Set, Tuple
+
+from repro.net import messages as m
+from repro.net.network import MULTICAST_PREFIX
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.coordinator import Coordinator
+    from repro.core.database import ContentEntry
+    from repro.core.session import Session
+
+__all__ = [
+    "LIVE_CHANNEL_BASE",
+    "ChannelSpec",
+    "LiveConfig",
+    "LiveChannelRecord",
+    "LiveManager",
+]
+
+#: Live channel ids live far above the multicast manager's VoD channel
+#: ids so a PatchDrained / StreamTerminated routes unambiguously.
+LIVE_CHANNEL_BASE = 1 << 20
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One EPG lineup entry: what airs, where from, and when."""
+
+    name: str
+    type_name: str
+    source_host: str
+    start_at: float = 0.0
+    duration_seconds: float = 60.0
+    #: True keeps every page (a scheduled recording that becomes VoD
+    #: when the channel signs off); False rings the file and deletes it.
+    record: bool = False
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Knobs for the live subsystem."""
+
+    lineup: Tuple[ChannelSpec, ...] = ()
+    #: Time-shift window depth, seconds of media kept behind the live edge.
+    ring_seconds: float = 30.0
+    #: Token-bucket surf gate: sustained tunes/second across all viewers
+    #: (0 disables the gate) and the burst it forgives.
+    surf_rate: float = 0.0
+    surf_burst: float = 8.0
+    #: How long past its scheduled slot a channel may run before the EPG
+    #: forces it off the air (a stalled broadcaster never quits cleanly).
+    off_air_grace: float = 10.0
+    #: Ingest-admission retries when the cluster is momentarily full.
+    open_retries: int = 5
+    open_retry_delay: float = 2.0
+
+
+@dataclass
+class LiveChannelRecord:
+    """Coordinator-side state of one on-air channel."""
+
+    channel_id: int
+    content_name: str
+    type_name: str
+    msu_name: str
+    disk_id: str
+    group_id: int            # the fan-out stream's server-internal group
+    stream_id: int
+    ingest_group_id: int     # the broadcaster's group (RecordStream)
+    ingest_stream_id: int
+    rate: float
+    started_at: float
+    ring_blocks: int
+    dvr: bool
+    mcast_host: str
+    source_host: str
+    #: viewer group_id -> stream_id.
+    subscribers: Dict[int, int] = field(default_factory=dict)
+    ingest_done: bool = False
+    closed: bool = False
+    viewers_total: int = 0
+    peak_subscribers: int = 0
+    rewinds: int = 0
+    rewind_hits: int = 0
+
+
+class LiveManager:
+    """EPG scheduling, surf admission, and time-shift accounting."""
+
+    def __init__(self, coordinator: "Coordinator", config: LiveConfig):
+        self.coord = coordinator
+        self.sim = coordinator.sim
+        self.config = config
+        self.channels: Dict[int, LiveChannelRecord] = {}
+        self._by_name: Dict[str, int] = {}
+        self._channel_groups: Dict[int, int] = {}    # fan-out gid -> cid
+        self._ingest_groups: Dict[int, int] = {}     # ingest gid -> cid
+        self._subscriber_groups: Dict[int, int] = {}  # viewer gid -> cid
+        self._next_channel = LIVE_CHANNEL_BASE + 1
+        #: Lineup indices whose EPG slot already fired (journaled so a
+        #: restarted Coordinator does not re-open a finished broadcast).
+        self.fired: Set[int] = set()
+        self._surf_tokens = float(config.surf_burst)
+        self._surf_last = 0.0
+        # Counters (experiments / invariants read these).
+        self.channels_opened = 0
+        self.channels_closed = 0
+        self.channels_failed = 0
+        self.viewers_joined = 0
+        self.surf_throttled = 0
+        self.rewinds = 0
+        self.rewind_hits = 0
+        self.merges = 0
+        for index, spec in enumerate(config.lineup):
+            self.sim.process(self._epg(index, spec), name=f"epg.{spec.name}")
+
+    # -- EPG scheduling ------------------------------------------------------
+
+    def _epg(self, index: int, spec: ChannelSpec) -> Generator:
+        delay = max(0.0, spec.start_at - self.sim.now)
+        yield self.sim.timeout(delay)
+        while self.coord.recovering:
+            yield self.sim.timeout(0.5)
+        if self.coord.dead or index in self.fired:
+            return
+        self.fired.add(index)
+        self.coord._journal("live-epg", {"index": index})
+        record = None
+        for _attempt in range(max(1, self.config.open_retries)):
+            record = self.open_channel(spec)
+            if record is not None:
+                break
+            yield self.sim.timeout(self.config.open_retry_delay)
+            if self.coord.dead or self.coord.recovering:
+                return
+        if record is None:
+            self.channels_failed += 1
+            self.coord._trace("live-failed", spec.name, "no ingest slot")
+            return
+        # Off-air guard: a broadcaster that stalls and never quits would
+        # hold its ingest slot forever; force the sign-off after grace.
+        yield self.sim.timeout(spec.duration_seconds + self.config.off_air_grace)
+        current = self.channels.get(record.channel_id)
+        if current is record and not current.ingest_done:
+            self.coord._trace("live-force-stop", spec.name,
+                              f"channel={record.channel_id}")
+            self.stop_channel(record.channel_id)
+
+    def open_channel(self, spec: ChannelSpec) -> Optional[LiveChannelRecord]:
+        """Admit and open one live channel; None when the cluster is full."""
+        from repro.core.coordinator import GroupRecord  # cycle: late import
+        from repro.core.database import ContentEntry
+        from repro.recovery.snapshot import group_state, live_record_state
+
+        coord = self.coord
+        if spec.name in coord.db.contents or spec.name in self._by_name:
+            return None  # already on the air or recorded under this name
+        ctype = coord.types.get(spec.type_name)
+        # A ring channel's disk footprint is bounded by the window, not
+        # the broadcast length; a scheduled recording needs it all, plus
+        # headroom for IB-tree packing (per-record headers, the slack at
+        # each page end) that the raw media-rate estimate cannot see.
+        estimate = spec.duration_seconds * 1.15
+        if not spec.record:
+            estimate = min(estimate, 2.0 * self.config.ring_seconds)
+        alloc = coord.admission.place_record(ctype, estimate)
+        if alloc is None:
+            return None
+        msu_channel = coord._msu_channels.get(alloc.msu_name)
+        if msu_channel is None:
+            coord.admission.release(alloc)
+            return None
+        # The fan-out leg reads the tail back out: its delivery slot is
+        # charged without a feasibility gate (the ingest placement just
+        # proved the MSU has headroom; the duty cycle absorbs overlap).
+        fan_alloc = coord.admission.charge_direct(
+            None, ctype.bandwidth_rate, alloc.msu_name, alloc.disk_id
+        )
+        channel_id = self._next_channel
+        self._next_channel += 1
+        group_id = coord.allocate_group_id()
+        stream_id = coord.allocate_stream_id()
+        ingest_group_id = coord.allocate_group_id()
+        ingest_stream_id = coord.allocate_stream_id()
+        ring_blocks = 0
+        if not spec.record:
+            ring_blocks = coord.admission.estimate_blocks(
+                ctype, self.config.ring_seconds
+            )
+        mcast_host = f"{MULTICAST_PREFIX}{alloc.msu_name}:live{channel_id}"
+        coord.db.add_content(
+            ContentEntry(spec.name, spec.type_name, alloc.msu_name, alloc.disk_id)
+        )
+        # Server-initiated groups carry no session; install them directly
+        # (register_group wants a Session) and journal their open.
+        ingest_group = GroupRecord(ingest_group_id, 0, alloc.msu_name)
+        ingest_group.allocations[ingest_stream_id] = alloc
+        ingest_group.recordings[ingest_stream_id] = (spec.name, spec.type_name)
+        coord.groups[ingest_group_id] = ingest_group
+        coord._journal("group-open", {"group": group_state(ingest_group)})
+        fan_group = GroupRecord(group_id, 0, alloc.msu_name)
+        fan_group.allocations[stream_id] = fan_alloc
+        coord.groups[group_id] = fan_group
+        coord._journal("group-open", {"group": group_state(fan_group)})
+        record = LiveChannelRecord(
+            channel_id, spec.name, spec.type_name, alloc.msu_name,
+            alloc.disk_id, group_id, stream_id, ingest_group_id,
+            ingest_stream_id, ctype.bandwidth_rate, self.sim.now,
+            ring_blocks, spec.record, mcast_host, spec.source_host,
+        )
+        self._install(record)
+        self.channels_opened += 1
+        coord._journal("live-open", {"channel": live_record_state(record)})
+        msu_channel.send(
+            coord.name,
+            m.LiveOpen(
+                channel_id, group_id, stream_id, ingest_group_id,
+                ingest_stream_id, spec.name, alloc.disk_id, ctype.protocol,
+                ctype.bandwidth_rate, ctype.variable, spec.source_host,
+                (mcast_host, 1), reserve_blocks=alloc.reserved_blocks,
+                ring_blocks=ring_blocks,
+            ),
+            nbytes=m.WIRE_BYTES,
+        )
+        coord._trace("live-open", spec.name,
+                     f"channel={channel_id} msu={alloc.msu_name} "
+                     f"ring={ring_blocks} dvr={spec.record}")
+        return record
+
+    def stop_channel(self, channel_id: int) -> None:
+        """Take a channel off the air (EPG slot over / operator action)."""
+        record = self.channels.get(channel_id)
+        if record is None:
+            return
+        msu_channel = self.coord._msu_channels.get(record.msu_name)
+        if msu_channel is not None:
+            msu_channel.send(
+                self.coord.name, m.LiveStop(channel_id), nbytes=m.WIRE_BYTES
+            )
+
+    def _install(self, record: LiveChannelRecord) -> None:
+        self.channels[record.channel_id] = record
+        self._by_name[record.content_name] = record.channel_id
+        self._channel_groups[record.group_id] = record.channel_id
+        if not record.ingest_done:
+            self._ingest_groups[record.ingest_group_id] = record.channel_id
+        for gid in record.subscribers:
+            self._subscriber_groups[gid] = record.channel_id
+        self._next_channel = max(self._next_channel, record.channel_id + 1)
+
+    # -- tuning (viewer joins) -----------------------------------------------
+
+    def channel_for(self, content_name: str) -> Optional[LiveChannelRecord]:
+        """The on-air channel broadcasting ``content_name``, if any."""
+        channel_id = self._by_name.get(content_name)
+        if channel_id is None:
+            return None
+        return self.channels.get(channel_id)
+
+    def owns_channel(self, channel_id: int) -> bool:
+        """Whether an MSU message's channel id belongs to the live tier."""
+        return channel_id > LIVE_CHANNEL_BASE
+
+    def _take_surf_token(self) -> bool:
+        if self.config.surf_rate <= 0:
+            return True
+        now = self.sim.now
+        self._surf_tokens = min(
+            float(self.config.surf_burst),
+            self._surf_tokens + (now - self._surf_last) * self.config.surf_rate,
+        )
+        self._surf_last = now
+        if self._surf_tokens >= 1.0:
+            self._surf_tokens -= 1.0
+            return True
+        return False
+
+    def tune(
+        self,
+        msg: m.PlayRequest,
+        channel,
+        session: "Session",
+        entry: "ContentEntry",
+        port,
+        record: LiveChannelRecord,
+    ) -> Generator:
+        """Subscribe one viewer to a live channel (the play intercept).
+
+        Surf-gated: past the token bucket the tune parks on the normal
+        scheduling queue and retries when a stream ends — rapid join/
+        leave storms drain at the configured rate instead of saturating
+        the Coordinator.
+        """
+        from repro.core.coordinator import GroupRecord, _QueuedRequest
+        from repro.failover import StreamMeta
+
+        coord = self.coord
+        if not self._take_surf_token():
+            self.surf_throttled += 1
+            coord._enqueue(_QueuedRequest("play", msg.session_id, msg, channel))
+            coord._trace("live-throttled", entry.name,
+                         f"session={msg.session_id}")
+            return None
+        group_id = coord.allocate_group_id()
+        stream_id = coord.allocate_stream_id()
+        group = GroupRecord(group_id, msg.session_id, record.msu_name)
+        group.streams[stream_id] = StreamMeta(
+            entry.name, entry.type_name, tuple(port.address)
+        )
+        coord.register_group(group, session)
+        record.subscribers[group_id] = stream_id
+        record.viewers_total += 1
+        record.peak_subscribers = max(
+            record.peak_subscribers, len(record.subscribers)
+        )
+        self._subscriber_groups[group_id] = record.channel_id
+        self.viewers_joined += 1
+        coord._journal("live-tune", {
+            "channel_id": record.channel_id,
+            "group_id": group_id,
+            "stream_id": stream_id,
+        })
+        yield from coord.machine.cpu.execute(coord.SCHEDULE_CPU)
+        msu_channel = coord._msu_channels.get(record.msu_name)
+        if msu_channel is not None:
+            msu_channel.send(
+                coord.name,
+                m.ChannelSubscribe(
+                    record.channel_id, group_id, stream_id,
+                    session.client_host, tuple(port.address),
+                ),
+                nbytes=m.WIRE_BYTES,
+            )
+        coord._trace("live-tune", entry.name,
+                     f"channel={record.channel_id} group={group_id}")
+        return m.StreamScheduled(group_id, record.msu_name)
+
+    # -- time shift (rewind charge / merge refund) ---------------------------
+
+    def rewound(self, msg: m.LiveRewound) -> None:
+        """The MSU opened a time-shift patch: charge the unicast slot."""
+        from repro.recovery.snapshot import allocation_state
+
+        record = self.channels.get(msg.channel_id)
+        self.rewinds += 1
+        if msg.hit:
+            self.rewind_hits += 1
+        if record is None:
+            return
+        record.rewinds += 1
+        if msg.hit:
+            record.rewind_hits += 1
+        group = self.coord.groups.get(msg.group_id)
+        if group is None:
+            return
+        # A newer rewind replaced a patch still draining: refund it first.
+        stale = group.allocations.pop(msg.stream_id, None)
+        if stale is not None:
+            self.coord.admission.release(stale)
+        alloc = self.coord.admission.charge_direct(
+            self.coord.db.contents.get(record.content_name),
+            record.rate, record.msu_name, record.disk_id,
+        )
+        group.allocations[msg.stream_id] = alloc
+        self.coord._journal("live-rewind", {
+            "channel_id": msg.channel_id,
+            "group_id": msg.group_id,
+            "stream_id": msg.stream_id,
+            "alloc": allocation_state(alloc),
+            "hit": msg.hit,
+        })
+        self.coord._trace("live-rewind", record.content_name,
+                          f"group={msg.group_id} pages=[{msg.start_page},"
+                          f"{msg.end_page}) hit={msg.hit}")
+
+    def patch_drained(self, msg: m.PatchDrained) -> None:
+        """A time-shift patch re-merged with the fan-out: refund its slot."""
+        group = self.coord.groups.get(msg.group_id)
+        if group is not None:
+            alloc = group.allocations.pop(msg.stream_id, None)
+            if alloc is not None:
+                self.coord.admission.release(alloc)
+        self.merges += 1
+        self.coord._journal("live-merge", {
+            "channel_id": msg.channel_id,
+            "group_id": msg.group_id,
+            "stream_id": msg.stream_id,
+        })
+
+    # -- terminations --------------------------------------------------------
+
+    def handle_terminated(self, msg: m.StreamTerminated) -> bool:
+        """Route an MSU termination; True when fully handled here."""
+        channel_id = self._channel_groups.get(msg.group_id)
+        if channel_id is not None:
+            # The fan-out stream ended: the broadcast is over.
+            self.close_channel(channel_id)
+            self.coord._retry_queue()
+            return True
+        channel_id = self._ingest_groups.get(msg.group_id)
+        if channel_id is not None:
+            record = self.channels.get(channel_id)
+            if record is not None and msg.reason == "record-complete":
+                record.ingest_done = True
+                self.coord._journal("live-ingest-done",
+                                    {"channel_id": channel_id})
+            self._ingest_groups.pop(msg.group_id, None)
+            return False  # default path releases the slot, sets blocks
+        channel_id = self._subscriber_groups.pop(msg.group_id, None)
+        if channel_id is not None:
+            record = self.channels.get(channel_id)
+            if record is not None:
+                record.subscribers.pop(msg.group_id, None)
+            self.coord._journal("live-detach", {
+                "channel_id": channel_id, "group_id": msg.group_id,
+            })
+            return False  # default path refunds any rewind slot
+        return False
+
+    def close_channel(self, channel_id: int, forced: bool = False) -> None:
+        """Tear down a finished (or failed) channel's books and content.
+
+        ``forced`` means the MSU died: its allocations were already
+        zeroed wholesale and there is no one to send a DeleteFile to.
+        """
+        record = self.channels.pop(channel_id, None)
+        if record is None:
+            return
+        record.closed = True
+        if self._by_name.get(record.content_name) == channel_id:
+            del self._by_name[record.content_name]
+        self._channel_groups.pop(record.group_id, None)
+        self._ingest_groups.pop(record.ingest_group_id, None)
+        for gid in record.subscribers:
+            self._subscriber_groups.pop(gid, None)
+        group = self.coord.groups.pop(record.group_id, None)
+        if group is not None:
+            if not forced:
+                for alloc in group.allocations.values():
+                    self.coord.admission.release(alloc)
+            self.coord._journal("group-drop", {
+                "group_id": record.group_id, "dropped_contents": [],
+            })
+        if not record.dvr:
+            # A pure-live ring has no afterlife: drop the title and free
+            # the resident window.  DVR channels stay as ordinary VoD.
+            entry = self.coord.db.contents.get(record.content_name)
+            if entry is not None and entry.active_total() == 0:
+                self.coord.db.remove_content(record.content_name)
+                if not forced:
+                    self.coord._delete_on_msu(entry)
+        self.channels_closed += 1
+        self.coord._journal("live-close", {
+            "channel_id": channel_id, "forced": forced,
+        })
+        self.coord._trace("live-close", record.content_name,
+                          f"channel={channel_id} forced={forced} "
+                          f"viewers={record.viewers_total}")
+
+    def msu_failed(self, msu_name: str) -> None:
+        """Every channel on a dead MSU went dark with it."""
+        for channel_id in [
+            cid for cid, rec in self.channels.items()
+            if rec.msu_name == msu_name
+        ]:
+            self.close_channel(channel_id, forced=True)
+
+    # -- recovery ------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot image of the live tier."""
+        from repro.recovery.snapshot import live_record_state
+
+        return {
+            "next_channel": self._next_channel,
+            "fired": sorted(self.fired),
+            "channels": [
+                live_record_state(self.channels[cid])
+                for cid in sorted(self.channels)
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the live tier from a snapshot image."""
+        from repro.recovery.snapshot import live_record_from_state
+
+        self._next_channel = max(
+            self._next_channel, int(state.get("next_channel", 0))
+        )
+        self.fired = set(state.get("fired", ()))
+        for image in state.get("channels", ()):
+            self._install(live_record_from_state(image))
+
+    def drop_channel(self, channel_id: int) -> None:
+        """Forget a channel record without touching books or content.
+
+        Used by journal replay of ``live-close`` (the books and content
+        moves were journaled separately) and by reconciliation when the
+        MSU no longer reports the channel.
+        """
+        record = self.channels.pop(channel_id, None)
+        if record is None:
+            return
+        if self._by_name.get(record.content_name) == channel_id:
+            del self._by_name[record.content_name]
+        self._channel_groups.pop(record.group_id, None)
+        self._ingest_groups.pop(record.ingest_group_id, None)
+        for gid in record.subscribers:
+            self._subscriber_groups.pop(gid, None)

@@ -132,6 +132,7 @@ class ChannelManager:
         self.downgrades = 0
         self.fallbacks = 0  # requests parked when no channel was placeable
         self.edge_patched = 0  # patch joins served by an edge proxy
+        self.edge_spliced = 0  # unicast prefix splices when no channel fit
 
     # -- applicability -----------------------------------------------------
 
@@ -338,10 +339,17 @@ class ChannelManager:
         ctype = self.coord.types.get(entry.type_name)
         alloc = self.coord.admission.place_channel(entry, ctype)
         if alloc is None:
-            # No disk slot for a new channel: park every request in the
-            # scheduling queue; retries re-enter this manager and may
-            # then patch onto whichever channel frees up first.
+            # No disk slot for a new channel.  Before parking, try an
+            # edge prefix splice per viewer: an edge pinning this title's
+            # prefix can carry the opening pages while a (possibly
+            # cache-covered) unicast tail stream starts at the splice —
+            # the lane that previously engaged only with multicast off.
+            parked = []
             for req in live:
+                served = yield from self._edge_splice_play(req, entry, ctype)
+                if not served:
+                    parked.append(req)
+            for req in parked:
                 self.fallbacks += 1
                 self.coord._enqueue(
                     _QueuedRequest(
@@ -349,8 +357,11 @@ class ChannelManager:
                         priority=play_priority(self.coord.db, entry),
                     )
                 )
-            self.coord._trace("mcast-queued", entry.name,
-                              f"viewers={len(live)} no channel slot")
+            if parked:
+                self.coord._trace(
+                    "mcast-queued", entry.name,
+                    f"viewers={len(parked)} no channel slot"
+                )
             return
         record = self._open_channel(entry, ctype, alloc)
         for req in live:
@@ -370,6 +381,75 @@ class ChannelManager:
             )
             self._reply(req, m.StreamScheduled(group_id, record.msu_name))
         self.coord.db.note_played(entry.name, len(live))
+
+    def _edge_splice_play(self, req, entry, ctype) -> Generator:
+        """Unicast fallback with the edge carrying the prefix.
+
+        Returns True when the viewer was scheduled: the assigned edge
+        serves pages [0, splice) while a plain unicast tail stream (the
+        same shape the no-multicast path builds) starts at the splice.
+        Any piece missing — no placement tier, no prefix plan, no tail
+        slot, no uplink grant — returns False and the caller parks the
+        request as before.
+        """
+        from repro.core.coordinator import GroupRecord  # cycle: late import
+        from repro.failover import StreamMeta
+
+        coord = self.coord
+        if coord.placement is None or entry.components:
+            return False
+        session = coord.sessions.lookup(req.session_id)
+        if session is None:
+            return False
+        try:
+            port = session.port(req.message.port_name)
+        except Exception:
+            return False
+        plan = coord.placement.plan_prefix(entry, ctype, session.client_host)
+        if plan is None:
+            return False
+        tail_alloc = coord.admission.place_read(entry, ctype)
+        if tail_alloc is None:
+            return False
+        edge_alloc = coord.admission.place_edge(entry, ctype, plan[0])
+        if edge_alloc is None:
+            coord.admission.release(tail_alloc)
+            return False
+        edge_name, splice, kind = plan
+        coord.db.note_played(entry.name)
+        group = GroupRecord(
+            coord.allocate_group_id(), req.session_id, tail_alloc.msu_name
+        )
+        stream_id = coord.allocate_stream_id()
+        group.allocations[stream_id] = tail_alloc
+        group.streams[stream_id] = StreamMeta(
+            entry.name, entry.type_name, tuple(port.address)
+        )
+        yield from coord.machine.cpu.execute(coord.SCHEDULE_CPU)
+        msu_channel = coord._msu_channels[tail_alloc.msu_name]
+        msu_channel.send(
+            coord.name,
+            m.ScheduleRead(
+                group.group_id, stream_id, entry.name, tail_alloc.disk_id,
+                ctype.protocol, ctype.bandwidth_rate, ctype.variable,
+                tuple(port.address), session.client_host, group_size=1,
+                cached=tail_alloc.cache_covered, start_page=splice,
+            ),
+            nbytes=m.WIRE_BYTES,
+        )
+        coord.register_group(group, session)
+        coord.placement.begin_serve(
+            edge_name, group.group_id, stream_id, entry,
+            0, splice, ctype.bandwidth_rate, kind,
+            tuple(port.address), edge_alloc,
+        )
+        self.edge_spliced += 1
+        coord._trace(
+            "mcast-edge-splice", entry.name,
+            f"group={group.group_id} edge={edge_name} splice={splice}"
+        )
+        self._reply(req, m.StreamScheduled(group.group_id, group.msu_name))
+        return True
 
     def _open_channel(
         self, entry: ContentEntry, ctype, alloc: Allocation

@@ -39,6 +39,9 @@ __all__ = [
     "ChannelSubscribe",
     "PatchDrained",
     "ChannelDowngrade",
+    "LiveOpen",
+    "LiveStop",
+    "LiveRewound",
     "PinPrefix",
     "CacheReport",
     "EdgeHello",
@@ -57,6 +60,7 @@ __all__ = [
     "VCR_FAST_BACKWARD",
     "VCR_NORMAL",
     "VCR_QUIT",
+    "VCR_REWIND",
 ]
 
 #: Nominal wire size of a control message including TCP/IP and Ethernet
@@ -318,6 +322,10 @@ class StateReport:
     streams: Tuple[Tuple[int, int, str, str, str, float], ...] = ()
     channels: Tuple[Tuple[int, int, int, str, str, Tuple[Tuple[int, int], ...]], ...] = ()
     pins: Tuple[Tuple[str, str, int], ...] = ()
+    #: Live channels as ``(channel_id, group_id, stream_id, content_name,
+    #: disk_id, rate, subscribers)`` — the in-flight ingest itself travels
+    #: in ``streams`` (kind ``"record"``, under its own ingest group).
+    live_channels: Tuple[Tuple[int, int, int, str, str, float, Tuple[Tuple[int, int], ...]], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -423,6 +431,71 @@ class ChannelDowngrade:
     group_id: int
     stream_id: int
     position_us: int = 0
+
+
+# -- live channels (Coordinator <-> MSU) --------------------------------------
+
+@dataclass(frozen=True)
+class LiveOpen:
+    """Coordinator -> MSU: start a live channel (ingest + fan-out).
+
+    The MSU creates the ring file, installs a recording stream fed by
+    the broadcaster at ``source_host`` (which learns the ingest address
+    through the usual :class:`StreamReady` ``record_address``), and a
+    tail-following :class:`ChannelStream` fanning the same file out to
+    ``mcast_address`` while it is still being appended.  ``ring_blocks``
+    bounds the time-shift window: pages older than the window are
+    reclaimed, except when the channel doubles as a scheduled recording
+    (``ring_blocks`` 0 keeps everything).
+    """
+
+    channel_id: int
+    group_id: int          # the fan-out stream's own MSU-side group
+    stream_id: int
+    ingest_group_id: int   # the broadcaster's group (holds the RecordStream)
+    ingest_stream_id: int
+    content_name: str
+    disk_id: str
+    protocol: str
+    rate: float
+    variable: bool
+    source_host: str
+    mcast_address: Tuple[str, int]
+    reserve_blocks: int = 0
+    ring_blocks: int = 0   # 0 = no trimming (scheduled recording)
+
+
+@dataclass(frozen=True)
+class LiveStop:
+    """Coordinator -> MSU: end a live channel's ingest (EPG off-air).
+
+    The recording stream finishes (trailer pages + root), the fan-out
+    drains to the true end of file and completes normally, and every
+    viewer hears :class:`EndOfStream` — the same path a broadcaster quit
+    takes through the VCR channel.
+    """
+
+    channel_id: int
+
+
+@dataclass(frozen=True)
+class LiveRewound:
+    """MSU -> Coordinator: a live viewer rewound into the ring window.
+
+    The MSU already runs the unicast rewind patch over
+    ``[start_page, end_page)``; the Coordinator charges a refundable
+    patch slot (released again by :class:`PatchDrained` when the viewer
+    re-merges with the live fan-out).  ``hit`` is False when part of the
+    requested window had already been reclaimed and the patch was
+    clamped to the oldest resident page.
+    """
+
+    channel_id: int
+    group_id: int
+    stream_id: int
+    start_page: int
+    end_page: int
+    hit: bool = True
 
 
 # -- edge proxies (Coordinator <-> EdgeProxy) ---------------------------------
@@ -536,6 +609,9 @@ VCR_FAST_FORWARD = "fast-forward"
 VCR_FAST_BACKWARD = "fast-backward"
 VCR_NORMAL = "normal"
 VCR_QUIT = "quit"
+#: Live channels only: jump back ``position_seconds`` into the
+#: time-shift ring window (pause-live resume uses it implicitly).
+VCR_REWIND = "rewind"
 
 
 @dataclass(frozen=True)

@@ -77,6 +77,7 @@ def reconcile(
     _reconcile_disks(coord, reports)
     _reconcile_streams(coord, by_msu, outcome)
     _reconcile_channels(coord, by_msu, outcome)
+    _reconcile_live(coord, by_msu, outcome)
     _reconcile_pins(coord, reports, outcome)
     if coord.placement is not None:
         outcome.discrepancies.extend(coord.placement.reconcile_edges())
@@ -116,6 +117,15 @@ def _reconcile_streams(coord, by_msu, outcome) -> None:
         }
         subs: Dict[Tuple[int, int], int] = {}
         for channel_id, _gid, _sid, _content, _disk, pairs in report.channels:
+            for sub_gid, sub_sid in pairs:
+                subs[(sub_gid, sub_sid)] = channel_id
+        # Live channels report separately; fold their fan-out streams and
+        # viewer memberships in so those groups are kept (or adopted) by
+        # the same MSU-wins rules as everything else.
+        for channel_id, gid, sid, content, disk_id, rate, pairs in (
+            report.live_channels
+        ):
+            streams_at[name][(gid, sid)] = (content, disk_id, "play", rate)
             for sub_gid, sub_sid in pairs:
                 subs[(sub_gid, sub_sid)] = channel_id
         subscribers_at[name] = subs
@@ -273,6 +283,118 @@ def _reconcile_channels(coord, by_msu, outcome) -> None:
             outcome.channels_adopted += 1
             outcome.discrepancies.append(
                 f"{name}: unknown channel {channel_id} ({content!r}); adopted"
+            )
+
+
+def _reconcile_live(coord, by_msu, outcome) -> None:
+    """MSU-wins for live channels: the broadcast the MSU runs is real."""
+    manager = coord.live_manager
+    if manager is None:
+        return
+    live_at: Dict[str, Dict[int, tuple]] = {}
+    for name, report in by_msu.items():
+        live_at[name] = {entry[0]: entry for entry in report.live_channels}
+
+    for channel_id in sorted(manager.channels):
+        record = manager.channels[channel_id]
+        if record.msu_name not in by_msu:
+            continue
+        reported = live_at[record.msu_name].get(channel_id)
+        if reported is None:
+            # The broadcast ended (or died) during the outage.  Its
+            # groups were already dropped stream-by-stream above; this
+            # only forgets the manager record.
+            manager.drop_channel(channel_id)
+            manager.channels_closed += 1
+            outcome.channels_dropped += 1
+            outcome.discrepancies.append(
+                f"{record.msu_name}: live channel {channel_id} off the "
+                f"air; closed"
+            )
+            continue
+        outcome.channels_kept += 1
+        live_subs = {gid: sid for gid, sid in reported[6]}
+        for gid in sorted(set(record.subscribers) - set(live_subs)):
+            record.subscribers.pop(gid, None)
+            manager._subscriber_groups.pop(gid, None)
+            outcome.subscribers_dropped += 1
+            outcome.discrepancies.append(
+                f"{record.msu_name}: live channel {channel_id} viewer "
+                f"{gid} gone; detached"
+            )
+        for gid in sorted(set(live_subs) - set(record.subscribers)):
+            record.subscribers[gid] = live_subs[gid]
+            manager._subscriber_groups[gid] = channel_id
+            outcome.discrepancies.append(
+                f"{record.msu_name}: live channel {channel_id} viewer "
+                f"{gid} unknown; adopted"
+            )
+        # An ingest that signed off while the Coordinator was dead.
+        streams = {
+            (gid, sid)
+            for gid, sid, _c, _d, _k, _r in by_msu[record.msu_name].streams
+        }
+        if (
+            not record.ingest_done
+            and (record.ingest_group_id, record.ingest_stream_id)
+            not in streams
+        ):
+            record.ingest_done = True
+            manager._ingest_groups.pop(record.ingest_group_id, None)
+            outcome.discrepancies.append(
+                f"{record.msu_name}: live channel {channel_id} ingest "
+                f"finished during outage"
+            )
+
+    # Broadcasts the MSU runs that the Coordinator has no record of.
+    for name in sorted(by_msu):
+        records_by_kind = {
+            (gid, sid): (content, kind)
+            for gid, sid, content, _d, kind, _r in by_msu[name].streams
+        }
+        for channel_id in sorted(live_at[name]):
+            if channel_id in manager.channels:
+                continue
+            _cid, group_id, stream_id, content, disk_id, rate, pairs = (
+                live_at[name][channel_id]
+            )
+            entry = coord.db.contents.get(content)
+            ingest_gid, ingest_sid = 0, -1
+            for (gid, sid), (c, kind) in sorted(records_by_kind.items()):
+                if kind == "record" and c == content:
+                    ingest_gid, ingest_sid = gid, sid
+                    break
+            from repro.live.manager import LiveChannelRecord
+            from repro.net.network import MULTICAST_PREFIX
+
+            record = LiveChannelRecord(
+                channel_id=channel_id,
+                content_name=content,
+                type_name=entry.type_name if entry is not None else "",
+                msu_name=name,
+                disk_id=disk_id,
+                group_id=group_id,
+                stream_id=stream_id,
+                ingest_group_id=ingest_gid,
+                ingest_stream_id=ingest_sid,
+                rate=rate,
+                started_at=coord.sim.now,
+                ring_blocks=0,
+                dvr=False,
+                mcast_host=f"{MULTICAST_PREFIX}{name}:live{channel_id}",
+                source_host="",
+            )
+            record.ingest_done = ingest_sid < 0
+            for gid, sid in pairs:
+                record.subscribers[gid] = sid
+            manager._install(record)
+            manager.channels_opened += 1
+            coord._next_group = max(coord._next_group, group_id + 1)
+            coord._next_stream = max(coord._next_stream, stream_id + 1)
+            outcome.channels_adopted += 1
+            outcome.discrepancies.append(
+                f"{name}: unknown live channel {channel_id} ({content!r}); "
+                f"adopted"
             )
 
 

@@ -362,6 +362,107 @@ def _mcast_close(coord, p):
     manager.ledger.close_channel(p["channel_id"], forced=p.get("forced", False))
 
 
+# -- live channels ------------------------------------------------------------
+
+def _live(coord):
+    return coord.live_manager
+
+
+def _live_epg(coord, p):
+    manager = _live(coord)
+    if manager is not None:
+        manager.fired.add(p["index"])
+
+
+def _live_open(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    from repro.recovery.snapshot import live_record_from_state
+
+    record = live_record_from_state(p["channel"])
+    manager._install(record)
+    manager.channels_opened += 1
+    coord._next_group = max(
+        coord._next_group,
+        max(record.group_id, record.ingest_group_id) + 1,
+    )
+    coord._next_stream = max(
+        coord._next_stream,
+        max(record.stream_id, record.ingest_stream_id) + 1,
+    )
+
+
+def _live_tune(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    record = manager.channels.get(p["channel_id"])
+    if record is None:
+        return
+    record.subscribers[p["group_id"]] = p["stream_id"]
+    record.viewers_total += 1
+    record.peak_subscribers = max(
+        record.peak_subscribers, len(record.subscribers)
+    )
+    manager._subscriber_groups[p["group_id"]] = record.channel_id
+    manager.viewers_joined += 1
+
+
+def _live_rewind(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    # The charge replays through its own "charge" record; here we only
+    # pin the allocation back onto the viewer's group so a later merge
+    # (or termination) finds it to refund.
+    group = coord.groups.get(p["group_id"])
+    if group is not None:
+        group.allocations[p["stream_id"]] = allocation_from_state(p["alloc"])
+    manager.rewinds += 1
+    if p.get("hit", True):
+        manager.rewind_hits += 1
+
+
+def _live_merge(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    group = coord.groups.get(p["group_id"])
+    if group is not None:
+        group.allocations.pop(p["stream_id"], None)
+    manager.merges += 1
+
+
+def _live_ingest_done(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    record = manager.channels.get(p["channel_id"])
+    if record is not None:
+        record.ingest_done = True
+        manager._ingest_groups.pop(record.ingest_group_id, None)
+
+
+def _live_detach(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    record = manager.channels.get(p["channel_id"])
+    if record is not None:
+        record.subscribers.pop(p["group_id"], None)
+    manager._subscriber_groups.pop(p["group_id"], None)
+
+
+def _live_close(coord, p):
+    manager = _live(coord)
+    if manager is None:
+        return
+    # Books and content moves were journaled separately.
+    manager.drop_channel(p["channel_id"])
+    manager.channels_closed += 1
+
+
 _HANDLERS = {
     "customer-add": _customer_add,
     "content-add": _content_add,
@@ -397,4 +498,12 @@ _HANDLERS = {
     "mcast-downgrade": _mcast_downgrade,
     "mcast-detach": _mcast_detach,
     "mcast-close": _mcast_close,
+    "live-epg": _live_epg,
+    "live-open": _live_open,
+    "live-tune": _live_tune,
+    "live-rewind": _live_rewind,
+    "live-merge": _live_merge,
+    "live-ingest-done": _live_ingest_done,
+    "live-detach": _live_detach,
+    "live-close": _live_close,
 }

@@ -352,6 +352,66 @@ def _restore_ledger(ledger, state: dict) -> None:
         ledger.channels[entry.channel_id] = entry
 
 
+# -- live channels ------------------------------------------------------------
+
+def live_record_state(record) -> dict:
+    return {
+        "channel_id": record.channel_id,
+        "content_name": record.content_name,
+        "type_name": record.type_name,
+        "msu_name": record.msu_name,
+        "disk_id": record.disk_id,
+        "group_id": record.group_id,
+        "stream_id": record.stream_id,
+        "ingest_group_id": record.ingest_group_id,
+        "ingest_stream_id": record.ingest_stream_id,
+        "rate": record.rate,
+        "started_at": record.started_at,
+        "ring_blocks": record.ring_blocks,
+        "dvr": record.dvr,
+        "mcast_host": record.mcast_host,
+        "source_host": record.source_host,
+        "subscribers": [
+            [gid, sid] for gid, sid in sorted(record.subscribers.items())
+        ],
+        "ingest_done": record.ingest_done,
+        "viewers_total": record.viewers_total,
+        "peak_subscribers": record.peak_subscribers,
+        "rewinds": record.rewinds,
+        "rewind_hits": record.rewind_hits,
+    }
+
+
+def live_record_from_state(state: dict):
+    from repro.live.manager import LiveChannelRecord
+
+    record = LiveChannelRecord(
+        channel_id=state["channel_id"],
+        content_name=state["content_name"],
+        type_name=state["type_name"],
+        msu_name=state["msu_name"],
+        disk_id=state["disk_id"],
+        group_id=state["group_id"],
+        stream_id=state["stream_id"],
+        ingest_group_id=state["ingest_group_id"],
+        ingest_stream_id=state["ingest_stream_id"],
+        rate=state["rate"],
+        started_at=state["started_at"],
+        ring_blocks=state["ring_blocks"],
+        dvr=state["dvr"],
+        mcast_host=state["mcast_host"],
+        source_host=state["source_host"],
+    )
+    for gid, sid in state.get("subscribers", ()):
+        record.subscribers[gid] = sid
+    record.ingest_done = state.get("ingest_done", False)
+    record.viewers_total = state.get("viewers_total", 0)
+    record.peak_subscribers = state.get("peak_subscribers", 0)
+    record.rewinds = state.get("rewinds", 0)
+    record.rewind_hits = state.get("rewind_hits", 0)
+    return record
+
+
 # -- MSU resource books -------------------------------------------------------
 
 def _msu_state(state: MsuState) -> dict:
@@ -437,6 +497,10 @@ def snapshot_state(coord: "Coordinator") -> dict:
         },
         "multicast": multicast,
         "edge": coord.placement.state() if coord.placement is not None else None,
+        "live": (
+            coord.live_manager.state()
+            if coord.live_manager is not None else None
+        ),
     }
 
 
@@ -500,3 +564,6 @@ def restore_state(coord: "Coordinator", state: dict) -> None:
                     manager._subscriber_groups[gid] = record.channel_id
         manager.ledger.channels.clear()
         _restore_ledger(manager.ledger, multicast["ledger"])
+    live = state.get("live")
+    if live is not None and coord.live_manager is not None:
+        coord.live_manager.restore(live)

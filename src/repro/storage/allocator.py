@@ -39,6 +39,20 @@ class Reservation:
             self.blocks = 0
             self.active = False
 
+    def refill(self, n: int = 1) -> None:
+        """Return ``n`` just-freed blocks to this reservation.
+
+        A time-shift ring recycles its own space: a block trimmed off the
+        window's trailing edge goes back into the recording's reservation
+        rather than the general pool, so a live channel can append forever
+        within its fixed budget.  Safe only immediately after freeing the
+        same number of blocks (the free pool momentarily covers them).
+        """
+        if not self.active:
+            return
+        self.blocks += n
+        self.allocator._reserved += n
+
 
 class BitmapAllocator:
     """First-fit-from-cursor ("next fit") bitmap allocator."""

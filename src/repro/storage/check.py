@@ -91,8 +91,10 @@ def check_filesystem(
 def _check_tree(fs, handle, config: IBTreeConfig, report: CheckReport) -> None:
     last_time = -1
     total_payload = 0
-    for index in range(handle.nblocks):
-        if not 0 <= handle.blocks[index] < fs.volume.nblocks:
+    # Pages below ``trimmed`` were reclaimed by a time-shift ring window;
+    # only the resident span [trimmed, nblocks) is on disk to check.
+    for index in range(handle.trimmed, handle.nblocks):
+        if not 0 <= handle.blocks[index - handle.trimmed] < fs.volume.nblocks:
             continue  # already reported by the namespace pass
         buf = fs.read_block_sync(handle, index)
         report.pages_checked += 1

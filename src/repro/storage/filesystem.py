@@ -47,11 +47,21 @@ class FileHandle:
         #: Names of rate-variant companions (normal/ff/fb), § 2.3.1.
         self.fast_forward: str = ""
         self.fast_backward: str = ""
+        #: Leading pages reclaimed by a time-shift ring window.  Page
+        #: indices are *absolute* (they never renumber as the front is
+        #: trimmed), so a tail-following reader's position stays valid
+        #: while old ring blocks return to the allocator.
+        self.trimmed = 0
         self._reservation: Optional[Reservation] = None
 
     @property
     def nblocks(self) -> int:
-        """Number of data pages in the file."""
+        """Number of data pages ever appended (absolute page count)."""
+        return self.trimmed + len(self.blocks)
+
+    @property
+    def live_span(self) -> int:
+        """Pages still resident: absolute range ``[trimmed, nblocks)``."""
         return len(self.blocks)
 
     def read_block(self, index: int) -> Generator[Any, Any, bytes]:
@@ -147,7 +157,7 @@ class MsuFileSystem:
             raise
         handle.blocks.append(block)
         handle.length += len(data)
-        return len(handle.blocks) - 1
+        return handle.nblocks - 1
 
     def append_block_sync(self, handle: FileHandle, data: bytes) -> int:
         """Administrative append without simulated latency (pre-loading)."""
@@ -159,24 +169,53 @@ class MsuFileSystem:
         self.volume.write_block_sync(block, data)
         handle.blocks.append(block)
         handle.length += len(data)
-        return len(handle.blocks) - 1
+        return handle.nblocks - 1
+
+    def _resident_block(self, handle: FileHandle, index: int) -> int:
+        """Map absolute page ``index`` to its volume block, or raise."""
+        if index < handle.trimmed:
+            raise StorageError(
+                f"{handle.name!r}: page {index} reclaimed by the ring "
+                f"window (window starts at {handle.trimmed})"
+            )
+        if index >= handle.nblocks:
+            raise StorageError(
+                f"{handle.name!r}: block index {index} outside "
+                f"0..{handle.nblocks - 1}"
+            )
+        return handle.blocks[index - handle.trimmed]
 
     def read_block_sync(self, handle: FileHandle, index: int) -> bytes:
         """Administrative read without simulated latency (offline filter)."""
-        if not 0 <= index < len(handle.blocks):
-            raise StorageError(
-                f"{handle.name!r}: block index {index} outside 0..{len(handle.blocks) - 1}"
-            )
-        return self.volume.read_block_sync(handle.blocks[index])
+        return self.volume.read_block_sync(self._resident_block(handle, index))
 
     def read_file_block(self, handle: FileHandle, index: int) -> Generator:
         """Read data page ``index`` of ``handle``; returns the block bytes."""
-        if not 0 <= index < len(handle.blocks):
-            raise StorageError(
-                f"{handle.name!r}: block index {index} outside 0..{len(handle.blocks) - 1}"
-            )
-        data = yield from self.volume.read_block(handle.blocks[index])
+        data = yield from self.volume.read_block(self._resident_block(handle, index))
         return data
+
+    def trim_file_front(self, handle: FileHandle, upto: int) -> int:
+        """Reclaim pages ``[handle.trimmed, upto)`` of a time-shift ring.
+
+        Frees the underlying blocks back to the allocator while keeping
+        absolute page indices stable — a reader positioned at page *i*
+        keeps reading page *i* after any number of trims, and a read of
+        a reclaimed page raises a recognizable StorageError.  Returns
+        the number of pages freed.  The trim is a pure metadata/bitmap
+        operation (no simulated disk time), like a block free.
+        """
+        upto = min(upto, handle.nblocks)
+        freed = 0
+        while handle.trimmed < upto:
+            block = handle.blocks.pop(0)
+            self.allocator.free(block)
+            if handle._reservation is not None:
+                # Ring semantics: the reclaimed block replenishes the
+                # recording's own budget, not the general pool.
+                handle._reservation.refill()
+            handle.trimmed += 1
+            freed += 1
+        return freed
 
     def finish_recording(self, handle: FileHandle) -> int:
         """Release the unused remainder of the file's reservation (§2.2).
@@ -194,9 +233,14 @@ class MsuFileSystem:
     # -- metadata persistence ------------------------------------------------------
 
     def _serialize(self) -> bytes:
+        # Ring-trimmed files are *transient* (deleted when their live
+        # channel closes) and their IB-tree roots hold absolute page
+        # indices a renumbered-from-zero remount could not resolve — so
+        # they are simply not persisted: a remount reclaims their space.
+        durable = [n for n in sorted(self._files) if not self._files[n].trimmed]
         chunks = [struct.pack(_SUPER_FMT, _SUPER_MAGIC, _VERSION,
-                              len(self._files), self.volume.nblocks)]
-        for name in sorted(self._files):
+                              len(durable), self.volume.nblocks)]
+        for name in durable:
             f = self._files[name]
             nb = name.encode()
             tb = f.content_type.encode()

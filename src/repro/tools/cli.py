@@ -10,6 +10,7 @@ Usage::
     python -m repro.tools.cli verify --replay repro.json
     python -m repro.tools.cli recovery journal.json --replay
     python -m repro.tools.cli edge --edges 2 --duration 30
+    python -m repro.tools.cli live --channels 3 --surfers 55
 
 Each experiment subcommand runs the corresponding runner and prints the
 same rows/series the paper reports (see EXPERIMENTS.md).  ``verify``
@@ -148,6 +149,14 @@ def _edge_cache(duration: Optional[float]) -> str:
     return format_edge(run_edge(duration=duration or 120.0))
 
 
+def _live_tv(duration: Optional[float]) -> str:
+    from repro.experiments.live import format_live, run_live, run_live_chaos
+
+    return format_live(
+        run_live(broadcast_seconds=duration or 24.0), run_live_chaos()
+    )
+
+
 def _cluster_scale(duration: Optional[float]) -> str:
     from repro.experiments.cluster_scale import (
         format_cluster_scale,
@@ -178,6 +187,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "failover": (_failover, "§2.2 MSU failover: heartbeats + migration (extension)"),
     "multicast": (_multicast, "§2.2/§3.2 multicast channels + patching (extension)"),
     "edge-cache": (_edge_cache, "abstract edge proxy tier vs. multicast alone (extension)"),
+    "live-tv": (_live_tv, "§2.3 live channels + time-shift rings (extension)"),
     "coordinator-recovery": (
         _recovery, "§2.2 Coordinator WAL replay + reconciliation (extension)"
     ),
@@ -440,6 +450,62 @@ def edge_main(argv) -> int:
     return 0
 
 
+def build_live_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="calliope-experiments live",
+        description="Broadcast a live lineup under a channel-surfing "
+                    "population, then rerun the seeded chaos sweep with "
+                    "live faults enabled.",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=3,
+        help="channels in the EPG lineup (default 3)",
+    )
+    parser.add_argument(
+        "--surfers", type=int, default=55,
+        help="channel-surfing viewers (default 55)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=24.0,
+        help="broadcast length in simulated seconds (default 24)",
+    )
+    parser.add_argument(
+        "--ring", type=float, default=5.0,
+        help="time-shift ring window in seconds (default 5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=22,
+        help="workload seed (default 22)",
+    )
+    parser.add_argument(
+        "--chaos-seeds", default="61..63",
+        help="chaos sweep seeds, e.g. '7' or '61..63'; '' skips the sweep "
+             "(default 61..63)",
+    )
+    return parser
+
+
+def live_main(argv) -> int:
+    """One live-TV surf run plus the chaos sweep; exit 1 on violations."""
+    from repro.experiments.live import format_live, run_live, run_live_chaos
+
+    args = build_live_parser().parse_args(argv)
+    point = run_live(
+        n_channels=max(1, args.channels),
+        n_surfers=max(1, args.surfers),
+        broadcast_seconds=args.duration,
+        ring_seconds=args.ring,
+        seed=args.seed,
+    )
+    reports = (
+        run_live_chaos(seeds=_parse_seeds(args.chaos_seeds))
+        if args.chaos_seeds else []
+    )
+    print(format_live(point, reports))
+    failed = point.drain_violations or any(not r.ok for r in reports)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="calliope-experiments",
@@ -467,6 +533,8 @@ def main(argv=None) -> int:
         return recovery_main(argv[1:])
     if argv and argv[0] == "edge":
         return edge_main(argv[1:])
+    if argv and argv[0] == "live":
+        return live_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

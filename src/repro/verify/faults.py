@@ -25,6 +25,10 @@ The op vocabulary covers the failure surface the subsystems expose:
                         reconcile against live MSU state
 ``edge_crash``        an edge proxy dies; its pins and serves vanish
 ``edge_restart``      bring a downed edge proxy back (empty cache)
+``live_ingest_stall`` one live channel's broadcaster goes silent for a
+                      while, then resumes shifted (dead satellite uplink)
+``surf_storm``        a burst of channel surfers joins the live lineup,
+                      flipping, pausing and rewinding live
 ``bug_double_charge`` deliberately charge a drained channel's ledger twice
                       (harness self-test: the ledger invariant must catch
                       it and the shrinker must isolate it)
@@ -57,6 +61,8 @@ FAULT_KINDS: Dict[str, float] = {
     "coordinator_restart": 4.0,
     "edge_crash": 3.0,
     "edge_restart": 4.0,
+    "live_ingest_stall": 3.0,
+    "surf_storm": 5.0,
 }
 
 #: VCR command bursts a storm draws from.
@@ -104,6 +110,7 @@ class ChaosSchedule:
         n_titles: int = 2,
         kinds: Optional[Dict[str, float]] = None,
         n_edges: int = 1,
+        n_channels: int = 2,
     ) -> "ChaosSchedule":
         """Draw ``n_ops`` weighted ops over ``[0.5, horizon)``.
 
@@ -120,7 +127,9 @@ class ChaosSchedule:
             ops.append(
                 FaultOp(
                     at, kind,
-                    cls._draw_args(rng, kind, n_msus, n_titles, n_edges),
+                    cls._draw_args(
+                        rng, kind, n_msus, n_titles, n_edges, n_channels
+                    ),
                 )
             )
         ops.sort(key=lambda op: (op.at, op.kind))
@@ -129,7 +138,7 @@ class ChaosSchedule:
     @staticmethod
     def _draw_args(
         rng: random.Random, kind: str, n_msus: int, n_titles: int,
-        n_edges: int = 1,
+        n_edges: int = 1, n_channels: int = 2,
     ) -> Dict[str, Any]:
         if kind in ("msu_hang", "msu_crash", "msu_powercycle", "msu_rejoin"):
             return {"msu": rng.randrange(n_msus)}
@@ -163,6 +172,17 @@ class ChaosSchedule:
                 "msu": rng.randrange(n_msus),
                 "factor": round(rng.uniform(1.5, 4.0), 1),
                 "duration": round(rng.uniform(0.5, 2.0), 2),
+            }
+        if kind == "live_ingest_stall":
+            return {
+                "channel": rng.randrange(max(1, n_channels)),
+                "duration": round(rng.uniform(0.3, 1.5), 2),
+            }
+        if kind == "surf_storm":
+            return {
+                "surfers": rng.randrange(2, 6),
+                "hops": rng.randrange(1, 3),
+                "pick": rng.randrange(1 << 16),
             }
         if kind in ("coordinator_crash", "coordinator_restart"):
             return {}

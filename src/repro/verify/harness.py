@@ -22,11 +22,13 @@ from typing import Dict, List, Optional
 
 from repro.cache.manager import CacheConfig
 from repro.clients import Client
+from repro.clients.workload import ChannelSurfer
 from repro.core import CalliopeCluster, ClusterConfig
 from repro.core.replication import ReplicationManager
 from repro.edge import EdgeConfig
 from repro.errors import CalliopeError
 from repro.failover import FailoverConfig, HeartbeatConfig
+from repro.live import ChannelSpec, LiveConfig, LiveSource
 from repro.media import MpegEncoder, packetize_cbr
 from repro.multicast import MulticastConfig
 from repro.net import messages as m
@@ -75,6 +77,12 @@ class ChaosConfig:
     content_seed: int = 11
     #: Edge proxy tier fronting the MSUs (None runs without edges).
     edge: Optional[EdgeConfig] = EDGE
+    #: Live channels on the air during the run (0 runs without live TV).
+    n_channels: int = 2
+    #: Broadcast length per channel, seconds (ends inside the horizon).
+    live_length: float = 6.0
+    #: Time-shift ring depth, seconds of media kept behind the live edge.
+    ring_seconds: float = 3.0
 
 
 @dataclass
@@ -114,6 +122,26 @@ class ChaosCluster:
         self.chaos_config = config or ChaosConfig()
         self.registry = registry or builtin_registry()
         self.sim = Simulator()
+        lineup = tuple(
+            ChannelSpec(
+                name=f"live{c}",
+                type_name="mpeg1",
+                source_host=f"feed{c}",
+                start_at=0.6 + 0.2 * c,
+                duration_seconds=self.chaos_config.live_length,
+            )
+            for c in range(self.chaos_config.n_channels)
+        )
+        live = None
+        if lineup:
+            # A forgiving surf gate: storms drain, honest tunes pass.
+            live = LiveConfig(
+                lineup=lineup,
+                ring_seconds=self.chaos_config.ring_seconds,
+                surf_rate=15.0,
+                surf_burst=12.0,
+                off_air_grace=6.0,
+            )
         self.cluster = CalliopeCluster(
             self.sim,
             ClusterConfig(
@@ -124,14 +152,31 @@ class ChaosCluster:
                 multicast=MulticastConfig(batch_window=0.2, patch_horizon=6.0),
                 cache=CacheConfig(),
                 edge=self.chaos_config.edge,
+                live=live,
                 seed=schedule.seed,
             ),
         )
         self.cluster.coordinator.db.add_customer("user")
+        self.live_channel_names = [spec.name for spec in lineup]
+        self.live_sources: List[LiveSource] = []
+        for c, spec in enumerate(lineup):
+            source = LiveSource(self.sim, self.cluster, spec.source_host)
+            source.add_feed(
+                spec.name,
+                packetize_cbr(
+                    MpegEncoder(
+                        seed=self.chaos_config.content_seed + 100 + c
+                    ).bitstream(self.chaos_config.live_length),
+                    MPEG1_RATE, 1024,
+                ),
+            )
+            self.live_sources.append(source)
         self.violations: List[Violation] = []
         self.stats: Dict[str, int] = {}
         self.viewers: List[SimpleNamespace] = []
+        self.surfers: List[ChannelSurfer] = []
         self._viewer_seq = 0
+        self._surfer_seq = 0
         self._base_latency = self.cluster.delivery_net.latency
         self._base_disk_params = [
             (drive, drive.params)
@@ -412,6 +457,37 @@ class ChaosCluster:
         ledger.charge_patch(GHOST_CHANNEL, 1, MPEG1_RATE, False)
         self._bump("bugs_injected")
 
+    def _op_live_ingest_stall(self, op: FaultOp) -> None:
+        """One channel's feed goes silent, then resumes shifted."""
+        if not self.live_sources:
+            return
+        source = self.live_sources[op.args["channel"] % len(self.live_sources)]
+        # ``at 0.0`` arms the stall for the next packet of whatever
+        # broadcast is in flight (one stall per broadcast at most).
+        source.stall(0.0, op.args["duration"])
+        self._bump("ingest_stalls")
+
+    def _op_surf_storm(self, op: FaultOp) -> None:
+        """A burst of channel surfers floods the live lineup."""
+        if not self.live_channel_names:
+            return
+        self._bump("surf_storms")
+        for i in range(op.args["surfers"]):
+            name = f"surf{self._surfer_seq}"
+            self._surfer_seq += 1
+            try:
+                # Construction dials the Coordinator, like a real tuner.
+                surfer = ChannelSurfer(
+                    self.sim, self.cluster, name, self.live_channel_names,
+                    hops=op.args["hops"], dwell_mean=0.8, tune_timeout=1.5,
+                    rewind_seconds=2.0, seed=op.args["pick"] + i,
+                )
+            except CalliopeError:
+                self._bump("joins_failed")
+                continue
+            surfer.start()
+            self.surfers.append(surfer)
+
     # -- checking and the drain ----------------------------------------------
 
     def _periodic_checks(self):
@@ -457,6 +533,13 @@ class ChaosCluster:
             except CalliopeError:
                 pass
         sim.run(until=horizon + 2.0)
+        manager = self.cluster.coordinator.live_manager
+        if manager is not None:
+            # A channel still on the air (a stalled feed, or one the
+            # restarted Coordinator re-opened) is signed off now so the
+            # fan-out can drain inside the window.
+            for channel_id in sorted(manager.channels):
+                manager.stop_channel(channel_id)
         for viewer in self.viewers:
             viewer.client.close_session()
         sim.run(until=horizon + self.chaos_config.drain)

@@ -20,7 +20,8 @@ tentpoles added — admission, multicast ledger + subscriber accounting,
 cache pin/refcount balance, failover group identity, storage
 allocator/free-map consistency, per-stream delivery-deadline
 accounting, edge-lane charge isolation (no double charge between an
-edge serve and the MSU books), and recovery reconciliation.
+edge serve and the MSU books), live-channel ring-window bounds plus
+no-viewer-starves coverage, and recovery reconciliation.
 """
 
 from __future__ import annotations
@@ -535,7 +536,154 @@ def check_edge_drain(cluster) -> List[str]:
     return problems
 
 
-# -- 9. coordinator recovery reconciliation ----------------------------------
+# -- 9. live channels and time-shift rings -----------------------------------
+
+
+def check_live_ring_bounds(cluster) -> List[str]:
+    """Ring-window bounds (any instant).
+
+    The reclaim path may only trim pages that are both outside the
+    configured window *and* behind every active reader: the resident
+    span never drops below ``ring_blocks`` while the file is longer
+    than the window, a keep-everything (DVR) channel is never trimmed
+    at all, and no reader is ever left positioned on a reclaimed page.
+    """
+    problems = []
+    for msu in cluster.msus:
+        if not msu.up:
+            continue
+        for live in msu.live.values():
+            handle = live.handle
+            if live.ring_blocks <= 0:
+                if handle.trimmed:
+                    problems.append(
+                        f"{msu.name}: DVR channel {live.channel_id} trimmed "
+                        f"{handle.trimmed} pages of a keep-everything file"
+                    )
+                continue
+            floor = max(0, handle.nblocks - live.ring_blocks)
+            if handle.trimmed > floor:
+                problems.append(
+                    f"{msu.name}: channel {live.channel_id} trimmed to "
+                    f"{handle.trimmed}, past the window floor {floor} "
+                    f"(span {handle.live_span} < ring {live.ring_blocks})"
+                )
+            for stream in msu.iop.play_streams:
+                if stream.handle is handle and stream.next_page < handle.trimmed:
+                    problems.append(
+                        f"{msu.name}: channel {live.channel_id} reclaimed "
+                        f"page {stream.next_page} under reader "
+                        f"{stream.stream_id} (trimmed to {handle.trimmed})"
+                    )
+    return problems
+
+
+def check_live_viewers(cluster) -> List[str]:
+    """No live viewer starves (any instant).
+
+    Every subscriber of an on-air channel must be joined to its
+    multicast group (or fan-out packets never reach them), the fan-out
+    stream itself must still be pacing in the IOP, and the disk process
+    feeding it must be alive — a dead disk process starves every viewer
+    silently.  Coordinator-side, the live manager's maps must agree
+    pairwise, like the multicast manager's.
+    """
+    problems = []
+    groups = getattr(cluster.delivery_net, "_groups", {})
+    for msu in cluster.msus:
+        if not msu.up:
+            continue
+        for ch in msu.channels.values():
+            if not ch.stream.live:
+                continue
+            if ch.stream not in msu.iop.play_streams:
+                problems.append(
+                    f"{msu.name}: live channel {ch.channel_id} fan-out "
+                    f"stream {ch.stream.stream_id} missing from the IOP"
+                )
+            members = groups.get(ch.mcast_host, set())
+            for group_id in sorted(ch.subscribers):
+                _, address = ch.subscribers[group_id]
+                if tuple(address) not in members:
+                    problems.append(
+                        f"{msu.name}: live channel {ch.channel_id} "
+                        f"subscriber {group_id} at {address} is not in "
+                        f"multicast group {ch.mcast_host}"
+                    )
+        if msu.live:
+            for disk_id in sorted(msu.disk_processes):
+                proc = msu.disk_processes[disk_id]
+                if not proc._proc.is_alive:
+                    problems.append(
+                        f"{msu.name}/{disk_id}: disk process dead under "
+                        f"{len(msu.live)} live channel(s)"
+                    )
+    manager = getattr(cluster.coordinator, "live_manager", None)
+    if manager is None:
+        return problems
+    for group_id, channel_id in manager._channel_groups.items():
+        record = manager.channels.get(channel_id)
+        if record is None or record.group_id != group_id:
+            problems.append(
+                f"live fan-out group {group_id} maps to channel "
+                f"{channel_id} which is gone or owned by another group"
+            )
+    for group_id, channel_id in manager._subscriber_groups.items():
+        record = manager.channels.get(channel_id)
+        if record is None or group_id not in record.subscribers:
+            problems.append(
+                f"live subscriber group {group_id} maps to channel "
+                f"{channel_id} which is gone or does not list it"
+            )
+    for channel_id, record in manager.channels.items():
+        if manager._channel_groups.get(record.group_id) != channel_id:
+            problems.append(
+                f"live channel {channel_id}: owner group {record.group_id} "
+                f"not registered back to it"
+            )
+        if manager._by_name.get(record.content_name) != channel_id:
+            problems.append(
+                f"live channel {channel_id}: name {record.content_name!r} "
+                f"not registered back to it"
+            )
+        for group_id in record.subscribers:
+            if manager._subscriber_groups.get(group_id) != channel_id:
+                problems.append(
+                    f"live channel {channel_id}: subscriber {group_id} not "
+                    f"registered back to it"
+                )
+    return problems
+
+
+def check_live_drain(cluster) -> List[str]:
+    """After drain every live channel is off the air everywhere."""
+    problems = []
+    manager = getattr(cluster.coordinator, "live_manager", None)
+    if manager is not None:
+        if manager.channels:
+            problems.append(
+                f"{len(manager.channels)} live channel records outlive "
+                f"the drain: {sorted(manager.channels)}"
+            )
+        for name, table in (
+            ("fan-out", manager._channel_groups),
+            ("ingest", manager._ingest_groups),
+            ("subscriber", manager._subscriber_groups),
+        ):
+            if table:
+                problems.append(
+                    f"live {name} groups outlive the drain: {sorted(table)}"
+                )
+    for msu in cluster.msus:
+        if msu.up and msu.live:
+            problems.append(
+                f"{msu.name}: {len(msu.live)} live channel states outlive "
+                f"the drain"
+            )
+    return problems
+
+
+# -- 10. coordinator recovery reconciliation ----------------------------------
 
 
 def check_recovery_reconciliation(cluster) -> List[str]:
@@ -665,6 +813,9 @@ def builtin_registry() -> InvariantRegistry:
     registry.register("edge-books", check_edge_books, "both")
     registry.register("edge-cache-balance", check_edge_cache_balance, "both")
     registry.register("edge-drain", check_edge_drain, "drain")
+    registry.register("live-ring-bounds", check_live_ring_bounds, "both")
+    registry.register("live-viewers", check_live_viewers, "both")
+    registry.register("live-drain", check_live_drain, "drain")
     registry.register(
         "recovery-reconciliation", check_recovery_reconciliation, "drain"
     )

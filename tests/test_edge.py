@@ -196,3 +196,142 @@ class TestFailoverMissPath:
         group = coord.groups[view.group_id]
         assert all(not a.edge_name for a in group.allocations.values())
         assert all(a.msu_name == "msu1" for a in group.allocations.values())
+
+
+class TestEdgeSplice:
+    """The no-channel-slot fall-through: edge prefix + unicast tail."""
+
+    def _edged_mcast(self):
+        from repro.cache.manager import CacheConfig
+        from repro.multicast import MulticastConfig
+
+        sim = Simulator()
+        cluster = CalliopeCluster(
+            sim,
+            ClusterConfig(
+                n_msus=1, ibtree_config=SMALL,
+                multicast=MulticastConfig(batch_window=0.2, patch_horizon=2.0),
+                edge=EDGE, cache=CacheConfig(),
+            ),
+        )
+        cluster.coordinator.db.add_customer("user")
+        cluster.load_content("movie", "mpeg1", make_packets(30.0))
+        return sim, cluster
+
+    def test_splice_serves_play_when_no_channel_slot(self):
+        sim, cluster = self._edged_mcast()
+        coord = cluster.coordinator
+        placement = coord.placement
+        proxy = cluster.edges[0]
+        placement.note_request("movie")
+        sim.run(until=1.0)
+        assert placement.edges[proxy.name].pinned.get("movie", 0) > 0
+
+        # A leader channel holds the title active on its home disk.
+        leader = open_client(sim, cluster, name="a")
+        start_stream(sim, leader, "movie", "tv")
+        mcast = coord.channel_manager
+        assert len(mcast.channels) == 1
+
+        # Exhaust the disk's raw bandwidth: no new channel is placeable,
+        # but the cache-covered unicast second chance still is.
+        entry = coord.db.contents["movie"]
+        ctype = coord.types.get("mpeg1")
+        while coord.admission.place_channel(entry, ctype) is not None:
+            pass
+
+        # Past the prefix-stretched patch horizon nothing is joinable
+        # either, so without the splice this viewer would be parked.
+        sim.run(until=8.0)
+        viewer = open_client(sim, cluster, name="b")
+        view = start_stream(sim, viewer, "movie", "tv")
+        assert view.ready_streams
+        assert mcast.edge_spliced == 1
+        assert mcast.fallbacks == 0
+        assert placement.prefix_serves == 1
+        assert coord.admission.cache_admitted >= 1
+        # The tail rides the cache; the opening pages come off the edge.
+        group = coord.groups[view.group_id]
+        tail = [a for a in group.allocations.values() if not a.edge_name]
+        assert len(tail) == 1 and tail[0].cache_covered
+        before = viewer.ports["tv"].stats.packets
+        sim.run(until=sim.now + 3.0)
+        assert viewer.ports["tv"].stats.packets > before
+
+    def test_splice_unavailable_without_prefix_parks_request(self):
+        sim, cluster = self._edged_mcast()
+        coord = cluster.coordinator
+        leader = open_client(sim, cluster, name="a")
+        start_stream(sim, leader, "movie", "tv")
+        entry = coord.db.contents["movie"]
+        ctype = coord.types.get("mpeg1")
+        while coord.admission.place_channel(entry, ctype) is not None:
+            pass
+        sim.run(until=8.0)  # nothing pinned: plan_prefix misses
+        viewer = open_client(sim, cluster, name="b")
+        proc = sim.process(
+            _play_only(sim, viewer, "movie", "tv")
+        )
+        sim.run(until=sim.now + 2.0)
+        mcast = coord.channel_manager
+        assert mcast.edge_spliced == 0
+        assert mcast.fallbacks == 1
+        assert proc.is_alive  # parked on the queue, still waiting
+
+
+def _play_only(sim, client, title, port):
+    yield from client.register_port(port, "mpeg1")
+    yield from client.play(title, port)
+
+
+class TestIntervalWindowSeeding:
+    """begin_serve seeds a rideable window when its span is resident."""
+
+    def _pinned(self):
+        sim, cluster, packets = build_edged()
+        cluster.load_content("movie", "mpeg1", packets)
+        coord = cluster.coordinator
+        placement = coord.placement
+        placement.note_request("movie")
+        sim.run(until=1.0)
+        proxy = cluster.edges[0]
+        assert placement.edges[proxy.name].pinned.get("movie", 0) == 48
+        return sim, cluster, coord, placement, proxy
+
+    def test_resident_span_seeds_window_at_begin_serve(self):
+        sim, cluster, coord, placement, proxy = self._pinned()
+        entry = coord.db.contents["movie"]
+        ctype = coord.types.get("mpeg1")
+        alloc = coord.admission.place_edge(entry, ctype, proxy.name)
+        # The serve's whole span is pinned: the window is rideable the
+        # moment the serve *starts*, not only at serve_done.
+        placement.begin_serve(
+            proxy.name, 900, 901, entry, 0, 48, ctype.bandwidth_rate,
+            "prefix", ("b", 1), alloc,
+        )
+        window = placement.recent[proxy.name]["movie"]
+        assert window[0] == 48
+        assert window[1] > sim.now
+        # A planless client can now ride it as an interval hit.
+        placement.edges[proxy.name].pinned.pop("movie")
+        plan = placement.plan_prefix(entry, ctype, "b")
+        assert plan is not None and plan[2] == "interval"
+
+    def test_unresident_span_waits_for_serve_done(self):
+        sim, cluster, coord, placement, proxy = self._pinned()
+        entry = coord.db.contents["movie"]
+        ctype = coord.types.get("mpeg1")
+        alloc = coord.admission.place_edge(entry, ctype, proxy.name)
+        # End page beyond the pinned span: nothing is seeded up front...
+        placement.begin_serve(
+            proxy.name, 900, 901, entry, 0, 60, ctype.bandwidth_rate,
+            "interval", ("b", 1), alloc,
+        )
+        assert "movie" not in placement.recent.get(proxy.name, {})
+        # ...and a patch serve never seeds, even when fully resident.
+        alloc2 = coord.admission.place_edge(entry, ctype, proxy.name)
+        placement.begin_serve(
+            proxy.name, 902, 903, entry, 0, 32, ctype.bandwidth_rate,
+            "patch", ("b", 1), alloc2,
+        )
+        assert "movie" not in placement.recent.get(proxy.name, {})

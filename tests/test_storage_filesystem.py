@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import OutOfSpaceError, StorageError
 from repro.hardware import Machine, MachineParams
 from repro.sim import Simulator
 from repro.storage import MsuFileSystem, RawDisk, SpanVolume
+from repro.storage.layout import StripedVolume
 from tests.conftest import run_process
 
 BLOCK = 4096  # small blocks keep the tests quick
@@ -112,6 +113,191 @@ class TestReservations:
         handle = fs.create("rec", reserve_blocks=2)
         fs.finish_recording(handle)
         assert fs.finish_recording(handle) == 0
+
+
+def _page(i: int) -> bytes:
+    """A full, recognizable data page for page index ``i``."""
+    return bytes([i % 251]) * BLOCK
+
+
+class TestAppendWhileReading:
+    """A reader polling at the tail of a file an appender is growing.
+
+    This is the live-ingest shape: the RecordStream appends pages while
+    the fan-out (and any time-shift patch) follows the tail.  A page
+    must only become visible once its write completed, and everything a
+    reader is handed must match what the writer put down — on a single
+    spanned disk and across a stripe boundary.
+    """
+
+    def _race(self, sim, fs, handle, total, reader_lag=0.0):
+        seen = {}
+        torn = []
+
+        def writer():
+            for i in range(total):
+                yield from handle.append_block(_page(i))
+                yield sim.timeout(0.003)
+
+        def reader():
+            next_page = 0
+            while next_page < total:
+                if handle.nblocks <= next_page:
+                    # At the tail: poll, exactly like a tail-follower's
+                    # duty cycle waiting for the ingest to advance.
+                    yield sim.timeout(0.001)
+                    continue
+                data = yield from handle.read_block(next_page)
+                seen[next_page] = data
+                if data != _page(next_page):
+                    torn.append(next_page)
+                next_page += 1
+                if reader_lag:
+                    yield sim.timeout(reader_lag)
+
+        sim.process(writer(), name="writer")
+        sim.process(reader(), name="reader")
+        sim.run(until=60.0)
+        assert len(seen) == total
+        assert torn == []
+
+    def test_reader_follows_growing_tail(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        fs = MsuFileSystem(SpanVolume(RawDisk(machine.disks[0]), BLOCK))
+        handle = fs.create("live", "mpeg1")
+        self._race(sim, fs, handle, total=24)
+        assert handle.nblocks == 24
+
+    def test_reader_follows_tail_across_stripe_boundary(self, sim):
+        machine = Machine(sim, MachineParams(disks_per_hba=(2,)))
+        volume = StripedVolume(
+            [RawDisk(machine.disks[0]), RawDisk(machine.disks[1])], BLOCK
+        )
+        fs = MsuFileSystem(volume)
+        handle = fs.create("live", "mpeg1")
+        # Every appended page alternates stripes, so the reader crosses
+        # a stripe boundary on every step while appends are in flight.
+        self._race(sim, fs, handle, total=24, reader_lag=0.002)
+        assert {volume.locate(b)[0] for b in handle.blocks} == {
+            volume.disks[0], volume.disks[1]
+        }
+
+    def test_unwritten_page_never_visible(self, sim):
+        """nblocks must not count a page whose write is still in flight."""
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        fs = MsuFileSystem(SpanVolume(RawDisk(machine.disks[0]), BLOCK))
+        handle = fs.create("live", "mpeg1")
+        observed = []
+
+        def writer():
+            yield from handle.append_block(_page(0))
+
+        def watcher():
+            # Sample the metadata at a finer grain than the disk write.
+            while sim.now < 5.0:
+                observed.append(handle.nblocks)
+                if handle.nblocks:
+                    return
+                yield sim.timeout(1e-5)
+
+        sim.process(writer(), name="writer")
+        sim.process(watcher(), name="watcher")
+        sim.run(until=10.0)
+        # The watcher saw the file empty while the write was in flight,
+        # then exactly one whole page — never a partially-landed one.
+        assert observed[0] == 0
+        assert observed[-1] == 1
+
+
+class TestRingWindow:
+    """Time-shift ring semantics: trims, stable indices, recycling."""
+
+    def test_trim_keeps_absolute_indices(self, sim, fs):
+        handle = fs.create("ring", "mpeg1")
+        for i in range(8):
+            fs.append_block_sync(handle, _page(i))
+        assert fs.trim_file_front(handle, 3) == 3
+        assert handle.trimmed == 3
+        assert handle.nblocks == 8
+        assert handle.live_span == 5
+        # Absolute page 5 still reads as page 5 after the trim...
+        assert fs.read_block_sync(handle, 5) == _page(5)
+        # ...and a reclaimed page raises a recognizable error.
+        with pytest.raises(StorageError, match="reclaimed"):
+            fs.read_block_sync(handle, 2)
+
+    def test_trim_never_reclaims_under_reader(self, sim):
+        """Reclaim-under-active-reader regression.
+
+        A tail-following reader interleaves with appends and trims whose
+        floor is clamped two pages behind it (the MSU's reclaim rule).
+        Every page the reader asks for must still be resident — the trim
+        must never win the race against an in-flight read.
+        """
+        machine = Machine(sim, MachineParams(disks_per_hba=(1,)))
+        fs = MsuFileSystem(SpanVolume(RawDisk(machine.disks[0]), BLOCK))
+        handle = fs.create("ring", "mpeg1", reserve_blocks=6)
+        total, window = 30, 4
+        state = {"next": 0}
+        got = []
+
+        def writer():
+            for i in range(total):
+                yield from handle.append_block(_page(i))
+                # The reclaim rule: stay inside the window AND at least
+                # two pages behind the slowest reader.
+                floor = min(
+                    handle.nblocks - window, max(0, state["next"] - 2)
+                )
+                if floor > handle.trimmed:
+                    fs.trim_file_front(handle, floor)
+                yield sim.timeout(0.004)
+
+        def reader():
+            while state["next"] < total:
+                if handle.nblocks <= state["next"]:
+                    yield sim.timeout(0.002)
+                    continue
+                page = state["next"]
+                data = yield from handle.read_block(page)
+                got.append(data == _page(page))
+                state["next"] += 1
+                yield sim.timeout(0.006)  # slower than the appender
+
+        sim.process(writer(), name="writer")
+        sim.process(reader(), name="reader")
+        sim.run(until=60.0)
+        assert len(got) == total and all(got)
+        assert handle.trimmed > 0  # the ring actually reclaimed pages
+
+    def test_ring_recycles_its_reservation(self, sim, fs):
+        """A ring appends forever within its fixed reserved budget.
+
+        Regression: trimmed blocks must refill the recording's own
+        reservation — without the refill, any broadcast longer than the
+        reserve estimate dies with "reservation exhausted".
+        """
+        handle = fs.create("ring", "mpeg1", reserve_blocks=5)
+        free_before = fs.allocator.free_blocks
+        window = 3
+        for i in range(40):  # 8x the reservation
+            fs.append_block_sync(handle, _page(i))
+            if handle.live_span > window:
+                fs.trim_file_front(handle, handle.nblocks - window)
+        assert handle.nblocks == 40
+        assert handle.live_span == window
+        # The general pool never paid for the overrun...
+        assert fs.allocator.free_blocks == free_before
+        # ...and the unused remainder still comes back at finish.
+        assert fs.finish_recording(handle) == 5 - window
+        assert fs.allocator.reserved_blocks == 0
+
+    def test_exhausted_reservation_without_trim_still_raises(self, sim, fs):
+        handle = fs.create("rec", "mpeg1", reserve_blocks=2)
+        fs.append_block_sync(handle, _page(0))
+        fs.append_block_sync(handle, _page(1))
+        with pytest.raises(OutOfSpaceError):
+            fs.append_block_sync(handle, _page(2))
 
 
 class TestPersistence:

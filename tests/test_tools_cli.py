@@ -55,3 +55,36 @@ class TestEdgeSubcommand:
         assert "placement loop" in out
         # The Zipf head gets pinned within a 10s window.
         assert "title0" in out
+
+
+class TestLiveSubcommand:
+    def test_live_tv_is_an_experiment_choice(self):
+        assert "live-tv" in EXPERIMENTS
+        args = build_parser().parse_args(["live-tv"])
+        assert args.experiment == "live-tv"
+
+    def test_live_parser_defaults(self):
+        from repro.tools.cli import build_live_parser
+
+        args = build_live_parser().parse_args([])
+        assert args.channels == 3
+        assert args.surfers == 55
+        assert args.ring == 5.0
+        assert args.chaos_seeds == "61..63"
+
+    def test_live_reports_surf_run(self, capsys):
+        assert main(["live", "--channels", "2", "--surfers", "8",
+                     "--duration", "10", "--chaos-seeds", ""]) == 0
+        out = capsys.readouterr().out
+        assert "2 channels ingesting" in out
+        assert "viewers/disk" in out
+        assert "rewinds" in out
+        assert "channels opened 2 / closed 2" in out
+        assert "drain violations 0" in out
+
+    def test_live_chaos_sweep_reports_verdicts(self, capsys):
+        assert main(["live", "--channels", "2", "--surfers", "6",
+                     "--duration", "8", "--chaos-seeds", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "1/1 seeds with zero violations" in out
