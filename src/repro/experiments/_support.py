@@ -86,7 +86,7 @@ def run_streaming_workload(
         if sim.peek() > guard:
             raise RuntimeError("streams failed to buffer within the settle window")
         sim.step()
-    msu.iop.collector._late_seconds.clear()
+    msu.iop.collector.reset()
     stagger = None
     if stagger_span > 0:
         rng = np.random.default_rng(seed)

@@ -75,7 +75,7 @@ def _run_one(n_msus: int, per_msu: int, duration: float, seed: int) -> ScalePoin
     start = sim.now
     sent_before = [msu.iop.packets_sent for msu in cluster.msus]
     for msu in cluster.msus:
-        msu.iop.collector._late_seconds.clear()
+        msu.iop.collector.reset()
     cpu_before = cluster.coordinator.machine.cpu.busy_time
     sim.run(until=start + duration)
     total_bytes = sum(

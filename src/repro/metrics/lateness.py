@@ -3,12 +3,19 @@
 The paper plots, per workload, the cumulative percent of packets delivered
 within a given number of milliseconds of their deadline, in 1 ms bins
 (early or on-time packets land in bin 0).
+
+Accumulation is *lazy* (DESIGN.md §13): the collector stores raw samples —
+and, for coarsened pacing bursts, compact arithmetic *ramps* of samples —
+and only materializes the numpy series when a statistic is read.  A burst
+of N packets sent together against evenly spaced deadlines therefore costs
+O(1) space and time to record instead of N appends, which is what lets the
+city-scale runs keep exact per-packet accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -37,28 +44,72 @@ class LatenessCdf:
 class LatenessCollector:
     """Accumulates (deadline, actual send time) pairs for one workload."""
 
+    __slots__ = ("name", "_singles", "_ramps", "_count", "_materialized")
+
     def __init__(self, name: str = ""):
         self.name = name
-        self._late_seconds: List[float] = []
+        self._singles: List[float] = []
+        #: (first_late, step, n) arithmetic runs from coarsened bursts.
+        self._ramps: List[Tuple[float, float, int]] = []
+        self._count = 0
+        self._materialized = None  # cached numpy array of all samples
 
     def record(self, deadline: float, sent_at: float) -> None:
         """Record one packet send against its schedule deadline."""
-        self._late_seconds.append(sent_at - deadline)
+        self._singles.append(sent_at - deadline)
+        self._count += 1
+        self._materialized = None
+
+    def record_ramp(self, first_late: float, step: float, n: int) -> None:
+        """Record ``n`` packets whose lateness forms an arithmetic run.
+
+        A coarsened burst sends packets ``i = 0..n-1`` at one instant
+        against deadlines spaced ``-step`` apart, so packet ``i`` is
+        ``first_late + i * step`` seconds late (usually negative: early).
+        Stored as a compact run; expanded only when a series is read.
+        """
+        if n <= 0:
+            raise ValueError(f"ramp length must be positive: {n}")
+        self._ramps.append((first_late, step, n))
+        self._count += n
+        self._materialized = None
+
+    def reset(self) -> None:
+        """Drop all accumulated samples (experiment warm-up boundary)."""
+        self._singles.clear()
+        self._ramps.clear()
+        self._count = 0
+        self._materialized = None
 
     def __len__(self) -> int:
-        return len(self._late_seconds)
+        return self._count
+
+    def _samples(self) -> np.ndarray:
+        """Materialize every sample (singles + expanded ramps), cached."""
+        if self._materialized is None:
+            parts = []
+            if self._singles:
+                parts.append(np.asarray(self._singles, dtype=float))
+            for first, step, n in self._ramps:
+                parts.append(first + step * np.arange(n, dtype=float))
+            if parts:
+                self._materialized = np.concatenate(parts)
+            else:
+                self._materialized = np.empty(0, dtype=float)
+        return self._materialized
 
     @property
     def late_seconds(self) -> List[float]:
         """Raw signed lateness samples (negative = early)."""
-        return self._late_seconds
+        return list(self._samples())
 
     def cdf(self, max_ms: int = 1000) -> LatenessCdf:
         """Build the Graph 1/2-style cumulative distribution."""
-        n = len(self._late_seconds)
+        samples = self._samples()
+        n = len(samples)
         if n == 0:
             return LatenessCdf(np.full(max_ms + 1, 100.0), 0, 0.0)
-        late_ms = np.maximum(0.0, np.array(self._late_seconds) * 1000.0)
+        late_ms = np.maximum(0.0, samples * 1000.0)
         bins = np.minimum(late_ms.astype(int), max_ms)
         hist = np.bincount(bins, minlength=max_ms + 1)
         percent = 100.0 * np.cumsum(hist) / n
@@ -66,16 +117,17 @@ class LatenessCollector:
 
     def percent_within(self, ms_late: float) -> float:
         """Percent of packets sent no more than ``ms_late`` ms late."""
-        if not self._late_seconds:
+        samples = self._samples()
+        if len(samples) == 0:
             return 100.0
-        arr = np.array(self._late_seconds) * 1000.0
-        return 100.0 * float(np.mean(arr <= ms_late))
+        return 100.0 * float(np.mean(samples * 1000.0 <= ms_late))
 
     def max_lateness_ms(self) -> float:
         """Worst lateness observed (>= 0)."""
-        if not self._late_seconds:
+        samples = self._samples()
+        if len(samples) == 0:
             return 0.0
-        return max(0.0, max(self._late_seconds) * 1000.0)
+        return max(0.0, float(samples.max()) * 1000.0)
 
     def audit(self) -> List[str]:
         """Deadline-accounting anomalies, as strings.
@@ -84,8 +136,9 @@ class LatenessCollector:
         lateness means a stream's schedule anchor went bad upstream, which
         the CDF math would otherwise silently absorb.
         """
-        bad = [s for s in self._late_seconds if not np.isfinite(s)]
-        if bad:
+        samples = self._samples()
+        bad = samples[~np.isfinite(samples)]
+        if len(bad):
             return [f"{self.name or 'collector'}: {len(bad)} non-finite "
                     f"lateness samples (first: {bad[0]!r})"]
         return []

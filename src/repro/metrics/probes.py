@@ -31,7 +31,13 @@ class Sample:
 
 
 class CounterProbe:
-    """Samples a monotone counter every ``period`` seconds."""
+    """Samples a monotone counter every ``period`` seconds.
+
+    Accumulation is lazy (DESIGN.md §13): each wakeup appends three floats
+    to flat arrays; the :class:`Sample` series is materialized only when
+    read, so a probe ticking through a city-scale run costs no per-window
+    object churn.
+    """
 
     def __init__(
         self,
@@ -46,21 +52,36 @@ class CounterProbe:
         self.counter = counter
         self.period = period
         self.name = name
-        self.samples: List[Sample] = []
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        self._deltas: List[float] = []
         self._proc = sim.process(self._run(), name=f"probe:{name}")
 
     def _run(self) -> Generator:
         last_time = self.sim.now
         last_value = float(self.counter())
         while True:
-            yield self.sim.timeout(self.period)
+            yield self.sim.sleep(self.period)
             value = float(self.counter())
-            self.samples.append(Sample(last_time, self.sim.now, value - last_value))
+            self._starts.append(last_time)
+            self._ends.append(self.sim.now)
+            self._deltas.append(value - last_value)
             last_time, last_value = self.sim.now, value
+
+    @property
+    def samples(self) -> List[Sample]:
+        """The completed sampling windows, materialized on read."""
+        return [
+            Sample(s, e, d)
+            for s, e, d in zip(self._starts, self._ends, self._deltas)
+        ]
 
     def rates(self) -> List[float]:
         """Per-window rates (delta/second)."""
-        return [s.rate for s in self.samples]
+        return [
+            d / (e - s) if e > s else 0.0
+            for s, e, d in zip(self._starts, self._ends, self._deltas)
+        ]
 
     def mean_rate(self) -> float:
         """Average rate across completed windows."""

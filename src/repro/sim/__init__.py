@@ -16,6 +16,8 @@ wall-clock time or global randomness is consulted anywhere.
 """
 
 from repro.sim.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
     AllOf,
     AnyOf,
     Event,
@@ -25,16 +27,21 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.resources import PriorityResource, Resource, Store
+from repro.sim.wheel import HeapScheduler, TimerWheel
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Event",
+    "HeapScheduler",
     "Interrupt",
     "PriorityResource",
     "Process",
     "Resource",
     "Simulator",
     "Store",
+    "TimerWheel",
     "Timeout",
 ]

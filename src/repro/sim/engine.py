@@ -17,12 +17,26 @@ Example::
     sim.process(worker(sim, results))
     sim.run()
     assert results == [1.5]
+
+Two interchangeable schedulers sit behind :meth:`Simulator.schedule`:
+
+* ``heap`` — the reference single-binary-heap queue (the seed engine).
+* ``wheel`` — a bucketed timer wheel (:mod:`repro.sim.wheel`) that turns
+  most scheduling into O(1) list appends for the dense near-future band.
+
+Both pop in exactly global ``(time, seq)`` order, so every run is
+bit-for-bit identical under either engine; ``tests/test_engine_equivalence.py``
+holds them to that with golden traces and a Hypothesis heap oracle.  Select
+with ``Simulator(engine=...)`` or the ``CALLIOPE_ENGINE`` environment
+variable (default: ``wheel``).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.wheel import HeapScheduler, TimerWheel
 
 __all__ = [
     "Event",
@@ -32,7 +46,19 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Simulator",
+    "DEFAULT_ENGINE",
+    "ENGINES",
 ]
+
+#: The scheduler used when neither the constructor nor ``CALLIOPE_ENGINE``
+#: says otherwise.  The wheel became the default once the equivalence suite
+#: proved it schedule-identical to the reference heap.
+DEFAULT_ENGINE = "wheel"
+
+ENGINES = ("heap", "wheel")
+
+#: Fired pooled timeouts kept for reuse, per simulator.
+_TIMEOUT_POOL_MAX = 256
 
 
 class Interrupt(Exception):
@@ -56,7 +82,7 @@ class Event:
     ``yield``\\ ing it.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_late", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -64,6 +90,7 @@ class Event:
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._triggered = False
+        self._late: Optional[list] = None
         self.name = name
 
     @property
@@ -107,11 +134,21 @@ class Event:
         """Register ``fn(event)`` to run when the event fires.
 
         If the event has already fired, the callback runs at the current
-        simulation time (still in deterministic scheduling order).
+        simulation time.  Late registrations made at the same instant are
+        delivered together, in registration order, in a single queue slot —
+        the same batch semantics a pending event's callbacks get — so an
+        interleaved ``schedule(0.0, ...)`` cannot split the event's value
+        delivery.  (The seed engine scheduled each late callback as its own
+        queue entry, which made delivery order depend on incidental
+        sequence-number interleaving.)
         """
         if self.callbacks is None:
-            # Already fired: deliver asynchronously for determinism.
-            self.sim.schedule(0.0, fn, self)
+            late = self._late
+            if late is None:
+                self._late = [fn]
+                self.sim.schedule(0.0, self._fire_late)
+            else:
+                late.append(fn)
         else:
             self.callbacks.append(fn)
 
@@ -121,6 +158,12 @@ class Event:
             for fn in callbacks:
                 fn(self)
 
+    def _fire_late(self) -> None:
+        late, self._late = self._late, None
+        if late:
+            for fn in late:
+                fn(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
         label = f" {self.name!r}" if self.name else ""
@@ -128,17 +171,41 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` seconds after creation."""
+    """An event that fires ``delay`` seconds after creation.
 
-    __slots__ = ()
+    A timeout obtained from :meth:`Simulator.sleep` is *pooled*: after its
+    callbacks run it is scrubbed and recycled, so steady-state pacing loops
+    do not allocate a fresh event per wakeup.  Pooled timeouts must be
+    yielded and forgotten — never stored across the yield.
+    """
+
+    __slots__ = ("_pooled",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
+        self._pooled = False
         self._triggered = True
         self._value = value
         sim._post(self, delay)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+        if self._pooled and self._late is None:
+            # (a pending late batch means someone re-registered on us while
+            # we fired — leave this instance to deliver it, don't recycle)
+            pool = self.sim._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_MAX:
+                self._pooled = False
+                self._triggered = False
+                self._value = None
+                self._exc = None
+                self.callbacks = []
+                pool.append(self)
 
 
 class _Join(Event):
@@ -187,11 +254,21 @@ class Process(Event):
         if self._triggered:
             return  # finished in the meantime; interrupt is moot
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if target is not None:
+            # Detach from the pending delivery: the live callback list for
+            # an unfired event, or the late batch for an already-fired one
+            # (leaving a stale _resume queued there would wake us a slot
+            # early if this process re-waits on the same event).
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            elif target._late is not None:
+                try:
+                    target._late.remove(self._resume)
+                except ValueError:
+                    pass
         self._waiting_on = None
         self._step(exc=exc)
 
@@ -287,18 +364,48 @@ def AnyOf(sim: "Simulator", events: Iterable[Event]) -> Event:
     return done
 
 
+def _resolve_engine(engine: Optional[str]) -> str:
+    name = engine or os.environ.get("CALLIOPE_ENGINE") or DEFAULT_ENGINE
+    name = name.strip().lower()
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r} (choose from {', '.join(ENGINES)})"
+        )
+    return name
+
+
 class Simulator:
     """The event loop: a clock plus a priority queue of pending events.
 
     Simultaneous events fire in scheduling order (stable via a sequence
-    counter) which makes every run bit-for-bit reproducible.
+    counter) which makes every run bit-for-bit reproducible — under either
+    scheduler.
+
+    ``engine`` picks the queue implementation (``"heap"`` or ``"wheel"``;
+    default from ``CALLIOPE_ENGINE``, falling back to the wheel).  ``trace``
+    may be set (also post-construction) to a callable receiving
+    ``(time, seq, fn, args)`` just before each entry executes; the
+    equivalence harness uses it to record golden schedules.
     """
 
-    def __init__(self):
+    def __init__(self, engine: Optional[str] = None,
+                 trace: Optional[Callable] = None):
         self._now = 0.0
-        self._queue: list = []  # (time, seq, kind, payload)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.engine = _resolve_engine(engine)
+        self._sched = HeapScheduler() if self.engine == "heap" else TimerWheel()
+        #: Observability hook: called with (time, seq, fn, args) per event.
+        self.trace = trace
+        #: Total queue entries executed (the E23 events/sec numerator).
+        self.events_executed = 0
+        self._timeout_pool: List[Timeout] = []
+        # -- coarsened-pacing contract (DESIGN.md §13) --------------------
+        #: Steady-state pacing loops (MSU IOP, NIC bursts, disk cache
+        #: copies) may batch up to this many per-packet wakeups into one.
+        #: 1 = the reference per-packet schedule; experiments opt in.
+        self.pacing_batch = 1
+        self._decoarsen_until = -float("inf")
 
     @property
     def now(self) -> float:
@@ -310,6 +417,24 @@ class Simulator:
         """The process currently executing, if any."""
         return self._active_process
 
+    # -- coarsened pacing ------------------------------------------------
+
+    def effective_batch(self) -> int:
+        """The pacing batch currently in force (1 while de-coarsened)."""
+        if self.pacing_batch <= 1 or self._now < self._decoarsen_until:
+            return 1
+        return self.pacing_batch
+
+    def decoarsen(self, hold: float = 1.0) -> None:
+        """Force per-packet pacing for ``hold`` seconds from now.
+
+        Fault injectors and VCR paths call this so coarse batching never
+        blurs the schedule around an interesting instant.
+        """
+        until = self._now + hold
+        if until > self._decoarsen_until:
+            self._decoarsen_until = until
+
     # -- scheduling ------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
@@ -317,7 +442,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+        self._sched.push(self._now + delay, self._seq, fn, args)
 
     def at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute time ``when`` (now, if past).
@@ -330,7 +455,7 @@ class Simulator:
 
     def _post(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event._fire, ()))
+        self._sched.push(self._now + delay, self._seq, event._fire, ())
 
     # -- factories -------------------------------------------------------
 
@@ -341,6 +466,27 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing after ``delay`` seconds."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled :meth:`timeout`: recycled after it fires.
+
+        The allocation-free fast path for pacing loops.  The returned
+        timeout must be yielded (or given callbacks) immediately and never
+        stored: once fired it is scrubbed and reused.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t._pooled = True
+            t._triggered = True
+            t._value = value
+            self._post(t, delay)
+            return t
+        t = Timeout(self, delay, value)
+        t._pooled = True
+        return t
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Spawn ``gen`` as a simulated process starting now."""
@@ -358,15 +504,18 @@ class Simulator:
 
     def step(self) -> None:
         """Fire the single next queued event."""
-        time, _seq, fn, args = heapq.heappop(self._queue)
+        time, seq, fn, args = self._sched.pop()
         if time < self._now:  # pragma: no cover - defensive
             raise RuntimeError("time ran backwards")
+        if self.trace is not None:
+            self.trace(time, seq, fn, args)
         self._now = time
+        self.events_executed += 1
         fn(*args)
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if none queued."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._sched.next_time()
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue is empty or the clock reaches ``until``.
@@ -375,13 +524,14 @@ class Simulator:
         ``until`` is given the clock is advanced to exactly ``until`` even if
         the queue drains earlier.
         """
+        sched = self._sched
         if until is None:
-            while self._queue:
+            while sched:
                 self.step()
         else:
             if until < self._now:
                 raise ValueError(f"until={until} is in the past (now={self._now})")
-            while self._queue and self._queue[0][0] <= until:
+            while sched.next_time() <= until:
                 self.step()
             self._now = until
         return self._now
@@ -390,12 +540,15 @@ class Simulator:
         """Run until ``event`` fires; return its value.
 
         Raises ``RuntimeError`` if the queue drains (or ``limit`` is hit)
-        before the event triggers — useful in tests to catch deadlock.
+        before the event triggers — useful in tests to catch deadlock.  An
+        entry scheduled *exactly at* ``limit`` still runs: the limit bounds
+        simulation time, it does not exclude its own instant.
         """
         while not event.triggered or event.callbacks is not None:
-            if not self._queue:
+            next_time = self._sched.next_time()
+            if next_time == float("inf"):
                 raise RuntimeError(f"simulation deadlocked waiting for {event!r}")
-            if limit is not None and self._queue[0][0] > limit:
+            if limit is not None and next_time > limit:
                 raise RuntimeError(f"exceeded limit={limit} waiting for {event!r}")
             self.step()
         return event.value

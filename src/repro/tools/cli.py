@@ -11,6 +11,7 @@ Usage::
     python -m repro.tools.cli recovery journal.json --replay
     python -m repro.tools.cli edge --edges 2 --duration 30
     python -m repro.tools.cli live --channels 3 --surfers 55
+    python -m repro.tools.cli --engine heap verify --seed 1..3
 
 Each experiment subcommand runs the corresponding runner and prints the
 same rows/series the paper reports (see EXPERIMENTS.md).  ``verify``
@@ -18,13 +19,19 @@ runs the chaos harness instead: seed-deterministic fault schedules with
 cross-subsystem invariant checking (DESIGN.md §9); a failing schedule is
 shrunk and written to a replayable repro file.  ``recovery`` inspects,
 replays or compacts a Coordinator journal file (DESIGN.md §10).
+
+``--engine {heap,wheel}`` is accepted anywhere on the command line (all
+subcommands included) and selects the simulation engine for the whole
+invocation by setting ``CALLIOPE_ENGINE`` (DESIGN.md §13); the default
+is the timer wheel.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -166,6 +173,19 @@ def _cluster_scale(duration: Optional[float]) -> str:
     return format_cluster_scale(run_cluster_scale(duration=duration or 20.0))
 
 
+def _city_scale(duration: Optional[float]) -> str:
+    from repro.experiments.city_scale import (
+        format_city_scale,
+        format_engine_bench,
+        run_city_scale,
+        run_engine_bench,
+    )
+
+    bench = format_engine_bench(run_engine_bench())
+    city = format_city_scale(run_city_scale(duration=duration or 5.0))
+    return bench + "\n\n" + city
+
+
 #: name -> (runner, paper reference)
 EXPERIMENTS: Dict[str, tuple] = {
     "table1": (_table1, "Table 1: baseline measurements"),
@@ -191,7 +211,42 @@ EXPERIMENTS: Dict[str, tuple] = {
     "coordinator-recovery": (
         _recovery, "§2.2 Coordinator WAL replay + reconciliation (extension)"
     ),
+    "city-scale": (
+        _city_scale, "abstract taken to 1000 MSUs / 100k viewers (E23, extension)"
+    ),
 }
+
+
+def _apply_engine(value: str) -> None:
+    from repro.sim import ENGINES
+
+    if value not in ENGINES:
+        raise SystemExit(
+            f"--engine must be one of: {', '.join(ENGINES)} (got {value!r})"
+        )
+    os.environ["CALLIOPE_ENGINE"] = value
+
+
+def _extract_engine(argv: List[str]) -> List[str]:
+    """Strip a global ``--engine`` flag from anywhere in ``argv``.
+
+    Handled before subcommand dispatch so every subcommand (verify,
+    recovery, edge, live, experiments) honours it without each parser
+    having to declare it.
+    """
+    out: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--engine":
+            value = next(it, None)
+            if value is None:
+                raise SystemExit("--engine requires a value (heap or wheel)")
+            _apply_engine(value)
+        elif arg.startswith("--engine="):
+            _apply_engine(arg.split("=", 1)[1])
+        else:
+            out.append(arg)
+    return out
 
 
 def _parse_seeds(spec: str) -> list:
@@ -527,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    argv = _extract_engine(list(argv))
     if argv and argv[0] == "verify":
         return verify_main(argv[1:])
     if argv and argv[0] == "recovery":

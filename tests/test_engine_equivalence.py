@@ -1,0 +1,319 @@
+"""Determinism equivalence between the heap and timer-wheel engines.
+
+The engine overhaul (DESIGN.md §13) replaced the kernel's binary heap
+with a hierarchical timer wheel.  Correctness claim: both engines execute
+*exactly* the same schedule — every queue entry fires at the same
+``(time, seq)`` and in the same global order — so every experiment,
+chaos plan and regression baseline in the repo is engine-independent.
+
+This module enforces the claim three ways:
+
+* golden traces: representative cluster scenarios (VoD with VCR ops,
+  multicast channel formation, MSU crash/failover, live TV) run on both
+  engines with the kernel's trace hook recording every executed entry as
+  ``(time, seq, event-kind)``; the traces must be identical,
+* a Hypothesis oracle: random push/pop sequences against the
+  :class:`TimerWheel` must pop in exactly the reference
+  :class:`HeapScheduler` order, across time scales that cross the
+  wheel's bucket granularity and far-horizon window, and
+* random process workloads: Hypothesis-generated mixes of timeouts,
+  zero-delay schedules, events and interrupts traced on both engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live import ChannelSpec, LiveConfig, LiveSource
+from repro.net import messages as m
+from repro.sim import HeapScheduler, Simulator, TimerWheel
+from tests.helpers import MCAST, build_cluster, make_packets, open_client
+
+# ---------------------------------------------------------------------------
+# golden traces
+# ---------------------------------------------------------------------------
+
+
+def _kind(fn, args) -> str:
+    """A stable label for one queue entry (no object ids, no addresses)."""
+    owner = getattr(fn, "__self__", None)
+    name = getattr(fn, "__name__", type(fn).__name__)
+    if owner is not None:
+        return f"{type(owner).__name__}.{name}"
+    return getattr(fn, "__qualname__", name)
+
+
+def _record(sim: Simulator) -> list:
+    """Attach a trace to ``sim``; returns the growing (time, seq, kind) list."""
+    trace = []
+    sim.trace = lambda t, s, fn, args: trace.append((t, s, _kind(fn, args)))
+    return trace
+
+
+def _vod_scenario(engine: str) -> list:
+    """One VoD stream with pause/resume — the bread-and-butter schedule."""
+    sim, cluster, _ = build_cluster(n_msus=1, n_titles=1, length=20.0)
+    assert sim.engine == engine
+    trace = _record(sim)
+    client = open_client(sim, cluster)
+    marks = {}
+
+    def scenario():
+        yield from client.register_port("tv", "mpeg1")
+        view = yield from client.play("title0", "tv")
+        yield from client.wait_ready(view)
+        yield sim.timeout(2.0)
+        client.vcr(view.group_id, m.VCR_PAUSE)
+        yield sim.timeout(1.0)
+        client.vcr(view.group_id, m.VCR_PLAY)
+        yield sim.timeout(2.0)
+        client.quit(view.group_id)
+        marks["done"] = sim.now
+
+    sim.process(scenario())
+    sim.run(until=12.0)
+    assert "done" in marks
+    return trace
+
+
+def _multicast_scenario(engine: str) -> list:
+    """Two viewers batch onto one channel inside the multicast window."""
+    sim, cluster, _ = build_cluster(
+        n_msus=1, n_titles=1, length=20.0, multicast=MCAST
+    )
+    assert sim.engine == engine
+    trace = _record(sim)
+    client = open_client(sim, cluster)
+
+    def scenario():
+        yield from client.register_port("tv0", "mpeg1")
+        yield from client.register_port("tv1", "mpeg1")
+        v0 = yield from client.play("title0", "tv0")
+        v1 = yield from client.play("title0", "tv1")
+        yield from client.wait_ready(v0)
+        yield from client.wait_ready(v1)
+        yield sim.timeout(3.0)
+        client.quit(v0.group_id)
+        yield sim.timeout(1.0)
+        client.quit(v1.group_id)
+
+    sim.process(scenario())
+    sim.run(until=12.0)
+    return trace
+
+
+def _failover_scenario(engine: str) -> list:
+    """A crash mid-stream: detection, teardown and cleanup traffic."""
+    sim, cluster, _ = build_cluster(
+        n_msus=2, n_titles=1, length=20.0, failover="fast"
+    )
+    assert sim.engine == engine
+    trace = _record(sim)
+    client = open_client(sim, cluster)
+
+    def scenario():
+        yield from client.register_port("tv", "mpeg1")
+        view = yield from client.play("title0", "tv")
+        yield from client.wait_ready(view)
+        yield sim.timeout(1.0)
+        cluster.fail_msu(0, crash=True)
+        yield sim.timeout(3.0)
+
+    sim.process(scenario())
+    sim.run(until=10.0)
+    return trace
+
+
+def _live_scenario(engine: str) -> list:
+    """A live channel on the air with one viewer tuning in and out."""
+    spec = ChannelSpec(
+        "news", "mpeg1", "feed0", start_at=0.5, duration_seconds=10.0
+    )
+    sim = Simulator()
+    assert sim.engine == engine
+    from repro.core import CalliopeCluster, ClusterConfig
+    from tests.helpers import SMALL
+
+    cluster = CalliopeCluster(
+        sim,
+        ClusterConfig(
+            n_msus=1, ibtree_config=SMALL,
+            live=LiveConfig(lineup=(spec,), ring_seconds=4.0),
+        ),
+    )
+    cluster.coordinator.db.add_customer("user")
+    source = LiveSource(sim, cluster, "feed0")
+    source.add_feed("news", make_packets(10.0))
+    trace = _record(sim)
+    client = open_client(sim, cluster)
+
+    def scenario():
+        yield from client.register_port("tv", "mpeg1")
+        yield sim.timeout(2.0)  # the channel is on the air by now
+        view = yield from client.play("news", "tv")
+        yield from client.wait_ready(view)
+        yield sim.timeout(3.0)
+        client.quit(view.group_id)
+
+    sim.process(scenario())
+    sim.run(until=9.0)
+    return trace
+
+
+SCENARIOS = {
+    "vod": _vod_scenario,
+    "multicast": _multicast_scenario,
+    "failover": _failover_scenario,
+    "live": _live_scenario,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace_identical_across_engines(name, monkeypatch):
+    scenario = SCENARIOS[name]
+    traces = {}
+    for engine in ("heap", "wheel"):
+        monkeypatch.setenv("CALLIOPE_ENGINE", engine)
+        traces[engine] = scenario(engine)
+    heap, wheel = traces["heap"], traces["wheel"]
+    assert len(heap) > 1000, f"{name}: trace suspiciously small ({len(heap)})"
+    # Pinpoint the first divergence rather than diffing two huge lists.
+    for i, (a, b) in enumerate(zip(heap, wheel)):
+        assert a == b, f"{name}: schedules diverge at entry {i}: {a} != {b}"
+    assert len(heap) == len(wheel)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: wheel vs heap oracle on raw push/pop sequences
+# ---------------------------------------------------------------------------
+
+# Times spanning the wheel's interesting regimes: sub-granularity ties,
+# the dense near band, the far heap beyond the 4096-slot window, and
+# exact duplicates (ordering must fall back to seq alone).
+_times = st.one_of(
+    st.floats(0.0, 0.01, allow_nan=False),      # within one or two buckets
+    st.floats(0.0, 5.0, allow_nan=False),       # across the near window
+    st.floats(100.0, 10_000.0, allow_nan=False),  # far heap + refills
+    st.sampled_from([0.0, 0.001, 0.5, 4.096, 4096.0]),
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _times),
+        st.tuples(st.just("pop"), st.none()),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=200, deadline=None)
+def test_wheel_pops_in_heap_order(ops):
+    wheel, heap = TimerWheel(), HeapScheduler()
+    now = 0.0
+    seq = 0
+    for op, t in ops:
+        if op == "push":
+            seq += 1
+            # Entries are never scheduled in the past (the kernel adds
+            # delays >= 0 to the current time).
+            at = now + t
+            wheel.push(at, seq, _kind, ())
+            heap.push(at, seq, _kind, ())
+        else:
+            assert bool(wheel) == bool(heap)
+            assert wheel.next_time() == heap.next_time()
+            if heap:
+                got, want = wheel.pop(), heap.pop()
+                assert got == want
+                now = want[0]  # the clock follows executed entries
+    # Drain both: the tails must agree entry for entry.
+    while heap:
+        assert wheel.pop() == heap.pop()
+    assert not wheel
+    assert wheel.next_time() == float("inf")
+
+
+@given(
+    base=st.floats(0.0, 1e6, allow_nan=False),
+    offsets=st.lists(st.floats(0.0, 0.002, allow_nan=False), min_size=2, max_size=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_wheel_preserves_seq_order_for_equal_times(base, offsets):
+    """Same-instant entries must pop in scheduling order, everywhere."""
+    wheel, heap = TimerWheel(), HeapScheduler()
+    for i, off in enumerate(offsets):
+        t = base + (off if i % 2 else 0.0)  # mix exact ties with near-ties
+        wheel.push(t, i, _kind, ())
+        heap.push(t, i, _kind, ())
+    order_w = [wheel.pop()[:2] for _ in range(len(offsets))]
+    order_h = [heap.pop()[:2] for _ in range(len(offsets))]
+    assert order_w == order_h
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random process workloads trace identically on both engines
+# ---------------------------------------------------------------------------
+
+_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("sleep"), st.floats(0.0, 2.0, allow_nan=False)),
+        st.tuples(st.just("timeout"), st.floats(0.0, 2.0, allow_nan=False)),
+        st.tuples(st.just("spawn"), st.integers(0, 3)),
+        st.tuples(st.just("schedule0"), st.none()),
+        st.tuples(st.just("event"), st.none()),
+        st.tuples(st.just("interrupt"), st.none()),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _run_workload(engine: str, actions) -> list:
+    sim = Simulator(engine=engine)
+    trace = _record(sim)
+    log = []
+    spawned = []
+
+    def leaf(n):
+        for i in range(n):
+            yield sim.sleep(0.05 * (i + 1))
+            log.append(("leaf", n, i, sim.now))
+
+    def driver():
+        for i, (op, arg) in enumerate(actions):
+            if op == "sleep":
+                yield sim.sleep(arg)
+            elif op == "timeout":
+                yield sim.timeout(arg)
+            elif op == "spawn":
+                spawned.append(sim.process(leaf(arg + 1), name=f"leaf{i}"))
+            elif op == "schedule0":
+                sim.schedule(0.0, log.append, ("cb", i, sim.now))
+            elif op == "event":
+                ev = sim.event()
+                sim.schedule(0.1, ev.succeed, i)
+                value = yield ev
+                log.append(("event", i, value, sim.now))
+            elif op == "interrupt":
+                for proc in spawned:
+                    if proc.is_alive:
+                        proc.interrupt("chaos")
+                        break
+            log.append(("step", i, sim.now))
+
+    sim.process(driver(), name="driver")
+    sim.run()
+    return [trace, log]
+
+
+@given(actions=_actions)
+@settings(max_examples=75, deadline=None)
+def test_random_workloads_trace_identically(actions):
+    heap_trace, heap_log = _run_workload("heap", actions)
+    wheel_trace, wheel_log = _run_workload("wheel", actions)
+    assert heap_log == wheel_log
+    assert heap_trace == wheel_trace

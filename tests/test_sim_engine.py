@@ -1,9 +1,29 @@
-"""Unit tests for the DES kernel: events, timeouts, processes."""
+"""Unit tests for the DES kernel: events, timeouts, processes.
+
+Every test in this module runs twice — once per scheduling engine — via
+the parametrized ``sim`` fixture below, so the kernel contract is pinned
+on both the reference heap and the timer wheel.
+"""
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+from repro.sim import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulator,
+    Timeout,
+)
 from tests.conftest import run_process
+
+
+@pytest.fixture(params=ENGINES)
+def sim(request) -> Simulator:
+    """A fresh simulator per test, on each engine (overrides conftest)."""
+    return Simulator(engine=request.param)
 
 
 class TestEvent:
@@ -299,3 +319,177 @@ class TestSimulator:
             return log
 
         assert build() == build()
+
+
+class TestEngineSelection:
+    def test_default_engine_is_wheel(self, monkeypatch):
+        monkeypatch.delenv("CALLIOPE_ENGINE", raising=False)
+        assert DEFAULT_ENGINE == "wheel"
+        assert Simulator().engine == "wheel"
+
+    def test_constructor_overrides_default(self):
+        assert Simulator(engine="heap").engine == "heap"
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("CALLIOPE_ENGINE", "heap")
+        assert Simulator().engine == "heap"
+        # An explicit constructor argument still wins over the env var.
+        assert Simulator(engine="wheel").engine == "wheel"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulator(engine="quantum")
+        monkeypatch.setenv("CALLIOPE_ENGINE", "quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulator()
+
+
+class TestLateCallbacks:
+    def test_late_registrations_deliver_in_one_slot(self, sim):
+        """Post-fire callbacks batch: an interleaved ``schedule(0.0, ...)``
+        cannot split an event's value delivery (the seed engine scheduled
+        each late callback as its own queue entry, so ``g`` would have run
+        between ``f1`` and ``f2``)."""
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        order = []
+        ev.add_callback(lambda e: order.append(("f1", e.value)))
+        sim.schedule(0.0, order.append, ("g", None))
+        ev.add_callback(lambda e: order.append(("f2", e.value)))
+        sim.run()
+        assert order == [("f1", 7), ("f2", 7), ("g", None)]
+
+    def test_late_batch_after_late_batch(self, sim):
+        """A registration made *inside* a late delivery starts a new batch."""
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+        order = []
+        ev.add_callback(
+            lambda e: ev.add_callback(lambda e2: order.append("second"))
+        )
+        ev.add_callback(lambda e: order.append("first"))
+        sim.run()
+        assert order == ["first", "second"]
+
+
+class TestRunUntilEventEdges:
+    def test_limit_exactly_at_event_time_still_runs(self, sim):
+        """The limit bounds simulation time inclusively: an event due at
+        exactly ``limit`` fires rather than raising."""
+        ev = sim.event()
+        sim.schedule(5.0, ev.succeed, "x")
+        assert sim.run_until_event(ev, limit=5.0) == "x"
+        assert sim.now == 5.0
+
+    def test_event_fails_while_queue_nonempty(self, sim):
+        """A failure surfaces immediately; later queue entries stay put."""
+        ev = sim.event()
+        later = []
+        sim.schedule(1.0, ev.fail, ValueError("boom"))
+        sim.schedule(10.0, later.append, "later")
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_until_event(ev)
+        assert later == []
+        assert sim.peek() == 10.0
+
+    def test_interrupt_detach_races_pending_resume(self, sim):
+        """An interrupt landing between a process's late registration on a
+        fired event and that event's late delivery must detach the stale
+        ``_resume`` — re-waiting on the same event then wakes exactly once,
+        at the already-queued delivery slot."""
+        ev = sim.event()
+        log = []
+        handle = {}
+
+        def waiter():
+            yield sim.timeout(0.1)
+            log.append("woke")
+            try:
+                value = yield ev  # long fired -> late registration
+                log.append(("value", value))
+            except Interrupt:
+                log.append("interrupted")
+                value = yield ev  # re-wait on the same fired event
+                log.append(("re-value", value, sim.now))
+
+        def controller():
+            yield sim.timeout(0.1)
+            # This entry was queued before the waiter's wakeup at the
+            # same instant, so interrupt *delivery* (one slot later)
+            # lands after the waiter has parked on the fired event but
+            # before its late batch delivers — the race under test.
+            handle["p"].interrupt("race")
+
+        ev.succeed("v")
+        sim.run(until=0.4)
+        sim.process(controller(), name="controller")
+        handle["p"] = sim.process(waiter(), name="waiter")
+        sim.run()
+        assert log == ["woke", "interrupted", ("re-value", "v", 0.5)]
+        assert ev._late is None  # the late batch fully drained
+
+
+class TestPooledSleep:
+    def test_sleep_behaves_like_timeout(self, sim):
+        log = []
+
+        def pacer():
+            for i in range(5):
+                yield sim.sleep(0.25, value=i)
+                log.append((i, sim.now))
+
+        sim.process(pacer())
+        sim.run()
+        assert log == [(i, 0.25 * (i + 1)) for i in range(5)]
+
+    def test_sleep_value_passthrough(self, sim):
+        values = []
+
+        def proc():
+            values.append((yield sim.sleep(0.1, value="tick")))
+
+        sim.process(proc())
+        sim.run()
+        assert values == ["tick"]
+
+    def test_sleep_recycles_instances(self, sim):
+        """Steady-state sleeping reuses pooled timeouts, not fresh objects."""
+        seen = set()
+
+        def pacer():
+            for _ in range(10):
+                t = sim.sleep(0.1)
+                seen.add(id(t))
+                yield t
+
+        sim.process(pacer())
+        sim.run()
+        # After the first wakeup the pool serves every later sleep.
+        assert len(seen) < 10
+
+    def test_sleep_negative_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.sleep(-0.1)
+
+        def one_sleep():
+            yield sim.sleep(0.1)
+
+        # Also on the pooled fast path (a timeout is in the pool now).
+        run_process(sim, one_sleep())
+        with pytest.raises(ValueError):
+            sim.sleep(-0.1)
+
+    def test_late_registration_on_firing_pooled_timeout_not_lost(self, sim):
+        """A callback registered on a pooled timeout *while it fires* must
+        still be delivered (the instance is left un-recycled for it)."""
+        got = []
+        t = sim.sleep(1.0, value="v")
+
+        def re_register(event):
+            event.add_callback(lambda e: got.append(("late", e.value)))
+
+        t.add_callback(re_register)
+        sim.run()
+        assert got == [("late", "v")]
