@@ -82,6 +82,12 @@ class AdmissionControl:
         #: charge/release so the write-ahead log can replay the books
         #: mutation-for-mutation on restart.  None disables it.
         self.on_journal: Optional[Callable[[str, dict], None]] = None
+        #: Books observer (repro.scaleout's escrowed ShardSet): duck type
+        #: with ``on_charge(alloc)``/``on_release(alloc)``/
+        #: ``on_release_msu(name)``, called in lockstep with every disk
+        #: bandwidth mutation so a sharded escrow split stays an exact
+        #: decomposition of these books.  None disables it.
+        self.observer = None
 
     def _journal(self, kind: str, payload: dict) -> None:
         if self.on_journal is not None:
@@ -338,6 +344,11 @@ class AdmissionControl:
                 self.edge_books.charge(alloc)
             self._journal("charge", {"alloc": allocation_state(alloc)})
             return alloc
+        if self.observer is not None:
+            # Before any book mutation: the escrow may journal grant/steal
+            # records, and a snapshot triggered by those appends must not
+            # capture a half-applied charge.
+            self.observer.on_charge(alloc)
         if alloc.content_name:
             entry = self.db.contents.get(alloc.content_name)
             if entry is not None:
@@ -369,6 +380,8 @@ class AdmissionControl:
             if self.edge_books is not None:
                 self.edge_books.release(alloc)
         else:
+            if self.observer is not None:
+                self.observer.on_release(alloc)
             self._release_books(alloc, blocks_used)
         self._journal(
             "release",
@@ -462,6 +475,8 @@ class AdmissionControl:
         state = self.db.msus.get(msu_name)
         if state is None:
             return
+        if self.observer is not None:
+            self.observer.on_release_msu(msu_name)
         state.delivery_used = 0.0
         state.active_streams = 0
         state.cache_used = 0.0

@@ -9,7 +9,7 @@ content, installing fast-scan companions and connecting clients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.manager import CacheConfig
 from repro.core.coordinator import Coordinator
@@ -30,6 +30,10 @@ from repro.recovery.journal import JournalStore, RecoveryConfig
 from repro.sim import Simulator
 from repro.storage.ibtree import IBTreeConfig
 from repro.units import ms
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scaleout import ScaleOutConfig
+    from repro.scaleout.standby import StandbyCoordinator, TakeoverOutcome
 
 __all__ = ["ClusterConfig", "CalliopeCluster"]
 
@@ -68,6 +72,9 @@ class ClusterConfig:
     #: Live-TV tier (EPG lineup, channel ingest, rewind-live); None
     #: keeps the server pure video-on-demand.
     live: Optional[LiveConfig] = None
+    #: Coordinator scale-out — warm standby + sharded admission
+    #: (extension); None keeps the paper's single serial Coordinator.
+    scaleout: Optional["ScaleOutConfig"] = None
     seed: int = 42
 
 
@@ -91,6 +98,17 @@ class CalliopeCluster:
                 snapshot_every=config.recovery.snapshot_every
             )
             self.coordinator.attach_journal(self.journal)
+        #: Warm standbys tailing the journal (repro.scaleout).
+        self.standbys: List["StandbyCoordinator"] = []
+        #: Completed standby promotions, in order.
+        self.takeovers: List["TakeoverOutcome"] = []
+        #: Sim time the current/most recent leader actually died.
+        self.leader_lost_at = 0.0
+        self._beacon_running = False
+        if config.scaleout is not None:
+            # Even a single shard gets the escrow/service machinery, so
+            # a 1-shard run is an honest baseline for the E24 scaling.
+            self._enable_shards(self.coordinator)
         heartbeat_period = (
             config.failover.heartbeat.period if config.failover is not None else 0.0
         )
@@ -129,6 +147,107 @@ class CalliopeCluster:
                 )
                 self.edges.append(proxy)
                 self._connect_edge(proxy)
+        if config.scaleout is not None and config.scaleout.standby:
+            self.create_standby()
+
+    # -- coordinator scale-out (repro.scaleout) -----------------------------------
+
+    def _enable_shards(self, coord: Coordinator) -> None:
+        """Install the configured escrow split on ``coord``."""
+        scaleout = self.config.scaleout
+        coord.enable_shards(
+            scaleout.shards,
+            refill_fraction=scaleout.refill_fraction,
+            service_time=scaleout.admit_service_time,
+        )
+
+    def create_standby(self) -> "StandbyCoordinator":
+        """Bring up a warm standby tailing this cluster's journal."""
+        if self.journal is None:
+            raise CalliopeError("warm standby requires the recovery journal")
+        # Imported here: repro.scaleout pulls recovery/replay back in,
+        # so a module-level import would be circular.
+        from repro.scaleout.standby import StandbyCoordinator
+
+        scaleout = self.config.scaleout
+        standby = StandbyCoordinator(
+            self,
+            poll=scaleout.standby_poll if scaleout is not None else 0.1,
+            leader_heartbeat=(
+                scaleout.leader_heartbeat if scaleout is not None else None
+            ),
+            name=f"coordinator-standby{len(self.standbys)}",
+        )
+        standby.shadow.tracer = self.coordinator.tracer
+        standby.shadow.on_capacity_lost = self.coordinator.on_capacity_lost
+        self.standbys.append(standby)
+        if not self._beacon_running:
+            self._beacon_running = True
+            self.sim.process(self._leader_beacon(), name="leader.beacon")
+        return standby
+
+    def _leader_beacon(self):
+        """The acting leader advertises liveness to every standby.
+
+        A crashed leader simply stops beating; each standby's watchdog
+        turns the silence into a dead verdict after its configured
+        detection latency — no oracle shortcut.
+        """
+        scaleout = self.config.scaleout
+        period = (
+            scaleout.leader_heartbeat.period if scaleout is not None else 0.1
+        )
+        while True:
+            yield self.sim.timeout(period)
+            if self.coordinator_down or self.coordinator.dead:
+                continue
+            for standby in self.standbys:
+                standby.leader_beat()
+
+    def promote_standby(self, standby: "StandbyCoordinator") -> None:
+        """Swap ``standby``'s shadow in as the acting Coordinator.
+
+        Called by the standby's own takeover path (detector verdict) or
+        directly by tests.  Unlike :meth:`restart_coordinator` there is
+        no ``begin_recovery`` window: the shadow trusts its tailed
+        tables, re-opens admissions immediately and reconciles each MSU
+        lazily against its next heartbeat's stream positions.
+        """
+        coord = standby.shadow
+        coord.replayed_records = standby.records_tailed
+        coord.activate()
+        self.standbys.remove(standby)
+        self.coordinator = coord
+        self.coordinator_down = False
+        coord.attach_journal(self.journal)
+        if coord.shards is not None:
+            # Now the leader: escrow moves originate (and journal) here.
+            coord.shards.journal = coord._journal
+        up_msus = []
+        for msu in self.msus:
+            if not msu.up:
+                continue
+            channel = ControlChannel(
+                self.sim, coord.name, msu.name,
+                latency=self.config.intra_latency, network=self.intra_net,
+            )
+            coord.attach_msu(channel)
+            msu.attach_coordinator(channel)
+            up_msus.append(msu.name)
+        coord.arm_heartbeat_reconcile(up_msus)
+        # An MSU that died while the old leader was already gone never
+        # journaled its loss, so the replayed database still schedules
+        # it.  Declare it failed now — the warm equivalent of the cold
+        # restart's missing-StateReport rule; if the machine is merely
+        # rebooting it will say MsuHello and re-register.
+        up = set(up_msus)
+        for msu_name, state in list(coord.db.msus.items()):
+            if state.available and msu_name not in up:
+                coord._msu_failed(msu_name, reason="takeover")
+        for proxy in self.edges:
+            if not proxy.down:
+                self._connect_edge(proxy)
+        coord._retry_queue()
 
     def _connect_edge(self, proxy: EdgeProxy) -> None:
         """Wire one edge proxy to the (current) Coordinator."""
@@ -251,6 +370,7 @@ class CalliopeCluster:
             raise CalliopeError("no recovery journal configured")
         if self.coordinator_down:
             return
+        self.leader_lost_at = self.sim.now
         coord = self.coordinator
         coord.halt()
         for channel in list(coord._msu_channels.values()):
@@ -294,6 +414,9 @@ class CalliopeCluster:
         )
         coord.tracer = old.tracer
         coord.on_capacity_lost = old.on_capacity_lost
+        if config.scaleout is not None:
+            # Installed before replay so shard-grant/steal records land.
+            self._enable_shards(coord)
         from repro.recovery.replay import recover
 
         coord.replayed_records = recover(coord, self.journal)

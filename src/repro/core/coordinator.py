@@ -113,9 +113,14 @@ class Coordinator:
         multicast: Optional[MulticastConfig] = None,
         edge: Optional[EdgeConfig] = None,
         live=None,
+        standby: bool = False,
     ):
         self.sim = sim
         self.name = name
+        #: True while this instance is a warm-standby *shadow*: it applies
+        #: journal records but owns no cluster — background managers
+        #: (EPG, edge placement) stay passive until :meth:`activate`.
+        self.standby = standby
         params = machine_params or MachineParams(name=name, disks_per_hba=())
         self.machine = Machine(sim, params)
         self.nic = self.machine.add_nic(ETHERNET_10)
@@ -193,6 +198,108 @@ class Coordinator:
         self.prefix_pin_pages = self.PREFIX_PIN_PAGES
         #: Optional structured event log (repro.metrics.tracing.Tracer).
         self.tracer = None
+        #: Sharded admission escrow (repro.scaleout); None keeps the
+        #: single-process books.  Installed via :meth:`enable_shards`.
+        self.shards = None
+        #: MSUs whose first post-takeover heartbeat still needs the warm
+        #: reconciliation diff (repro.scaleout.standby).
+        self._warm_pending: set = set()
+        #: Streams the warm reconciliation dropped (E24 / tests read it;
+        #: zero when no admitted stream died with the old leader).
+        self.takeover_drops = 0
+
+    # -- scale-out (repro.scaleout) -----------------------------------------------
+
+    def enable_shards(
+        self,
+        n_shards: int,
+        refill_fraction: float = 0.25,
+        service_time: float = 0.0,
+    ):
+        """Split the per-disk bandwidth books into N escrowed shards."""
+        from repro.scaleout.escrow import ShardSet
+
+        self.shards = ShardSet(
+            self.db, n_shards,
+            refill_fraction=refill_fraction, service_time=service_time,
+        )
+        self.shards.journal = self._journal
+        self.admission.observer = self.shards
+        return self.shards
+
+    def activate(self) -> None:
+        """Promote a standby shadow into the acting leader.
+
+        Flips the passive flag and starts the background loops the
+        shadow suppressed — the edge placement loop and the EPG slots
+        that have not fired yet (each slot re-checks ``fired`` and the
+        current time, so late spawning is safe).
+        """
+        if not self.standby:
+            return
+        self.standby = False
+        if self.placement is not None:
+            self.placement.activate()
+        if self.live_manager is not None:
+            self.live_manager.activate()
+        if self.shards is not None:
+            self.shards.replaying = False
+
+    def arm_heartbeat_reconcile(self, msu_names) -> None:
+        """Schedule a warm reconciliation against each MSU's next beat.
+
+        The takeover path's replacement for the restart-time ReportState
+        storm: instead of probing every MSU and holding admissions for a
+        grace window, the new leader diffs its replayed stream tables
+        against the positions already riding each MSU's next heartbeat.
+        """
+        self._warm_pending = set(msu_names)
+
+    def _warm_reconcile(self, msu_name: str, positions) -> int:
+        """Drop replayed playback streams absent from a fresh heartbeat.
+
+        MSU-wins, like the cold-restart reconcile, but scoped to what a
+        heartbeat can prove: positions carry playback streams and channel
+        subscribers, never recordings or live ingests, so only plain
+        playback allocations are eligible.  Channel-owner, subscriber,
+        live and edge-serve groups are left to their own control
+        messages (PatchDrained, ChannelDowngrade, EdgeServeDone...).
+        """
+        reported = {(gid, sid) for gid, sid, _page, _us in positions}
+        protected: set = set()
+        if self.channel_manager is not None:
+            protected |= set(self.channel_manager._channel_groups)
+            protected |= set(self.channel_manager._subscriber_groups)
+        if self.live_manager is not None:
+            protected |= set(self.live_manager._channel_groups)
+            protected |= set(self.live_manager._ingest_groups)
+            protected |= set(self.live_manager._subscriber_groups)
+        if self.placement is not None:
+            protected |= {gid for (gid, _sid) in self.placement.serves}
+        dropped = 0
+        for group in list(self.groups.values()):
+            if group.msu_name != msu_name or group.group_id in protected:
+                continue
+            if group.recordings:
+                continue  # record streams never ride the heartbeat
+            for stream_id in sorted(
+                set(group.allocations) & set(group.streams)
+            ):
+                if (group.group_id, stream_id) in reported:
+                    continue
+                # The termination this MSU reported into the dead
+                # leader's closed channel, replayed from heartbeat truth.
+                self._stream_terminated(
+                    m.StreamTerminated(
+                        group.group_id, stream_id, reason="takeover-sync"
+                    )
+                )
+                dropped += 1
+        if dropped:
+            self.takeover_drops += dropped
+            self._trace("takeover-sync", msu_name, f"dropped={dropped}")
+            self._retry_queue()
+        return dropped
 
     def _trace(self, category: str, subject, detail: str = "") -> None:
         if self.tracer is not None:
@@ -422,6 +529,9 @@ class Coordinator:
             elif isinstance(msg, m.Heartbeat):
                 if self.monitor is not None:
                     self.monitor.beat(msg)
+                if msg.msu_name in self._warm_pending:
+                    self._warm_pending.discard(msg.msu_name)
+                    self._warm_reconcile(msg.msu_name, msg.positions)
             elif isinstance(msg, m.CacheReport):
                 self._cache_report(msg)
             elif isinstance(msg, m.PatchDrained):
@@ -749,6 +859,21 @@ class Coordinator:
             # The books are mid-reconciliation; park until they settle.
             self._enqueue(_QueuedRequest("play", msg.session_id, msg, channel))
             return None
+        if self.shards is not None:
+            shard = self.shards.shard_for(msg.content_name)
+            if self.shards.is_partitioned(shard):
+                # The owning shard is unreachable; nobody else may spend
+                # its escrow, so the request parks until the heal.
+                self._enqueue(
+                    _QueuedRequest("play", msg.session_id, msg, channel)
+                )
+                self._trace(
+                    "queued", msg.content_name, f"shard {shard} partitioned"
+                )
+                return None
+            delay = self.shards.admission_delay(shard, self.sim.now)
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
         session = self.sessions.get(msg.session_id)
         if fresh:  # retries of a queued request are not new demand
             entry = self.db.note_request(msg.content_name)
@@ -867,6 +992,16 @@ class Coordinator:
         if self.recovering:
             self._enqueue(_QueuedRequest("record", msg.session_id, msg, channel))
             return None
+        if self.shards is not None:
+            shard = self.shards.shard_for(msg.content_name)
+            if self.shards.is_partitioned(shard):
+                self._enqueue(
+                    _QueuedRequest("record", msg.session_id, msg, channel)
+                )
+                return None
+            delay = self.shards.admission_delay(shard, self.sim.now)
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
         session = self.sessions.get(msg.session_id)
         ctype = self.types.get(msg.type_name)
         port = session.port(msg.port_name)

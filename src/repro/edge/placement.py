@@ -94,6 +94,11 @@ class PlacementManager:
         self.patch_serves = 0
         self.interval_serves = 0
         self.plan_misses = 0
+        if not getattr(coordinator, "standby", False):
+            self.sim.process(self._loop(), name="coord.placement")
+
+    def activate(self) -> None:
+        """Start the placement loop on a promoted warm standby."""
         self.sim.process(self._loop(), name="coord.placement")
 
     # -- popularity estimator ---------------------------------------------

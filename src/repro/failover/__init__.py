@@ -31,7 +31,12 @@ from repro.failover.degraded import (
     live_locations,
     play_priority,
 )
-from repro.failover.heartbeat import HeartbeatConfig, HeartbeatMonitor, MsuHealth
+from repro.failover.heartbeat import (
+    EndpointHealth,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    MsuHealth,
+)
 from repro.failover.migrator import (
     MemberResume,
     MigrationRecord,
@@ -44,6 +49,7 @@ __all__ = [
     "FailoverConfig",
     "HeartbeatConfig",
     "HeartbeatMonitor",
+    "EndpointHealth",
     "MsuHealth",
     "StreamMeta",
     "MemberResume",

@@ -1,11 +1,10 @@
-"""Heartbeat-based failure detection for MSUs.
+"""Heartbeat-based failure detection for arbitrary beating endpoints.
 
 The paper's Coordinator only notices a dead MSU when the TCP control
 connection breaks (§2.2).  That signal is reliable for a crashed kernel
 but arbitrarily late for a hung one, so the failover subsystem adds the
-classic complement: MSUs send a small :class:`~repro.net.messages.Heartbeat`
-every ``period`` seconds, and a per-MSU watchdog inside the Coordinator
-runs a three-state machine:
+classic complement: endpoints send a small heartbeat every ``period``
+seconds, and a per-endpoint watchdog runs a three-state machine:
 
 ``alive``    beats arriving on time.
 ``suspect``  ``miss_threshold`` consecutive periods with no beat.  The
@@ -13,27 +12,37 @@ runs a three-state machine:
              declaring death immediately — a congested control network
              should not trigger a cluster-wide migration storm.
 ``dead``     still silent after ``suspect_probes`` backoff probes; the
-             Coordinator's failure path runs.
+             owner's failure path runs.
 
-The monitor is *self-arming*: only MSUs that have sent at least one
+The monitor is *self-arming*: only endpoints that have sent at least one
 heartbeat are watched.  That keeps protocol-minimal endpoints (the
 scalability experiment's fake MSUs, old traces) out of the watchdog's
 jurisdiction — for them the broken-connection signal still applies.
 
-Heartbeats also piggyback each playback stream's position (page index
-and media time) so that, on death, the stream migrator knows where to
-resume each stream on a replica.
+Two deployments share the machinery:
+
+* the Coordinator watches its **MSUs** via :meth:`HeartbeatMonitor.beat`
+  (fed from :class:`~repro.net.messages.Heartbeat` control messages,
+  which piggyback each playback stream's position so the migrator knows
+  where to resume each stream on a replica);
+* a warm-standby Coordinator (``repro.scaleout``) watches the **leader**
+  via :meth:`HeartbeatMonitor.beat_for` — no positions, just liveness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, Optional, Tuple
+from typing import Callable, Dict, Generator, Iterable, Optional, Tuple
 
 from repro.net import messages as m
 from repro.sim import Simulator
 
-__all__ = ["HeartbeatConfig", "MsuHealth", "HeartbeatMonitor"]
+__all__ = [
+    "HeartbeatConfig",
+    "EndpointHealth",
+    "MsuHealth",
+    "HeartbeatMonitor",
+]
 
 
 @dataclass(frozen=True)
@@ -63,8 +72,8 @@ class HeartbeatConfig:
 
 
 @dataclass
-class MsuHealth:
-    """Watchdog state for one beating MSU."""
+class EndpointHealth:
+    """Watchdog state for one beating endpoint (MSU or leader)."""
 
     name: str
     last_beat: float
@@ -76,8 +85,12 @@ class MsuHealth:
     probes: int = 0
 
 
+#: Backward-compatible alias from when only MSUs were watched.
+MsuHealth = EndpointHealth
+
+
 class HeartbeatMonitor:
-    """Tracks beating MSUs and reports suspected/confirmed deaths."""
+    """Tracks beating endpoints and reports suspected/confirmed deaths."""
 
     def __init__(
         self,
@@ -90,38 +103,53 @@ class HeartbeatMonitor:
         self.config = config
         self.on_suspect = on_suspect
         self.on_dead = on_dead
-        self._records: Dict[str, MsuHealth] = {}
+        self._records: Dict[str, EndpointHealth] = {}
         #: Latest reported stream positions, replaced wholesale per beat
-        #: so stale streams age out: msu -> (group, stream) -> (page, us).
+        #: so stale streams age out: name -> (group, stream) -> (page, us).
         self._positions: Dict[str, Dict[Tuple[int, int], Tuple[int, int]]] = {}
         self.suspects = 0
         self.deaths = 0
 
     # -- intake ---------------------------------------------------------------
 
-    def beat(self, msg: m.Heartbeat) -> None:
-        """Register a heartbeat; arms a watchdog on the first one."""
-        rec = self._records.get(msg.msu_name)
+    def beat_for(
+        self,
+        name: str,
+        seq: int = 0,
+        positions: Iterable[Tuple[int, int, int, int]] = (),
+    ) -> None:
+        """Register a heartbeat from any endpoint; arms its watchdog on
+        the first one.  ``positions`` is optional — a leader beacon beats
+        with liveness only."""
+        rec = self._records.get(name)
         if rec is None or rec.stopped:
-            rec = MsuHealth(name=msg.msu_name, last_beat=self.sim.now)
-            self._records[msg.msu_name] = rec
-            self.sim.process(self._watch(rec), name=f"hb-watch.{msg.msu_name}")
+            rec = EndpointHealth(name=name, last_beat=self.sim.now)
+            self._records[name] = rec
+            self.sim.process(self._watch(rec), name=f"hb-watch.{name}")
         rec.last_beat = self.sim.now
-        rec.last_seq = msg.seq
+        rec.last_seq = seq
         rec.beats += 1
         if rec.state == "suspect":
             rec.state = "alive"
-        self._positions[msg.msu_name] = {
+        self._positions[name] = {
             (group_id, stream_id): (page_index, position_us)
-            for group_id, stream_id, page_index, position_us in msg.positions
+            for group_id, stream_id, page_index, position_us in positions
         }
 
-    def forget_msu(self, msu_name: str) -> None:
-        """Stop watching an MSU (it was declared down by any path)."""
-        rec = self._records.get(msu_name)
+    def beat(self, msg: m.Heartbeat) -> None:
+        """Register an MSU heartbeat control message."""
+        self.beat_for(msg.msu_name, msg.seq, msg.positions)
+
+    def forget(self, name: str) -> None:
+        """Stop watching an endpoint (it was declared down by any path)."""
+        rec = self._records.get(name)
         if rec is not None:
             rec.stopped = True
         # Positions are kept: the migrator reads them *after* death.
+
+    def forget_msu(self, msu_name: str) -> None:
+        """Alias for :meth:`forget`, kept for the MSU-watching call sites."""
+        self.forget(msu_name)
 
     def stop_all(self) -> None:
         """Disarm every watchdog (the Coordinator itself went down)."""
@@ -130,8 +158,8 @@ class HeartbeatMonitor:
 
     # -- queries --------------------------------------------------------------
 
-    def state(self, msu_name: str) -> str:
-        rec = self._records.get(msu_name)
+    def state(self, name: str) -> str:
+        rec = self._records.get(name)
         return rec.state if rec is not None else "unknown"
 
     def position(
@@ -165,7 +193,7 @@ class HeartbeatMonitor:
 
     # -- watchdog -------------------------------------------------------------
 
-    def _watch(self, rec: MsuHealth) -> Generator:
+    def _watch(self, rec: EndpointHealth) -> Generator:
         cfg = self.config
         while not rec.stopped:
             if rec.state == "alive":

@@ -134,10 +134,22 @@ class LiveManager:
         self.rewinds = 0
         self.rewind_hits = 0
         self.merges = 0
-        for index, spec in enumerate(config.lineup):
-            self.sim.process(self._epg(index, spec), name=f"epg.{spec.name}")
+        if not getattr(coordinator, "standby", False):
+            for index, spec in enumerate(config.lineup):
+                self.sim.process(self._epg(index, spec), name=f"epg.{spec.name}")
 
     # -- EPG scheduling ------------------------------------------------------
+
+    def activate(self) -> None:
+        """Arm EPG slots on a promoted warm standby.
+
+        Safe late: ``_epg`` re-derives its delay from ``start_at`` and
+        skips indices already in ``fired`` (tailed from the old leader's
+        journal), so only genuinely unfired slots open.
+        """
+        for index, spec in enumerate(self.config.lineup):
+            if index not in self.fired:
+                self.sim.process(self._epg(index, spec), name=f"epg.{spec.name}")
 
     def _epg(self, index: int, spec: ChannelSpec) -> Generator:
         delay = max(0.0, spec.start_at - self.sim.now)

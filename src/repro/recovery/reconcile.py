@@ -439,6 +439,10 @@ def rebuild_books(coord: "Coordinator") -> None:
             disk.bandwidth_used = 0.0
     for entry in db.contents.values():
         entry.active.clear()
+    if coord.shards is not None:
+        # Escrow spends re-derive through the observer as each charge
+        # below re-applies; grants stay as replayed (they are durable).
+        coord.shards.reset_spent()
     for group in sorted(coord.groups.values(), key=lambda g: g.group_id):
         for stream_id in sorted(group.allocations):
             coord.admission.apply(

@@ -44,10 +44,20 @@ def recover(coord: "Coordinator", store: JournalStore) -> int:
     The caller attaches the journal *afterwards* — replay itself must not
     generate new records.
     """
-    if store.snapshot is not None:
-        restore_state(coord, store.snapshot)
-    for record in store.records:
-        apply_record(coord, record.kind, record.payload)
+    was_replaying = False
+    if coord.shards is not None:
+        # Escrow moves arrive as replayed records; the observer hooks
+        # must not originate fresh refills/steals mid-replay.
+        was_replaying = coord.shards.replaying
+        coord.shards.replaying = True
+    try:
+        if store.snapshot is not None:
+            restore_state(coord, store.snapshot)
+        for record in store.records:
+            apply_record(coord, record.kind, record.payload)
+    finally:
+        if coord.shards is not None:
+            coord.shards.replaying = was_replaying or coord.standby
     return len(store.records)
 
 
@@ -127,6 +137,18 @@ def _release(coord, p):
 
 def _release_msu(coord, p):
     coord.admission.release_msu(p["name"])
+
+
+# -- escrowed shard books (repro.scaleout) ------------------------------------
+
+def _shard_grant(coord, p):
+    if coord.shards is not None:
+        coord.shards.apply_grant(p)
+
+
+def _shard_steal(coord, p):
+    if coord.shards is not None:
+        coord.shards.apply_steal(p)
 
 
 # -- sessions -----------------------------------------------------------------
@@ -477,6 +499,8 @@ _HANDLERS = {
     "charge": _charge,
     "release": _release,
     "release-msu": _release_msu,
+    "shard-grant": _shard_grant,
+    "shard-steal": _shard_steal,
     "session-open": _session_open,
     "session-close": _session_close,
     "port-add": _port_add,

@@ -501,6 +501,7 @@ def snapshot_state(coord: "Coordinator") -> dict:
             coord.live_manager.state()
             if coord.live_manager is not None else None
         ),
+        "shards": coord.shards.state() if coord.shards is not None else None,
     }
 
 
@@ -567,3 +568,11 @@ def restore_state(coord: "Coordinator", state: dict) -> None:
     live = state.get("live")
     if live is not None and coord.live_manager is not None:
         coord.live_manager.restore(live)
+    if coord.shards is not None:
+        shards = state.get("shards")
+        if shards is not None:
+            coord.shards.restore(shards)
+        else:
+            # Snapshot predates the escrow split: start it empty (the
+            # bank holds everything, spends re-derive from replay).
+            coord.shards.books.clear()

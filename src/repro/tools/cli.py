@@ -7,8 +7,10 @@ Usage::
     python -m repro.tools.cli graph1 --duration 60
     python -m repro.tools.cli all --duration 30
     python -m repro.tools.cli verify --seed 1..5 --ops 50
+    python -m repro.tools.cli verify --seed 1..5 --shards 4 --standby
     python -m repro.tools.cli verify --replay repro.json
     python -m repro.tools.cli recovery journal.json --replay
+    python -m repro.tools.cli recovery journal.json --follow
     python -m repro.tools.cli edge --edges 2 --duration 30
     python -m repro.tools.cli live --channels 3 --surfers 55
     python -m repro.tools.cli --engine heap verify --seed 1..3
@@ -17,8 +19,11 @@ Each experiment subcommand runs the corresponding runner and prints the
 same rows/series the paper reports (see EXPERIMENTS.md).  ``verify``
 runs the chaos harness instead: seed-deterministic fault schedules with
 cross-subsystem invariant checking (DESIGN.md §9); a failing schedule is
-shrunk and written to a replayable repro file.  ``recovery`` inspects,
-replays or compacts a Coordinator journal file (DESIGN.md §10).
+shrunk and written to a replayable repro file.  ``--shards``/``--standby``
+run the same sweep against a scaled-out Coordinator (DESIGN.md §14) with
+the leader-kill and shard-partition fault kinds enabled.  ``recovery``
+inspects, replays or compacts a Coordinator journal file (DESIGN.md §10);
+``--follow`` tails one as new records land, the way the warm standby does.
 
 ``--engine {heap,wheel}`` is accepted anywhere on the command line (all
 subcommands included) and selects the simulation engine for the whole
@@ -33,7 +38,7 @@ import os
 import sys
 from typing import Dict, List, Optional
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "follow_journal"]
 
 
 def _table1(duration: Optional[float]) -> str:
@@ -173,6 +178,16 @@ def _cluster_scale(duration: Optional[float]) -> str:
     return format_cluster_scale(run_cluster_scale(duration=duration or 20.0))
 
 
+def _scaleout(duration: Optional[float]) -> str:
+    from repro.experiments.scaleout import (
+        format_scaleout,
+        run_sharding,
+        run_takeover,
+    )
+
+    return format_scaleout(run_takeover(), run_sharding())
+
+
 def _city_scale(duration: Optional[float]) -> str:
     from repro.experiments.city_scale import (
         format_city_scale,
@@ -213,6 +228,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     ),
     "city-scale": (
         _city_scale, "abstract taken to 1000 MSUs / 100k viewers (E23, extension)"
+    ),
+    "coordinator-scaleout": (
+        _scaleout,
+        "§2.2 warm-standby takeover + sharded admission (E24, extension)",
     ),
 }
 
@@ -287,25 +306,46 @@ def build_verify_parser() -> argparse.ArgumentParser:
         help="where to write the (shrunk) failing schedule "
              "(default chaos-repro-seed<N>.json in the cwd)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="admission shards on the Coordinator (default 1: the "
+             "classic serial Coordinator; >1 enables the escrowed books "
+             "and the shard_partition fault kind)",
+    )
+    parser.add_argument(
+        "--standby", action="store_true",
+        help="keep a warm standby tailing the journal from bring-up and "
+             "enable the coordinator_failover fault kind",
+    )
     return parser
 
 
 def verify_main(argv) -> int:
     from repro.verify import (
-        ChaosSchedule, load_repro, run_schedule, shrink, write_repro,
+        ChaosConfig, ChaosSchedule, load_repro, run_schedule, shrink,
+        write_repro,
     )
 
     args = build_verify_parser().parse_args(argv)
+    config = None
+    kinds = None
+    if args.shards > 1 or args.standby:
+        from repro.verify.faults import SCALEOUT_FAULT_KINDS
+
+        config = ChaosConfig(n_shards=args.shards, standby=args.standby)
+        kinds = SCALEOUT_FAULT_KINDS
     if args.replay is not None:
         schedules = [load_repro(args.replay)]
     else:
         schedules = [
-            ChaosSchedule.generate(seed, args.ops, horizon=args.horizon)
+            ChaosSchedule.generate(
+                seed, args.ops, horizon=args.horizon, kinds=kinds
+            )
             for seed in _parse_seeds(args.seed)
         ]
     failures = 0
     for schedule in schedules:
-        report = run_schedule(schedule)
+        report = run_schedule(schedule, config)
         print(report.summary())
         if report.ok:
             continue
@@ -313,7 +353,7 @@ def verify_main(argv) -> int:
         for violation in report.violations:
             print(f"  {violation}")
         if not args.no_shrink:
-            small, small_report = shrink(schedule)
+            small, small_report = shrink(schedule, config)
             print(f"  shrunk {len(schedule)} -> {len(small)} ops:")
             for op in small.ops:
                 print(f"    {op.at:9.4f}s {op.kind} {op.args}")
@@ -342,7 +382,76 @@ def build_recovery_parser() -> argparse.ArgumentParser:
         "--compact", metavar="OUT", default=None,
         help="replay, fold the WAL into a fresh snapshot, write to OUT",
     )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="after the summary, tail the file: print each new WAL "
+             "record as it lands (Ctrl-C to stop), resyncing when a "
+             "snapshot install truncates the log — the warm standby's "
+             "view of the journal",
+    )
+    parser.add_argument(
+        "--since", type=int, default=None, metavar="SEQ",
+        help="with --follow, also print existing records after SEQ "
+             "(default: only records newer than the file right now)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="with --follow, re-read cadence (default 0.5)",
+    )
+    parser.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="with --follow, stop after N re-reads (default: forever)",
+    )
     return parser
+
+
+def follow_journal(
+    path,
+    since_seq: int = 0,
+    poll: float = 0.5,
+    max_polls: Optional[int] = None,
+    sleep=None,
+    emit=print,
+) -> int:
+    """Tail a journal file: emit records past ``since_seq`` as they land.
+
+    Re-reads the whole file each poll (journals are single JSON
+    documents, rewritten atomically by their writers — there is no
+    append-only byte stream to seek into).  A snapshot whose seq passes
+    our position means the WAL was truncated underneath us; that is
+    reported as a ``resync`` line and the cursor jumps, exactly like the
+    warm standby's :meth:`StandbyCoordinator.sync`.  Returns the highest
+    seq emitted.  ``sleep``/``emit`` are injectable for tests.
+    """
+    import pathlib
+    import time
+
+    from repro.recovery import JournalStore
+
+    if sleep is None:
+        sleep = time.sleep
+    target = pathlib.Path(path)
+    seq = since_seq
+    polls = 0
+    while True:
+        try:
+            store = JournalStore.from_json(target.read_text())
+        except (OSError, ValueError):
+            store = None  # mid-rewrite or briefly missing: just retry
+        if store is not None:
+            if store.snapshot is not None and store.snapshot_seq > seq:
+                emit(f"  resync: snapshot installed at seq "
+                     f"{store.snapshot_seq} (WAL truncated)")
+                seq = store.snapshot_seq
+            for record in store.records:
+                if record.seq <= seq:
+                    continue
+                emit(f"  {record.seq:>6}  {record.kind:<16} {record.payload}")
+                seq = record.seq
+        polls += 1
+        if max_polls is not None and polls >= max_polls:
+            return seq
+        sleep(poll)
 
 
 def _replay_journal(store):
@@ -373,6 +482,18 @@ def recovery_main(argv) -> int:
     print(f"  WAL records: {store.wal_length()}")
     for kind, count in sorted(store.counts_by_kind().items()):
         print(f"    {kind:<16} {count}")
+    if args.follow:
+        last = store.records[-1].seq if store.records else store.snapshot_seq
+        since = last if args.since is None else args.since
+        print(f"following from seq {since} (poll {args.poll}s, Ctrl-C stops)")
+        try:
+            follow_journal(
+                args.journal, since_seq=since, poll=args.poll,
+                max_polls=args.max_polls,
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        return 0
     if not (args.replay or args.compact):
         return 0
     coord = _replay_journal(store)

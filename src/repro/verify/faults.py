@@ -23,6 +23,10 @@ The op vocabulary covers the failure surface the subsystems expose:
 ``coordinator_crash``   kill the Coordinator; MSUs keep serving alone
 ``coordinator_restart`` cold-start a Coordinator from the journal and
                         reconcile against live MSU state
+``coordinator_failover`` kill the leader with a warm standby armed; the
+                        standby detects the silence and takes over
+``shard_partition``     one admission shard falls off the coordinator
+                        interconnect for a while, then heals
 ``edge_crash``        an edge proxy dies; its pins and serves vanish
 ``edge_restart``      bring a downed edge proxy back (empty cache)
 ``live_ingest_stall`` one live channel's broadcaster goes silent for a
@@ -42,9 +46,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["FAULT_KINDS", "FaultOp", "ChaosSchedule"]
+__all__ = ["FAULT_KINDS", "SCALEOUT_FAULT_KINDS", "FaultOp", "ChaosSchedule"]
 
-#: Every op kind the harness can apply, with its generation weight.
+#: The default generation vocabulary, with weights.  Deliberately frozen
+#: at the pre-scale-out set: plan generation draws from ``random.Random``
+#: over the sorted kind names, so *adding* a kind here would silently
+#: reshuffle every seed's plan and invalidate pinned expectations.
 FAULT_KINDS: Dict[str, float] = {
     "client_join": 34.0,
     "client_quit": 12.0,
@@ -63,6 +70,15 @@ FAULT_KINDS: Dict[str, float] = {
     "edge_restart": 4.0,
     "live_ingest_stall": 3.0,
     "surf_storm": 5.0,
+}
+
+#: Extended vocabulary for scale-out clusters (``cli verify --shards/
+#: --standby``): the default set plus leader failover and shard
+#: partitions.  Opt-in via ``ChaosSchedule.generate(kinds=...)``.
+SCALEOUT_FAULT_KINDS: Dict[str, float] = {
+    **FAULT_KINDS,
+    "coordinator_failover": 2.0,
+    "shard_partition": 3.0,
 }
 
 #: VCR command bursts a storm draws from.
@@ -184,8 +200,17 @@ class ChaosSchedule:
                 "hops": rng.randrange(1, 3),
                 "pick": rng.randrange(1 << 16),
             }
-        if kind in ("coordinator_crash", "coordinator_restart"):
+        if kind in (
+            "coordinator_crash", "coordinator_restart", "coordinator_failover"
+        ):
             return {}
+        if kind == "shard_partition":
+            # Modulo the configured shard count at apply time, so one
+            # plan is valid against any cluster shape.
+            return {
+                "shard": rng.randrange(16),
+                "duration": round(rng.uniform(0.3, 1.5), 2),
+            }
         if kind == "bug_double_charge":
             return {}
         raise ValueError(f"unknown fault kind {kind!r}")

@@ -83,6 +83,12 @@ class ChaosConfig:
     live_length: float = 6.0
     #: Time-shift ring depth, seconds of media kept behind the live edge.
     ring_seconds: float = 3.0
+    #: Admission shards (1 keeps the single serial Coordinator; the
+    #: defaults stay at 1/False so pinned pre-scale-out plans replay
+    #: bit-identically).
+    n_shards: int = 1
+    #: Keep a warm standby tailing the journal from bring-up.
+    standby: bool = False
 
 
 @dataclass
@@ -142,6 +148,14 @@ class ChaosCluster:
                 surf_burst=12.0,
                 off_air_grace=6.0,
             )
+        scaleout = None
+        if self.chaos_config.n_shards > 1 or self.chaos_config.standby:
+            from repro.scaleout import ScaleOutConfig
+
+            scaleout = ScaleOutConfig(
+                shards=self.chaos_config.n_shards,
+                standby=self.chaos_config.standby,
+            )
         self.cluster = CalliopeCluster(
             self.sim,
             ClusterConfig(
@@ -153,6 +167,7 @@ class ChaosCluster:
                 cache=CacheConfig(),
                 edge=self.chaos_config.edge,
                 live=live,
+                scaleout=scaleout,
                 seed=schedule.seed,
             ),
         )
@@ -209,6 +224,10 @@ class ChaosCluster:
     @property
     def delivery_net(self):
         return self.cluster.delivery_net
+
+    @property
+    def takeovers(self):
+        return self.cluster.takeovers
 
     @property
     def config(self):
@@ -426,6 +445,44 @@ class ChaosCluster:
             self.cluster.restart_coordinator()
             self._bump("coordinator_restarts")
 
+    def _op_coordinator_failover(self, op: FaultOp) -> None:
+        """Kill the leader with a warm standby armed to take over.
+
+        A standby is brought up (and fully synced) on first use if the
+        config did not start one; the crash then exercises the whole
+        detect-promote-reconcile arc with no restart in sight.
+        """
+        if self.cluster.journal is None or self.cluster.coordinator_down:
+            return
+        if not self.cluster.standbys:
+            standby = self.cluster.create_standby()
+            standby.sync()
+        self.cluster.crash_coordinator()
+        self._bump("failovers")
+
+    def _op_shard_partition(self, op: FaultOp) -> None:
+        """One admission shard falls off the coordinator interconnect.
+
+        While partitioned it neither admits (its requests park on the
+        durable scheduling queue) nor yields escrow to siblings; healing
+        re-runs the queue.
+        """
+        shards = self.cluster.coordinator.shards
+        if shards is None or shards.n <= 1:
+            return
+        shard = op.args["shard"] % shards.n
+        shards.partition(shard)
+        self._bump("shard_partitions")
+        self.sim.schedule(op.args["duration"], self._heal_shard, shard)
+
+    def _heal_shard(self, shard: int) -> None:
+        # Through the *current* coordinator: a restart or takeover may
+        # have swapped instances since the partition landed.
+        shards = self.cluster.coordinator.shards
+        if shards is not None:
+            shards.heal(shard)
+            self.cluster.coordinator._retry_queue()
+
     def _op_edge_crash(self, op: FaultOp) -> None:
         edges = self.cluster.edges
         if not edges:
@@ -508,6 +565,11 @@ class ChaosCluster:
             net.heal(host)
         for drive, params in self._base_disk_params:
             drive.params = params
+        shards = self.cluster.coordinator.shards
+        if shards is not None and shards.partitioned:
+            for shard in sorted(shards.partitioned):
+                shards.heal(shard)
+            self.cluster.coordinator._retry_queue()
 
     def run(self) -> ChaosReport:
         """Execute the schedule, drain, and return the verdict."""
@@ -523,7 +585,12 @@ class ChaosCluster:
         # say hello to.
         self._restore_environment()
         if self.cluster.coordinator_down:
-            self.cluster.restart_coordinator()
+            # A standby mid-detection wins over a cold restart — racing
+            # both would seat two leaders.
+            if self.cluster.standbys:
+                self.cluster.standbys[0].takeover()
+            else:
+                self.cluster.restart_coordinator()
         for index, msu in enumerate(self.cluster.msus):
             if not msu.up:
                 self.cluster.rejoin_msu(index)

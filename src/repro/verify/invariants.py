@@ -794,6 +794,66 @@ def check_recovery_reconciliation(cluster) -> List[str]:
     return problems
 
 
+# -- 9. coordinator scale-out (repro.scaleout) -------------------------------
+
+
+def check_scaleout_escrow(cluster) -> List[str]:
+    """The escrow split is an exact decomposition of the disk books.
+
+    Valid at any instant: the per-shard one-sided safety checks
+    (``ShardSet.audit``: bank never over-granted, no negative slices,
+    overdraft only under genuine exhaustion) plus exact cross-shard
+    conservation — for every disk with an escrow book,
+    ``sum(spent) == disk.bandwidth_used``.  A double-spent admission or
+    a charge that escaped shard attribution breaks the equality
+    immediately.
+    """
+    coord = cluster.coordinator
+    shards = coord.shards
+    if shards is None:
+        return []
+    problems = list(shards.audit())
+    for (msu_name, disk_id), book in sorted(shards.books.items()):
+        state = coord.db.msus.get(msu_name)
+        disk = state.disks.get(disk_id) if state is not None else None
+        if disk is None:
+            continue
+        total = sum(book.spent)
+        if abs(total - disk.bandwidth_used) > EPS:
+            problems.append(
+                f"{msu_name}/{disk_id}: shard spends sum to {total}, "
+                f"central book says {disk.bandwidth_used}"
+            )
+    return problems
+
+
+def check_takeover_latency(cluster) -> List[str]:
+    """Every standby takeover landed within one report_grace window.
+
+    The headline promise of the warm standby: leader loss to restored
+    admission service in at most ``report_grace`` seconds — the window
+    a *cold* restart only begins its ReportState collection in.
+    """
+    problems = []
+    config = getattr(cluster, "config", None)
+    recovery = getattr(config, "recovery", None)
+    grace = recovery.report_grace if recovery is not None else 1.0
+    for outcome in getattr(cluster, "takeovers", ()):
+        if outcome.takeover_latency > grace + EPS:
+            problems.append(
+                f"takeover at t={outcome.completed_at:.3f} took "
+                f"{outcome.takeover_latency:.3f}s from leader loss "
+                f"(> report_grace {grace})"
+            )
+        if outcome.detected_at < outcome.leader_lost_at - EPS:
+            problems.append(
+                f"takeover at t={outcome.completed_at:.3f} detected the "
+                f"leader dead at {outcome.detected_at:.3f}, before it "
+                f"was lost at {outcome.leader_lost_at:.3f}"
+            )
+    return problems
+
+
 def builtin_registry() -> InvariantRegistry:
     """The built-in invariant families, one per subsystem."""
     registry = InvariantRegistry()
@@ -819,4 +879,6 @@ def builtin_registry() -> InvariantRegistry:
     registry.register(
         "recovery-reconciliation", check_recovery_reconciliation, "drain"
     )
+    registry.register("scaleout-escrow", check_scaleout_escrow, "both")
+    registry.register("scaleout-takeover", check_takeover_latency, "drain")
     return registry

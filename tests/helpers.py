@@ -56,6 +56,8 @@ def build_cluster(
     multicast=None,
     n_titles: int = 0,
     run_to: float = 0.0,
+    n_coordinators: int = 1,
+    standby: bool = False,
 ):
     """One small cluster and a packetized title: (sim, cluster, packets).
 
@@ -64,10 +66,19 @@ def build_cluster(
     ``n_titles`` > 0 the title is pre-loaded that many times (as
     ``title0..titleN-1``) on the first MSU's first disk, and ``run_to``
     lets callers burn the bringup instant before the test starts.
+    ``n_coordinators`` > 1 shards admission that many ways, and
+    ``standby`` brings up a warm standby tailing the journal; either
+    installs a :class:`~repro.scaleout.ScaleOutConfig`.
     """
     sim = Simulator()
     fo = FailoverConfig(heartbeat=FAST) if failover == "fast" else failover
     extra = {} if disks_per_hba is None else {"disks_per_hba": disks_per_hba}
+    if n_coordinators > 1 or standby:
+        from repro.scaleout import ScaleOutConfig
+
+        extra["scaleout"] = ScaleOutConfig(
+            shards=n_coordinators, standby=standby
+        )
     cluster = CalliopeCluster(
         sim,
         ClusterConfig(
